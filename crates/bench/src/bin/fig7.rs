@@ -1,0 +1,65 @@
+//! Figure 7 — sequential fault-free overhead of the ABFT schemes.
+//!
+//! (a) computational FT: Offline / Opt-Offline / CFTO-Online / Opt-Online
+//! (b) computational + memory FT: Offline / Opt-Offline / Online / Opt-Online
+//!
+//! Overhead is `(t_scheme / t_FFTW − 1)·100%`. Paper sizes 2²⁵–2²⁸; default
+//! here 2¹⁶–2¹⁹ (`--log2ns 16,17,18,19` to override, `--runs N` repeats).
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin fig7 -- [a|b|both] [--log2ns ..] [--runs N]
+//! ```
+
+use ftfft::prelude::*;
+use ftfft_bench::{overhead_pct, time_scheme, Args};
+
+fn main() {
+    let args = Args::parse();
+    let which = args.positional(0).unwrap_or("both").to_string();
+    let log2ns: Vec<u32> = args.get_list("log2ns").unwrap_or_else(|| vec![16, 17, 18, 19]);
+    let runs: usize = args.get("runs").unwrap_or(5);
+
+    if which == "a" || which == "both" {
+        banner("Fig 7(a): computational FT overhead (%)");
+        table(&log2ns, runs, &[
+            Scheme::OfflineNaive,
+            Scheme::Offline,
+            Scheme::OnlineComp,
+            Scheme::OnlineCompOpt,
+        ]);
+    }
+    if which == "b" || which == "both" {
+        banner("Fig 7(b): computational & memory FT overhead (%)");
+        // The paper's Fig 7(b) bars: naive offline, optimized offline with
+        // memory checksums, online with the Fig 2 hierarchy, online with
+        // the Fig 3 optimized hierarchy.
+        table(&log2ns, runs, &[
+            Scheme::OfflineNaive,
+            Scheme::OfflineMem,
+            Scheme::OnlineMem,
+            Scheme::OnlineMemOpt,
+        ]);
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table(log2ns: &[u32], runs: usize, schemes: &[Scheme]) {
+    print!("{:<14}", "Problem Size");
+    for s in schemes {
+        print!("{:>15}", s.label());
+    }
+    println!();
+    for &log2n in log2ns {
+        let n = 1usize << log2n;
+        let t0 = time_scheme(n, Scheme::Plain, runs);
+        print!("{:<14}", format!("2^{log2n}"));
+        for &s in schemes {
+            let t = time_scheme(n, s, runs);
+            print!("{:>14.1}%", overhead_pct(t, t0));
+        }
+        println!("    (FFTW baseline: {:.3} ms)", t0 * 1e3);
+    }
+}

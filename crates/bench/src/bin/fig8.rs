@@ -1,0 +1,64 @@
+//! Figure 8 — parallel execution time: FFTW / FT-FFTW / opt-FFTW /
+//! opt-FT-FFTW, fault-free, on the simulated machine with the calibrated
+//! network model (which is what makes the Algorithm 3 overlap visible).
+//!
+//! (a) strong scaling: fixed N, rank sweep;
+//! (b) weak scaling: fixed ranks, size sweep.
+//!
+//! Paper scale: N = 2²⁶–2³⁴ on 128–1024 cores. Defaults here: N = 2²⁰,
+//! p ∈ {1, 2, 4} (this host has few cores; larger p oversubscribes and
+//! flattens the strong-scaling curve without changing the scheme ordering).
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin fig8 -- [strong|weak|both]
+//!     [--log2n 20] [--ranks 1,2,4] [--log2ns 18,19,20] [--p 4] [--runs 3]
+//! ```
+
+use ftfft::prelude::*;
+use ftfft_bench::{time_parallel, Args};
+
+fn main() {
+    let args = Args::parse();
+    let which = args.positional(0).unwrap_or("both").to_string();
+    let runs: usize = args.get("runs").unwrap_or(3);
+    let net = Some(NetworkModel::cluster());
+
+    if which == "strong" || which == "both" {
+        let log2n: u32 = args.get("log2n").unwrap_or(20);
+        let ranks: Vec<usize> = args.get_list("ranks").unwrap_or_else(|| vec![1, 2, 4]);
+        println!("\n=== Fig 8(a): strong scaling, N = 2^{log2n} (time in ms) ===");
+        print!("{:<14}", "Cores");
+        for s in ParallelScheme::ALL {
+            print!("{:>14}", s.label());
+        }
+        println!();
+        for &p in &ranks {
+            print!("{:<14}", format!("p={p}"));
+            for s in ParallelScheme::ALL {
+                let t = time_parallel(1 << log2n, p, s, net, runs, Vec::new);
+                print!("{:>14.2}", t * 1e3);
+            }
+            println!();
+        }
+    }
+
+    if which == "weak" || which == "both" {
+        let p: usize = args.get("p").unwrap_or(4);
+        let log2ns: Vec<u32> = args.get_list("log2ns").unwrap_or_else(|| vec![18, 19, 20]);
+        println!("\n=== Fig 8(b): weak scaling, p = {p} (time in ms) ===");
+        print!("{:<14}", "Problem Size");
+        for s in ParallelScheme::ALL {
+            print!("{:>14}", s.label());
+        }
+        println!();
+        for &l in &log2ns {
+            print!("{:<14}", format!("2^{l}"));
+            for s in ParallelScheme::ALL {
+                let t = time_parallel(1 << l, p, s, net, runs, Vec::new);
+                print!("{:>14.2}", t * 1e3);
+            }
+            println!();
+        }
+    }
+    println!("\n(paper shape: FT-FFTW > FFTW; opt-FFTW < FFTW; opt-FT-FFTW ≈ FFTW)");
+}

@@ -1,0 +1,35 @@
+//! Runs every table/figure harness in sequence with laptop-scale defaults.
+//! Total runtime is dominated by Fig 7 / Table 1 timing sweeps.
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin reproduce_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins: &[(&str, &[&str])] = &[
+        ("fig7", &["both"]),
+        ("table1", &[]),
+        ("fig8", &["both"]),
+        ("table2", &[]),
+        ("table3", &[]),
+        ("table4", &["--runs", "100"]),
+        ("table5", &[]),
+        ("table6", &["--runs", "200"]),
+        ("opcount", &[]),
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("cannot locate harness directory");
+    for (bin, args) in bins {
+        println!("\n############ {bin} ############");
+        let status = Command::new(exe_dir.join(bin))
+            .args(*args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll experiments reproduced. Compare against EXPERIMENTS.md.");
+}

@@ -1,0 +1,99 @@
+//! Table 1 — sequential execution time (seconds) with faults.
+//!
+//! Rows: FFTW(0); Opt-Offline(0), (1m); Opt-Online(0), (1c), (1m+1c),
+//! (1m+2c). The offline scheme pays a full re-execution per fault, the
+//! online scheme only an `O(√N log √N)` sub-FFT recomputation — its rows
+//! should be nearly flat in the number of faults.
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin table1 -- [--log2ns 16,17,18,19] [--runs N]
+//! ```
+
+use ftfft::prelude::*;
+use ftfft_bench::{time_scheme, time_scheme_with_faults, Args};
+
+fn mem_fault() -> ScriptedFault {
+    ScriptedFault::new(Site::InputMemory, 999, FaultKind::SetValue { re: 5.0, im: -5.0 })
+}
+
+fn comp_fault_first() -> ScriptedFault {
+    ScriptedFault::new(
+        Site::SubFftCompute { part: Part::First, index: 3 },
+        7,
+        FaultKind::AddDelta { re: 1e-2, im: 0.0 },
+    )
+}
+
+fn comp_fault_second() -> ScriptedFault {
+    ScriptedFault::new(
+        Site::SubFftCompute { part: Part::Second, index: 11 },
+        2,
+        FaultKind::AddDelta { re: 0.0, im: 1e-2 },
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let log2ns: Vec<u32> = args.get_list("log2ns").unwrap_or_else(|| vec![16, 17, 18, 19]);
+    let runs: usize = args.get("runs").unwrap_or(5);
+
+    println!("=== Table 1: execution time (ms) of FT-FFT with faults ===\n");
+    print!("{:<22}", "Problem Size");
+    for &l in &log2ns {
+        print!("{:>12}", format!("N=2^{l}"));
+    }
+    println!();
+
+    let rows: Vec<(String, Box<dyn Fn(usize) -> f64>)> = vec![
+        (
+            "FFTW (0)".into(),
+            Box::new(move |n| time_scheme(n, Scheme::Plain, runs)),
+        ),
+        (
+            "Opt-Offline (0)".into(),
+            Box::new(move |n| time_scheme(n, Scheme::OfflineMem, runs)),
+        ),
+        (
+            "Opt-Offline (1m)".into(),
+            Box::new(move |n| {
+                time_scheme_with_faults(n, Scheme::OfflineMem, runs, || vec![mem_fault()])
+            }),
+        ),
+        (
+            "Opt-Online (0)".into(),
+            Box::new(move |n| time_scheme(n, Scheme::OnlineMemOpt, runs)),
+        ),
+        (
+            "Opt-Online (1c)".into(),
+            Box::new(move |n| {
+                time_scheme_with_faults(n, Scheme::OnlineMemOpt, runs, || vec![comp_fault_first()])
+            }),
+        ),
+        (
+            "Opt-Online (1m+1c)".into(),
+            Box::new(move |n| {
+                time_scheme_with_faults(n, Scheme::OnlineMemOpt, runs, || {
+                    vec![mem_fault(), comp_fault_first()]
+                })
+            }),
+        ),
+        (
+            "Opt-Online (1m+2c)".into(),
+            Box::new(move |n| {
+                time_scheme_with_faults(n, Scheme::OnlineMemOpt, runs, || {
+                    vec![mem_fault(), comp_fault_first(), comp_fault_second()]
+                })
+            }),
+        ),
+    ];
+
+    for (name, f) in rows {
+        print!("{name:<22}");
+        for &l in &log2ns {
+            let n = 1usize << l;
+            print!("{:>12.2}", f(n) * 1e3);
+        }
+        println!();
+    }
+    println!("\n(paper: Opt-Offline(1m) ≈ 2× Opt-Offline(0); Opt-Online rows flat in #faults)");
+}

@@ -1,0 +1,36 @@
+//! Table 3 — weak-scaling execution time of opt-FT-FFTW with faults:
+//! (0), (2m), (2c), (2m+2c) injected per rank, size sweep at fixed ranks.
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin table3 -- [--p 4] [--log2ns 18,19,20] [--runs 3]
+//! ```
+
+use ftfft::prelude::*;
+use ftfft_bench::{parallel_fault_set, time_parallel, Args};
+
+fn main() {
+    let args = Args::parse();
+    let p: usize = args.get("p").unwrap_or(4);
+    let log2ns: Vec<u32> = args.get_list("log2ns").unwrap_or_else(|| vec![18, 19, 20]);
+    let runs: usize = args.get("runs").unwrap_or(3);
+    let net = Some(NetworkModel::cluster());
+    let scheme = ParallelScheme::OptFtFftw;
+
+    println!("=== Table 3: weak scaling opt-FT-FFTW with faults, p = {p} (ms) ===\n");
+    print!("{:<24}", "Problem Size");
+    for &l in &log2ns {
+        print!("{:>12}", format!("N=2^{l}"));
+    }
+    println!();
+    let rows: [(&str, usize, usize); 4] =
+        [("(0)", 0, 0), ("(2m)", 2, 0), ("(2c)", 0, 2), ("(2m+2c)", 2, 2)];
+    for (label, mem, comp) in rows {
+        print!("{:<24}", format!("Opt-FT-FFTW {label}"));
+        for &l in &log2ns {
+            let t = time_parallel(1 << l, p, scheme, net, runs, || parallel_fault_set(p, mem, comp));
+            print!("{:>12.2}", t * 1e3);
+        }
+        println!();
+    }
+    println!("\n(paper: fault rows flat relative to (0) — each fault costs one small local redo)");
+}

@@ -1,0 +1,182 @@
+//! Shared helpers for the evaluation harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's §9. Sizes default to laptop scale (the paper ran 2²⁵–2²⁸ on
+//! TIANHE-2) and are overridable via CLI flags; results are printed as the
+//! same rows/series the paper reports, for transcription into
+//! `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use ftfft::prelude::*;
+
+/// Simple `--flag value` CLI parser shared by the harness binaries.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Positional argument `idx` (after stripping `--flag value` pairs).
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.raw
+            .split(|a| a.starts_with("--"))
+            .next()
+            .and_then(|head| head.get(idx))
+            .map(|s| s.as_str())
+    }
+
+    /// Value of `--name` parsed as `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// `--name v1,v2,v3` parsed as a list.
+    pub fn get_list<T: std::str::FromStr>(&self, name: &str) -> Option<Vec<T>> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+    }
+}
+
+/// Median wall-clock seconds of `runs` executions of `f` (one warm-up).
+pub fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: plans, caches, page faults
+    let mut times: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Percentage overhead of `t` over baseline `t0`.
+pub fn overhead_pct(t: f64, t0: f64) -> f64 {
+    (t / t0 - 1.0) * 100.0
+}
+
+/// Times one sequential scheme at size `n` (median of `runs`).
+pub fn time_scheme(n: usize, scheme: Scheme, runs: usize) -> f64 {
+    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(scheme));
+    let mut ws = plan.make_workspace();
+    let x = uniform_signal(n, 42);
+    let mut xin = x.clone();
+    let mut out = vec![Complex64::ZERO; n];
+    median_secs(runs, || {
+        xin.copy_from_slice(&x);
+        let rep = plan.execute(&mut xin, &mut out, &NoFaults, &mut ws);
+        assert_eq!(rep.uncorrectable, 0);
+    })
+}
+
+/// Times one sequential scheme with a scripted fault set built per run.
+pub fn time_scheme_with_faults(
+    n: usize,
+    scheme: Scheme,
+    runs: usize,
+    make_faults: impl Fn() -> Vec<ScriptedFault>,
+) -> f64 {
+    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(scheme));
+    let mut ws = plan.make_workspace();
+    let x = uniform_signal(n, 42);
+    let mut xin = x.clone();
+    let mut out = vec![Complex64::ZERO; n];
+    median_secs(runs, || {
+        xin.copy_from_slice(&x);
+        let inj = ScriptedInjector::new(make_faults());
+        let rep = plan.execute(&mut xin, &mut out, &inj, &mut ws);
+        assert_eq!(rep.uncorrectable, 0, "scheme {scheme:?} failed to recover");
+    })
+}
+
+/// Times one parallel scheme (median of `runs`).
+pub fn time_parallel(
+    n: usize,
+    p: usize,
+    scheme: ParallelScheme,
+    network: Option<NetworkModel>,
+    runs: usize,
+    make_faults: impl Fn() -> Vec<ScriptedFault>,
+) -> f64 {
+    let plan = ParallelFft::new(n, p, scheme, network, SignalDist::Uniform.component_std_dev(), 3);
+    let x = uniform_signal(n, 42);
+    median_secs(runs, || {
+        let inj = ScriptedInjector::new(make_faults());
+        let (_, rep) = plan.run(&x, &inj);
+        assert_eq!(rep.uncorrectable, 0);
+    })
+}
+
+/// Standard per-rank fault set for the Table 2/3 rows: `mem` memory and
+/// `comp` computational faults spread across ranks.
+pub fn parallel_fault_set(p: usize, mem: usize, comp: usize) -> Vec<ScriptedFault> {
+    let mut faults = Vec::new();
+    for r in 0..p {
+        for i in 0..mem {
+            let site = if i % 2 == 0 { Site::InputMemory } else { Site::IntermediateMemory };
+            faults.push(
+                ScriptedFault::new(site, 17 * (r + 1) + i, FaultKind::SetValue { re: 3.0, im: -3.0 })
+                    .on_rank(r),
+            );
+        }
+        for i in 0..comp {
+            let part = if i % 2 == 0 { Part::First } else { Part::Second };
+            faults.push(
+                ScriptedFault::new(
+                    Site::SubFftCompute { part, index: i + 1 },
+                    3 + i,
+                    FaultKind::AddDelta { re: 1e-2, im: 0.0 },
+                )
+                .on_rank(r),
+            );
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_secs_runs_the_closure() {
+        let mut count = 0;
+        let t = median_secs(3, || count += 1);
+        assert_eq!(count, 4); // 1 warm-up + 3 timed
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn overhead_math() {
+        assert!((overhead_pct(1.5, 1.0) - 50.0).abs() < 1e-12);
+        assert!((overhead_pct(1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_set_shape() {
+        let f = parallel_fault_set(4, 2, 2);
+        assert_eq!(f.len(), 16);
+        assert!(f.iter().all(|x| x.rank.is_some()));
+    }
+
+    #[test]
+    fn scheme_timer_smoke() {
+        let t = time_scheme(1 << 10, Scheme::OnlineMemOpt, 1);
+        assert!(t > 0.0);
+    }
+}

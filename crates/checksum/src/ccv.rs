@@ -1,0 +1,88 @@
+//! Computational checksum verification (CCV).
+//!
+//! The ABFT invariant is `r·X = (rA)·x`: the ω₃-weighted sum of the FFT
+//! *output* must equal the `rA`-weighted sum of the *input*. A mismatch
+//! beyond the round-off threshold η flags a computational error inside the
+//! transform (Algorithm 1 line 6 / Algorithm 2 lines 8 and 17).
+
+use crate::weights::weighted_sum;
+use ftfft_numeric::Complex64;
+
+/// Result of one computational verification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CcvOutcome {
+    /// `|r·X − (rA)·x|` — the residual the threshold is compared against.
+    pub residual: f64,
+    /// `true` when the residual is within η (no error detected).
+    pub ok: bool,
+}
+
+/// Verifies output `x_out` against the expected checksum `cx = (rA)·x_in`.
+pub fn ccv(x_out: &[Complex64], expected: Complex64, eta: f64) -> CcvOutcome {
+    let rx = weighted_sum(x_out);
+    let residual = (rx - expected).norm();
+    CcvOutcome { residual, ok: residual <= eta }
+}
+
+/// Verifies with a precomputed output weighted sum (when the caller fused
+/// the `r·X` accumulation into another pass over the data).
+pub fn ccv_with_sum(rx: Complex64, expected: Complex64, eta: f64) -> CcvOutcome {
+    let residual = (rx - expected).norm();
+    CcvOutcome { residual, ok: residual <= eta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_vector::input_checksum_vector;
+    use crate::combined::combined_sum1;
+    use ftfft_fft::{fft, Direction};
+    use ftfft_numeric::complex::c64;
+    use ftfft_numeric::uniform_signal;
+
+    #[test]
+    fn invariant_holds_for_clean_fft() {
+        for n in [16usize, 64, 128, 100, 96] {
+            let x = uniform_signal(n, n as u64);
+            let ra = input_checksum_vector(n, Direction::Forward);
+            let cx = combined_sum1(&x, &ra);
+            let out = fft(&x);
+            let o = ccv(&out, cx, 1e-7 * n as f64);
+            assert!(o.ok, "n={n} residual={}", o.residual);
+        }
+    }
+
+    #[test]
+    fn corrupted_output_is_detected() {
+        let n = 128;
+        let x = uniform_signal(n, 7);
+        let ra = input_checksum_vector(n, Direction::Forward);
+        let cx = combined_sum1(&x, &ra);
+        let mut out = fft(&x);
+        out[37] += c64(1e-3, 0.0);
+        let o = ccv(&out, cx, 1e-8 * n as f64);
+        assert!(!o.ok);
+        assert!(o.residual > 1e-4);
+    }
+
+    #[test]
+    fn invariant_holds_for_inverse_direction() {
+        let n = 64;
+        let x = uniform_signal(n, 8);
+        let ra = input_checksum_vector(n, Direction::Inverse);
+        let cx = combined_sum1(&x, &ra);
+        let out = ftfft_fft::ifft(&x);
+        let o = ccv(&out, cx, 1e-8 * n as f64);
+        assert!(o.ok, "residual={}", o.residual);
+    }
+
+    #[test]
+    fn ccv_with_sum_equivalent() {
+        let n = 32;
+        let x = uniform_signal(n, 9);
+        let rx = crate::weights::weighted_sum(&x);
+        let a = ccv(&x, rx, 0.0);
+        let b = ccv_with_sum(rx, rx, 0.0);
+        assert!(a.ok && b.ok);
+    }
+}

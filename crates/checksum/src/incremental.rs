@@ -1,0 +1,132 @@
+//! Incremental checksum generation (§4.3 of the paper).
+//!
+//! The second-part k-point FFTs read *columns* of the intermediate matrix.
+//! Regenerating their input checksums would re-scan the matrix with stride
+//! `m` (a cache-hostile second pass). Instead, slots — one per column — are
+//! initialized to zero and updated as each first-part row is produced: when
+//! row `n1` lands, slot `j2` accumulates `w₁(n1)·row[j2]` and
+//! `w₂(n1)·row[j2]`. After all `k` rows, slot `j2` holds exactly the
+//! combined checksum pair of column `j2`.
+
+use crate::combined::CombinedChecksum;
+use ftfft_numeric::Complex64;
+
+/// Per-column checksum accumulator.
+#[derive(Clone, Debug)]
+pub struct IncrementalSlots {
+    sum1: Vec<Complex64>,
+    sum2: Vec<Complex64>,
+}
+
+impl IncrementalSlots {
+    /// Creates `m` zeroed slots (one per second-part FFT).
+    pub fn new(m: usize) -> Self {
+        IncrementalSlots {
+            sum1: vec![Complex64::ZERO; m],
+            sum2: vec![Complex64::ZERO; m],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.sum1.len()
+    }
+
+    /// `true` if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.sum1.is_empty()
+    }
+
+    /// Resets all slots to zero (restart after a detected error).
+    pub fn reset(&mut self) {
+        self.sum1.fill(Complex64::ZERO);
+        self.sum2.fill(Complex64::ZERO);
+    }
+
+    /// Folds a produced row into the slots with weights `w1` (= `ck[n1]`)
+    /// and `w2` (= `(n1+1)·ck[n1]`).
+    pub fn accumulate_row(&mut self, w1: Complex64, w2: Complex64, row: &[Complex64]) {
+        debug_assert_eq!(row.len(), self.sum1.len());
+        for ((s1, s2), &v) in self.sum1.iter_mut().zip(self.sum2.iter_mut()).zip(row) {
+            *s1 = s1.mul_add(w1, v);
+            *s2 = s2.mul_add(w2, v);
+        }
+    }
+
+    /// Subtracts a row's contribution (used when a first-part FFT is
+    /// recomputed after a detected fault and its old row must be retracted).
+    pub fn retract_row(&mut self, w1: Complex64, w2: Complex64, row: &[Complex64]) {
+        debug_assert_eq!(row.len(), self.sum1.len());
+        for ((s1, s2), &v) in self.sum1.iter_mut().zip(self.sum2.iter_mut()).zip(row) {
+            *s1 -= w1 * v;
+            *s2 -= w2 * v;
+        }
+    }
+
+    /// The accumulated combined checksum of column `j2`.
+    pub fn column_checksum(&self, j2: usize) -> CombinedChecksum {
+        CombinedChecksum { sum1: self.sum1[j2], sum2: self.sum2[j2] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::combined_checksum;
+    use crate::input_vector::input_checksum_vector;
+    use ftfft_fft::Direction;
+    use ftfft_numeric::uniform_signal;
+
+    #[test]
+    fn incremental_equals_batch_column_checksums() {
+        let k = 8;
+        let m = 12;
+        let y = uniform_signal(k * m, 10); // row-major k×m
+        let ck = input_checksum_vector(k, Direction::Forward);
+
+        let mut slots = IncrementalSlots::new(m);
+        for n1 in 0..k {
+            let row = &y[n1 * m..(n1 + 1) * m];
+            let w1 = ck[n1];
+            let w2 = ck[n1].scale((n1 + 1) as f64);
+            slots.accumulate_row(w1, w2, row);
+        }
+
+        for j2 in 0..m {
+            let col: Vec<_> = (0..k).map(|n1| y[n1 * m + j2]).collect();
+            let want = combined_checksum(&col, &ck);
+            let got = slots.column_checksum(j2);
+            assert!(got.sum1.approx_eq(want.sum1, 1e-10), "j2={j2}");
+            assert!(got.sum2.approx_eq(want.sum2, 1e-10), "j2={j2}");
+        }
+    }
+
+    #[test]
+    fn retract_undoes_accumulate() {
+        let m = 6;
+        let row = uniform_signal(m, 3);
+        let w1 = ftfft_numeric::complex::c64(0.5, -0.25);
+        let w2 = w1.scale(4.0);
+        let mut slots = IncrementalSlots::new(m);
+        slots.accumulate_row(w1, w2, &row);
+        slots.retract_row(w1, w2, &row);
+        for j2 in 0..m {
+            let c = slots.column_checksum(j2);
+            assert!(c.sum1.norm() < 1e-14);
+            assert!(c.sum2.norm() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut slots = IncrementalSlots::new(4);
+        slots.accumulate_row(
+            ftfft_numeric::Complex64::ONE,
+            ftfft_numeric::Complex64::ONE,
+            &uniform_signal(4, 1),
+        );
+        slots.reset();
+        assert_eq!(slots.column_checksum(2).sum1, ftfft_numeric::Complex64::ZERO);
+        assert_eq!(slots.len(), 4);
+    }
+}

@@ -1,0 +1,40 @@
+//! ABFT checksum encodings for FFT (Liang et al., SC '17).
+//!
+//! The protection invariant: for the DFT in matrix form `X = Ax` and the
+//! Wang–Jha weight vector `r = (ω₃⁰, …, ω₃^{N-1})`, the identity
+//! `r·X = (rA)·x` holds exactly in real arithmetic; a violation beyond the
+//! round-off threshold η reveals a computational error. Memory errors are
+//! covered by duplicated weighted sums that locate and size a single
+//! corrupted element.
+//!
+//! * [`weights`] — `r` and the grouped `r·X` evaluation (`≈2N` ops);
+//! * [`input_vector`] — `rA` in closed form, naive/optimized/oracle;
+//! * [`mod@ccv`] — computational checksum verification;
+//! * [`memory`] — classic `r₁/r₂` memory checksums with locate+repair;
+//! * [`combined`] — §4.1 combined weights `r′₁ = rA`, `r′₂ = j·(rA)_j`;
+//! * [`incremental`] — §4.3 per-column slot accumulation;
+//! * [`block`] — sealed communication blocks for the parallel scheme.
+
+pub mod block;
+pub mod ccv;
+pub mod combined;
+pub mod incremental;
+pub mod input_vector;
+pub mod memory;
+pub mod weights;
+
+pub use block::{open_block, seal_block, sealed_message, BLOCK_CHECKSUM_WORDS};
+pub use ccv::{ccv, ccv_with_sum, CcvOutcome};
+pub use combined::{
+    combined_checksum, combined_decode, combined_sum1, combined_sum1_strided, combined_verify,
+    CombinedChecksum,
+};
+pub use incremental::IncrementalSlots;
+pub use input_vector::{
+    input_checksum_vector, input_checksum_vector_direct, input_checksum_vector_naive,
+};
+pub use memory::{
+    decode, mem_checksum, mem_checksum_strided, mem_correct, mem_verify, verify_and_correct,
+    MemChecksum, MemVerdict,
+};
+pub use weights::{comp_weight, weighted_sum, weighted_sum_direct, weighted_sum_strided};

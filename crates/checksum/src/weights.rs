@@ -1,0 +1,91 @@
+//! Computational checksum weights `r = (ω₃⁰, ω₃¹, …, ω₃^{N-1})`.
+//!
+//! Wang & Jha proved this encoding suits ABFT FFT (§2.2 of the paper): the
+//! weights cycle with period 3, so the weighted sum `r·X` needs only two
+//! complex multiplications after grouping terms by `j mod 3` — the paper's
+//! `T_CCV ≈ 2N` optimization.
+
+use ftfft_numeric::{omega3_pow, Complex64};
+
+/// The checksum weight `r_j = ω₃^j`.
+#[inline(always)]
+pub fn comp_weight(j: usize) -> Complex64 {
+    omega3_pow(j)
+}
+
+/// Weighted sum `r·x = Σ_j ω₃^j x_j` via the 3-group trick: terms are
+/// bucketed by `j mod 3` and only the two non-trivial group sums are
+/// multiplied by a weight.
+pub fn weighted_sum(x: &[Complex64]) -> Complex64 {
+    let mut s = [Complex64::ZERO; 3];
+    for chunk in x.chunks_exact(3) {
+        s[0] += chunk[0];
+        s[1] += chunk[1];
+        s[2] += chunk[2];
+    }
+    let rem = x.chunks_exact(3).remainder();
+    for (c, &v) in rem.iter().enumerate() {
+        s[c] += v;
+    }
+    s[0] + omega3_pow(1) * s[1] + omega3_pow(2) * s[2]
+}
+
+/// Weighted sum over a strided view `x[offset + t·stride]`, `count`
+/// elements — used when verifying sub-FFT inputs without gathering.
+pub fn weighted_sum_strided(
+    x: &[Complex64],
+    offset: usize,
+    stride: usize,
+    count: usize,
+) -> Complex64 {
+    let mut s = [Complex64::ZERO; 3];
+    let mut idx = offset;
+    for t in 0..count {
+        s[t % 3] += x[idx];
+        idx += stride;
+    }
+    s[0] + omega3_pow(1) * s[1] + omega3_pow(2) * s[2]
+}
+
+/// Reference (slow) weighted sum used in tests and the naive offline path.
+pub fn weighted_sum_direct(x: &[Complex64]) -> Complex64 {
+    x.iter().enumerate().fold(Complex64::ZERO, |acc, (j, &v)| acc + comp_weight(j) * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::uniform_signal;
+
+    #[test]
+    fn grouped_matches_direct() {
+        for n in [1usize, 2, 3, 4, 5, 31, 96, 1000] {
+            let x = uniform_signal(n, n as u64);
+            let a = weighted_sum(&x);
+            let b = weighted_sum_direct(&x);
+            assert!(a.approx_eq(b, 1e-10 * n as f64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn strided_matches_gathered() {
+        let n = 60;
+        let stride = 5;
+        let x = uniform_signal(n * stride, 3);
+        let gathered: Vec<_> = (0..n).map(|t| x[2 + t * stride]).collect();
+        let a = weighted_sum_strided(&x, 2, stride, n);
+        let b = weighted_sum(&gathered);
+        assert!(a.approx_eq(b, 1e-12));
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(weighted_sum(&[]), Complex64::ZERO);
+    }
+
+    #[test]
+    fn weights_cycle() {
+        assert_eq!(comp_weight(0), comp_weight(3));
+        assert_eq!(comp_weight(2), comp_weight(5));
+    }
+}

@@ -1,0 +1,163 @@
+//! Scheme selection and executor configuration.
+
+/// Which fault-tolerance scheme wraps the FFT.
+///
+/// The names mirror the bars of Fig 7 and the rows of Tables 1/5/6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Unprotected two-layer FFT — the "FFTW" baseline.
+    Plain,
+    /// Algorithm 1 with naive (`sin`/`cos` per element) checksum-vector
+    /// generation — Fig 7's "Offline" bar.
+    OfflineNaive,
+    /// Algorithm 1 with the optimized closed-form generator —
+    /// "Opt-Offline", computational FT only.
+    Offline,
+    /// Algorithm 2 without the §4 optimizations — "CFTO-Online":
+    /// strided checksum passes and a separate column-wise twiddle stage.
+    OnlineComp,
+    /// Algorithm 2 with the §4 optimizations (buffered gathers, fused
+    /// row-wise twiddle DMR) — "Opt-Online", computational FT only.
+    OnlineCompOpt,
+    /// Offline scheme with combined memory checksums on input/output —
+    /// "Opt-Offline" of Fig 7(b) / Table 1.
+    OfflineMem,
+    /// Online scheme with the *unoptimized* memory hierarchy of Fig 2
+    /// (classic r₁/r₂ checksums, separate MCG/MCV at every stage) —
+    /// "Online" of Fig 7(b).
+    OnlineMem,
+    /// Online scheme with the optimized hierarchy of Fig 3 (§4.1 combined
+    /// checksums, §4.2 postponing, §4.3 incremental slots, §4.4 buffering)
+    /// — "Opt-Online" of Fig 7(b) / Tables 1, 5, 6.
+    OnlineMemOpt,
+}
+
+impl Scheme {
+    /// `true` for schemes that detect errors before the transform finishes.
+    pub fn is_online(self) -> bool {
+        matches!(
+            self,
+            Scheme::OnlineComp | Scheme::OnlineCompOpt | Scheme::OnlineMem | Scheme::OnlineMemOpt
+        )
+    }
+
+    /// `true` for schemes that also protect stored data against memory
+    /// faults (not just computational errors).
+    pub fn protects_memory(self) -> bool {
+        matches!(self, Scheme::OfflineMem | Scheme::OnlineMem | Scheme::OnlineMemOpt)
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Plain => "FFTW",
+            Scheme::OfflineNaive => "Offline",
+            Scheme::Offline => "Opt-Offline",
+            Scheme::OnlineComp => "CFTO-Online",
+            Scheme::OnlineCompOpt => "Opt-Online",
+            Scheme::OfflineMem => "Opt-Offline(m)",
+            Scheme::OnlineMem => "Online(m)",
+            Scheme::OnlineMemOpt => "Opt-Online(m)",
+        }
+    }
+
+    /// All schemes, in Fig 7 presentation order.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Plain,
+        Scheme::OfflineNaive,
+        Scheme::Offline,
+        Scheme::OnlineComp,
+        Scheme::OnlineCompOpt,
+        Scheme::OfflineMem,
+        Scheme::OnlineMem,
+        Scheme::OnlineMemOpt,
+    ];
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FtConfig {
+    /// Scheme to run.
+    pub scheme: Scheme,
+    /// Bound on recomputations of any one protected part before the run is
+    /// declared uncorrectable (the paper's `while` loops retry forever;
+    /// transient-fault semantics make a small bound equivalent).
+    pub max_retries: u32,
+    /// Input component standard deviation σ₀ used by the threshold model
+    /// (1/√3 for the paper's `U(-1,1)` workload).
+    pub sigma0: f64,
+    /// Multiplier applied to all model thresholds (empirical calibration).
+    pub threshold_scale: f64,
+    /// Explicit first-layer count `k` (None = balanced split).
+    pub split_k: Option<usize>,
+    /// Second-part batch size `s` (k-point FFTs per verification group in
+    /// the memory hierarchies).
+    pub batch_s: usize,
+}
+
+impl FtConfig {
+    /// Defaults for a scheme: 3 retries, `U(-1,1)` σ₀, no scaling, balanced
+    /// split, `s = 8`.
+    pub fn new(scheme: Scheme) -> Self {
+        FtConfig {
+            scheme,
+            max_retries: 3,
+            sigma0: (1.0f64 / 3.0).sqrt(),
+            threshold_scale: 1.0,
+            split_k: None,
+            batch_s: 8,
+        }
+    }
+
+    /// Overrides the input σ₀.
+    pub fn with_sigma0(mut self, sigma0: f64) -> Self {
+        self.sigma0 = sigma0;
+        self
+    }
+
+    /// Overrides the threshold scale factor.
+    pub fn with_threshold_scale(mut self, s: f64) -> Self {
+        self.threshold_scale = s;
+        self
+    }
+
+    /// Overrides the split.
+    pub fn with_split_k(mut self, k: usize) -> Self {
+        self.split_k = Some(k);
+        self
+    }
+
+    /// Overrides the retry bound.
+    pub fn with_max_retries(mut self, r: u32) -> Self {
+        self.max_retries = r;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_predicates() {
+        assert!(!Scheme::Plain.is_online());
+        assert!(!Scheme::Offline.is_online());
+        assert!(Scheme::OnlineCompOpt.is_online());
+        assert!(Scheme::OnlineMemOpt.protects_memory());
+        assert!(!Scheme::OnlineCompOpt.protects_memory());
+        assert_eq!(Scheme::ALL.len(), 8);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = FtConfig::new(Scheme::OnlineMemOpt)
+            .with_sigma0(1.0)
+            .with_threshold_scale(2.0)
+            .with_split_k(64)
+            .with_max_retries(5);
+        assert_eq!(c.sigma0, 1.0);
+        assert_eq!(c.threshold_scale, 2.0);
+        assert_eq!(c.split_k, Some(64));
+        assert_eq!(c.max_retries, 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Double-modular-redundancy helpers.
+//!
+//! Algorithm 2 protects the two cheap-but-unverifiable stages with DMR:
+//! input-checksum-vector generation (`O(√N)` work) and the twiddle
+//! multiplication (memory-bound, `O(N)`). Each result is computed twice and
+//! compared bit-for-bit; a mismatch triggers a third computation and a
+//! majority vote (TMR tie-break), which corrects any single transient
+//! error "in no time" (§7.1.2).
+
+use ftfft_checksum::{input_checksum_vector, input_checksum_vector_naive};
+use ftfft_fault::{FaultInjector, InjectionCtx, Site};
+use ftfft_fft::Direction;
+use ftfft_numeric::Complex64;
+
+use crate::report::FtReport;
+
+/// DMR-protected generation of the input checksum vector `rA`.
+///
+/// Both passes run the same generator; the injector may corrupt either
+/// pass. On mismatch a third pass votes. Returns the trusted vector.
+pub fn dmr_generate_ra(
+    n: usize,
+    dir: Direction,
+    naive: bool,
+    injector: &dyn FaultInjector,
+    ctx: InjectionCtx,
+    report: &mut FtReport,
+) -> Vec<Complex64> {
+    let gen = |pass: u8| {
+        let mut v = if naive {
+            input_checksum_vector_naive(n, dir)
+        } else {
+            input_checksum_vector(n, dir)
+        };
+        injector.inject(ctx, Site::ChecksumGenPass { pass }, &mut v);
+        v
+    };
+    let mut a = gen(0);
+    let b = gen(1);
+    if a != b {
+        report.dmr_votes += 1;
+        let c = gen(2);
+        for ((va, &vb), &vc) in a.iter_mut().zip(&b).zip(&c) {
+            // Majority vote per element; with a single transient fault two
+            // of the three passes agree.
+            if *va != vb {
+                *va = if vb == vc { vb } else { vc };
+            }
+        }
+    }
+    a
+}
+
+/// DMR-protected pointwise multiply: `out[j] = data[j] · weight(j)`.
+///
+/// `scratch` must be at least `data.len()` long; the verified products are
+/// written back into `data`.
+pub fn dmr_twiddle(
+    data: &mut [Complex64],
+    weight: impl Fn(usize) -> Complex64,
+    injector: &dyn FaultInjector,
+    ctx: InjectionCtx,
+    report: &mut FtReport,
+    scratch: &mut [Complex64],
+) {
+    let n = data.len();
+    debug_assert!(scratch.len() >= n);
+    let pass0 = &mut scratch[..n];
+    for (j, (s, &d)) in pass0.iter_mut().zip(data.iter()).enumerate() {
+        *s = d * weight(j);
+    }
+    injector.inject(ctx, Site::TwiddleDmrPass { pass: 0 }, pass0);
+
+    // Second pass computed element-wise against the first; the injector can
+    // strike it through the single-value hook.
+    for j in 0..n {
+        let mut p1 = data[j] * weight(j);
+        if j == 0 {
+            injector.inject_value(ctx, Site::TwiddleDmrPass { pass: 1 }, &mut p1);
+        }
+        if p1 != pass0[j] {
+            report.dmr_votes += 1;
+            // Tie-break: third computation.
+            let p2 = data[j] * weight(j);
+            data[j] = if p2 == p1 { p1 } else { pass0[j] };
+        } else {
+            data[j] = p1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_fault::{FaultKind, NoFaults, ScriptedFault, ScriptedInjector};
+    use ftfft_numeric::complex::c64;
+    use ftfft_numeric::uniform_signal;
+
+    #[test]
+    fn ra_generation_clean() {
+        let mut rep = FtReport::new();
+        let v = dmr_generate_ra(64, Direction::Forward, false, &NoFaults, InjectionCtx::default(), &mut rep);
+        assert_eq!(v, input_checksum_vector(64, Direction::Forward));
+        assert_eq!(rep.dmr_votes, 0);
+    }
+
+    #[test]
+    fn ra_generation_survives_pass0_fault() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            Site::ChecksumGenPass { pass: 0 },
+            7,
+            FaultKind::AddDelta { re: 100.0, im: 0.0 },
+        )]);
+        let mut rep = FtReport::new();
+        let v = dmr_generate_ra(64, Direction::Forward, false, &inj, InjectionCtx::default(), &mut rep);
+        assert_eq!(v, input_checksum_vector(64, Direction::Forward));
+        assert_eq!(rep.dmr_votes, 1);
+    }
+
+    #[test]
+    fn ra_generation_survives_pass1_fault() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            Site::ChecksumGenPass { pass: 1 },
+            3,
+            FaultKind::SetValue { re: 0.0, im: 0.0 },
+        )]);
+        let mut rep = FtReport::new();
+        let v = dmr_generate_ra(32, Direction::Forward, true, &inj, InjectionCtx::default(), &mut rep);
+        assert_eq!(v, input_checksum_vector_naive(32, Direction::Forward));
+        assert_eq!(rep.dmr_votes, 1);
+    }
+
+    #[test]
+    fn twiddle_clean_matches_direct_product() {
+        let x = uniform_signal(16, 1);
+        let w = |j: usize| c64(0.5, 0.0).scale(j as f64 + 1.0);
+        let mut data = x.clone();
+        let mut scratch = vec![Complex64::ZERO; 16];
+        let mut rep = FtReport::new();
+        dmr_twiddle(&mut data, w, &NoFaults, InjectionCtx::default(), &mut rep, &mut scratch);
+        for (j, (&got, &orig)) in data.iter().zip(&x).enumerate() {
+            assert_eq!(got, orig * w(j));
+        }
+        assert_eq!(rep.dmr_votes, 0);
+    }
+
+    #[test]
+    fn twiddle_survives_pass0_fault() {
+        let x = uniform_signal(16, 2);
+        let w = |_: usize| c64(0.0, 1.0);
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            Site::TwiddleDmrPass { pass: 0 },
+            5,
+            FaultKind::AddDelta { re: -3.0, im: 7.0 },
+        )]);
+        let mut data = x.clone();
+        let mut scratch = vec![Complex64::ZERO; 16];
+        let mut rep = FtReport::new();
+        dmr_twiddle(&mut data, w, &inj, InjectionCtx::default(), &mut rep, &mut scratch);
+        for (&got, &orig) in data.iter().zip(&x) {
+            assert_eq!(got, orig * c64(0.0, 1.0));
+        }
+        assert_eq!(rep.dmr_votes, 1);
+    }
+
+    #[test]
+    fn twiddle_survives_pass1_fault() {
+        let x = uniform_signal(8, 3);
+        let w = |_: usize| c64(2.0, 0.0);
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            Site::TwiddleDmrPass { pass: 1 },
+            0,
+            FaultKind::AddDelta { re: 1.0, im: 1.0 },
+        )]);
+        let mut data = x.clone();
+        let mut scratch = vec![Complex64::ZERO; 8];
+        let mut rep = FtReport::new();
+        dmr_twiddle(&mut data, w, &inj, InjectionCtx::default(), &mut rep, &mut scratch);
+        for (&got, &orig) in data.iter().zip(&x) {
+            assert_eq!(got, orig * c64(2.0, 0.0));
+        }
+        assert_eq!(rep.dmr_votes, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! The fault-tolerant FFT plan — the crate's main entry point.
+
+use ftfft_checksum::{CombinedChecksum, IncrementalSlots, MemChecksum};
+use ftfft_fault::FaultInjector;
+use ftfft_fft::{Direction, Planner, TwoLayerPlan, TwoLayerScratch};
+use ftfft_numeric::Complex64;
+use ftfft_roundoff::{scaled, thresholds_for_split, Thresholds};
+
+use crate::config::{FtConfig, Scheme};
+use crate::report::FtReport;
+use crate::{memory_ft, memory_ft_opt, offline, online};
+
+/// A reusable fault-tolerant FFT plan for one `(n, direction, config)`.
+///
+/// ```
+/// use ftfft_core::{FtConfig, FtFftPlan, Scheme};
+/// use ftfft_fault::NoFaults;
+/// use ftfft_fft::Direction;
+/// use ftfft_numeric::uniform_signal;
+///
+/// let n = 1 << 10;
+/// let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+/// let mut x = uniform_signal(n, 42);
+/// let mut out = vec![ftfft_numeric::Complex64::ZERO; n];
+/// let mut ws = plan.make_workspace();
+/// let report = plan.execute(&mut x, &mut out, &NoFaults, &mut ws);
+/// assert!(report.is_clean());
+/// ```
+pub struct FtFftPlan {
+    cfg: FtConfig,
+    n: usize,
+    dir: Direction,
+    two: TwoLayerPlan,
+    thresholds: Thresholds,
+}
+
+/// Reusable working storage for [`FtFftPlan::execute`]. Allocation-free in
+/// the hot path once built.
+pub struct Workspace {
+    /// Intermediate `k × m` matrix (rows = first-part outputs).
+    pub y: Vec<Complex64>,
+    /// Primary gather buffer, `max(k, m)` long.
+    pub buf: Vec<Complex64>,
+    /// Secondary buffer (DMR passes / backups), `max(k, m)` long.
+    pub buf2: Vec<Complex64>,
+    /// Sub-plan FFT scratch.
+    pub fft: Vec<Complex64>,
+    /// Per-first-part-FFT input checksum pairs (combined weights).
+    pub in_ck: Vec<CombinedChecksum>,
+    /// Per-first-part-FFT input classic memory checksums (Fig 2 hierarchy).
+    pub in_mck: Vec<MemChecksum>,
+    /// Per-row classic memory checksums (Fig 2 hierarchy).
+    pub row_ck: Vec<MemChecksum>,
+    /// Per-column classic memory checksums after the rearrangement (Fig 2).
+    pub col_ck: Vec<MemChecksum>,
+    /// Per-column output classic checksums (Fig 2).
+    pub out_ck: Vec<MemChecksum>,
+    /// Incremental slots for second-part input checksums (Fig 3, §4.3).
+    pub slots: IncrementalSlots,
+}
+
+impl FtFftPlan {
+    /// Plans a protected transform of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or an explicit `split_k` does not divide `n`.
+    pub fn new(n: usize, dir: Direction, cfg: FtConfig) -> Self {
+        let planner = Planner::new();
+        let two = match cfg.split_k {
+            Some(k) => TwoLayerPlan::with_split(&planner, n, k, dir),
+            None => TwoLayerPlan::new(&planner, n, dir),
+        };
+        let thresholds = scaled(
+            thresholds_for_split(n, two.k(), two.m(), cfg.sigma0),
+            cfg.threshold_scale,
+        );
+        FtFftPlan { cfg, n, dir, two, thresholds }
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Transform direction.
+    pub fn dir(&self) -> Direction {
+        self.dir
+    }
+
+    /// Configuration this plan was built with.
+    pub fn cfg(&self) -> &FtConfig {
+        &self.cfg
+    }
+
+    /// The underlying two-layer decomposition.
+    pub fn two(&self) -> &TwoLayerPlan {
+        &self.two
+    }
+
+    /// Detection thresholds in force.
+    pub fn thresholds(&self) -> &Thresholds {
+        &self.thresholds
+    }
+
+    /// Allocates a workspace sized for this plan.
+    pub fn make_workspace(&self) -> Workspace {
+        let (k, m) = (self.two.k(), self.two.m());
+        let lane = k.max(m);
+        Workspace {
+            y: vec![Complex64::ZERO; self.n],
+            buf: vec![Complex64::ZERO; lane],
+            buf2: vec![Complex64::ZERO; lane],
+            fft: vec![
+                Complex64::ZERO;
+                self.two.inner_plan().scratch_len().max(self.two.outer_plan().scratch_len())
+            ],
+            in_ck: vec![CombinedChecksum::default(); k],
+            in_mck: vec![MemChecksum { sum: Complex64::ZERO, wsum: Complex64::ZERO }; k],
+            row_ck: vec![MemChecksum { sum: Complex64::ZERO, wsum: Complex64::ZERO }; k],
+            col_ck: vec![MemChecksum { sum: Complex64::ZERO, wsum: Complex64::ZERO }; m],
+            out_ck: vec![MemChecksum { sum: Complex64::ZERO, wsum: Complex64::ZERO }; m],
+            slots: IncrementalSlots::new(m),
+        }
+    }
+
+    /// Executes the protected transform: `out = FFT(x)`.
+    ///
+    /// `x` is mutable because memory-fault-tolerant schemes repair located
+    /// corruption in place (on return `x` is logically unchanged). The
+    /// `injector` is consulted at every instrumented site; pass
+    /// [`ftfft_fault::NoFaults`] for a plain run.
+    pub fn execute(
+        &self,
+        x: &mut [Complex64],
+        out: &mut [Complex64],
+        injector: &dyn FaultInjector,
+        ws: &mut Workspace,
+    ) -> FtReport {
+        assert_eq!(x.len(), self.n, "input length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        match self.cfg.scheme {
+            Scheme::Plain => {
+                let mut s = TwoLayerScratch {
+                    y: std::mem::take(&mut ws.y),
+                    buf: std::mem::take(&mut ws.buf),
+                    fft: std::mem::take(&mut ws.fft),
+                };
+                self.two.execute(x, out, &mut s);
+                ws.y = s.y;
+                ws.buf = s.buf;
+                ws.fft = s.fft;
+                FtReport::new()
+            }
+            Scheme::OfflineNaive => offline::run(self, x, out, injector, ws, true, false),
+            Scheme::Offline => offline::run(self, x, out, injector, ws, false, false),
+            Scheme::OfflineMem => offline::run(self, x, out, injector, ws, false, true),
+            Scheme::OnlineComp => online::run_comp(self, x, out, injector, ws, false),
+            Scheme::OnlineCompOpt => online::run_comp(self, x, out, injector, ws, true),
+            Scheme::OnlineMem => memory_ft::run(self, x, out, injector, ws),
+            Scheme::OnlineMemOpt => memory_ft_opt::run(self, x, out, injector, ws),
+        }
+    }
+
+    /// Convenience wrapper allocating a workspace per call.
+    pub fn execute_alloc(
+        &self,
+        x: &mut [Complex64],
+        out: &mut [Complex64],
+        injector: &dyn FaultInjector,
+    ) -> FtReport {
+        let mut ws = self.make_workspace();
+        self.execute(x, out, injector, &mut ws)
+    }
+}

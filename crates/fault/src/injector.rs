@@ -1,0 +1,59 @@
+//! The injector interface the protected executors call at every site.
+
+use ftfft_numeric::Complex64;
+
+use crate::site::{InjectionCtx, Site};
+
+/// A source of (possible) soft errors.
+///
+/// Executors call [`inject`](FaultInjector::inject) after producing a data
+/// region and [`inject_value`](FaultInjector::inject_value) after producing
+/// a single value (e.g. one DMR pass result). Implementations decide
+/// whether to strike; they must be `Sync` because parallel ranks share one
+/// injector.
+pub trait FaultInjector: Sync {
+    /// Possibly corrupts `data` produced at `site`. Returns `true` if a
+    /// fault was injected.
+    fn inject(&self, ctx: InjectionCtx, site: Site, data: &mut [Complex64]) -> bool {
+        let _ = (ctx, site, data);
+        false
+    }
+
+    /// Possibly corrupts a single `value` produced at `site`.
+    fn inject_value(&self, ctx: InjectionCtx, site: Site, value: &mut Complex64) -> bool {
+        let _ = (ctx, site, value);
+        false
+    }
+}
+
+/// The fault-free injector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+impl<T: FaultInjector + ?Sized> FaultInjector for &T {
+    fn inject(&self, ctx: InjectionCtx, site: Site, data: &mut [Complex64]) -> bool {
+        (**self).inject(ctx, site, data)
+    }
+    fn inject_value(&self, ctx: InjectionCtx, site: Site, value: &mut Complex64) -> bool {
+        (**self).inject_value(ctx, site, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::complex::c64;
+
+    #[test]
+    fn no_faults_never_injects() {
+        let inj = NoFaults;
+        let mut data = [c64(1.0, 1.0); 4];
+        assert!(!inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
+        assert_eq!(data, [c64(1.0, 1.0); 4]);
+        let mut v = c64(2.0, 0.0);
+        assert!(!inj.inject_value(InjectionCtx::default(), Site::TwiddleDmrPass { pass: 0 }, &mut v));
+        assert_eq!(v, c64(2.0, 0.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Fault kinds, matching the paper's injection methodology.
+//!
+//! §9.2.2: "Computational fault is simulated as adding some constant to an
+//! element while memory fault is simulated by changing one element to
+//! another constant." §9.4.3 additionally flips a single *high* bit of a
+//! stored word (low-bit flips are usually masked by round-off).
+
+use ftfft_numeric::complex::c64;
+use ftfft_numeric::Complex64;
+
+/// Which component of a complex word a bit flip targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Component {
+    /// Real part.
+    Re,
+    /// Imaginary part.
+    Im,
+}
+
+/// A soft-error mutation applied to one element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Computational error model: `x += delta`.
+    AddDelta {
+        /// Real part of the added constant.
+        re: f64,
+        /// Imaginary part of the added constant.
+        im: f64,
+    },
+    /// Memory error model: `x = constant`.
+    SetValue {
+        /// Real part of the replacement.
+        re: f64,
+        /// Imaginary part of the replacement.
+        im: f64,
+    },
+    /// Single bit flip in the IEEE-754 representation of one component.
+    BitFlip {
+        /// Bit index (0 = LSB of the mantissa … 62 = top exponent bit;
+        /// 63 flips the sign).
+        bit: u8,
+        /// Target component.
+        component: Component,
+    },
+}
+
+impl FaultKind {
+    /// Applies the mutation to `z`.
+    pub fn apply(&self, z: &mut Complex64) {
+        match *self {
+            FaultKind::AddDelta { re, im } => *z += c64(re, im),
+            FaultKind::SetValue { re, im } => *z = c64(re, im),
+            FaultKind::BitFlip { bit, component } => {
+                debug_assert!(bit < 64);
+                let target = match component {
+                    Component::Re => &mut z.re,
+                    Component::Im => &mut z.im,
+                };
+                *target = f64::from_bits(target.to_bits() ^ (1u64 << bit));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_delta() {
+        let mut z = c64(1.0, 2.0);
+        FaultKind::AddDelta { re: 0.5, im: -1.0 }.apply(&mut z);
+        assert_eq!(z, c64(1.5, 1.0));
+    }
+
+    #[test]
+    fn set_value() {
+        let mut z = c64(1.0, 2.0);
+        FaultKind::SetValue { re: -3.0, im: 0.0 }.apply(&mut z);
+        assert_eq!(z, c64(-3.0, 0.0));
+    }
+
+    #[test]
+    fn bit_flip_is_involutive() {
+        let orig = c64(std::f64::consts::PI, -std::f64::consts::E);
+        for bit in [0u8, 20, 51, 52, 60, 63] {
+            for comp in [Component::Re, Component::Im] {
+                let mut z = orig;
+                let k = FaultKind::BitFlip { bit, component: comp };
+                k.apply(&mut z);
+                assert_ne!(z, orig, "bit={bit}");
+                k.apply(&mut z);
+                assert_eq!(z, orig, "bit={bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_bit_flip_changes_magnitude_significantly() {
+        // Exponent-bit flips (the "higher bits" of §9.4.3) produce large
+        // relative changes — the reason they are the detectable ones.
+        let mut z = c64(0.5, 0.0);
+        FaultKind::BitFlip { bit: 62, component: Component::Re }.apply(&mut z);
+        assert!((z.re - 0.5).abs() > 1.0);
+    }
+
+    #[test]
+    fn sign_bit_flip() {
+        let mut z = c64(2.0, 0.0);
+        FaultKind::BitFlip { bit: 63, component: Component::Re }.apply(&mut z);
+        assert_eq!(z.re, -2.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Soft-error injection framework for the ft-fft workspace.
+//!
+//! Reproduces the paper's fault model (§3, §9): transient *computational*
+//! errors inside one decomposed transform or one DMR pass, and *memory*
+//! errors striking stored words between uses, plus in-flight corruption of
+//! communication blocks. Injection is driven through well-defined [`Site`]s
+//! that the protected executors expose, so experiments are deterministic
+//! and every injected fault is logged for end-to-end accounting.
+
+pub mod injector;
+pub mod kind;
+pub mod log;
+pub mod random;
+pub mod scripted;
+pub mod site;
+
+pub use injector::{FaultInjector, NoFaults};
+pub use kind::{Component, FaultKind};
+pub use log::{FaultEvent, FaultLog};
+pub use random::{RandomInjector, RandomKind};
+pub use scripted::{ScriptedFault, ScriptedInjector};
+pub use site::{InjectionCtx, Part, Site};

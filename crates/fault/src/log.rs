@@ -1,0 +1,84 @@
+//! Shared log of injected faults.
+//!
+//! The evaluation harness cross-checks this log against the detection and
+//! correction counters reported by the executors: every injected fault must
+//! be accounted for.
+
+use parking_lot::Mutex;
+
+use crate::kind::FaultKind;
+use crate::site::Site;
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Executing rank.
+    pub rank: usize,
+    /// Where it struck.
+    pub site: Site,
+    /// Element index within the region.
+    pub element: usize,
+    /// What was done to the element.
+    pub kind: FaultKind,
+}
+
+/// Thread-safe append-only fault log.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event.
+    pub fn record(&self, ev: FaultEvent) {
+        self.events.lock().push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` when nothing has been injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Snapshot of all events.
+    pub fn snapshot(&self) -> Vec<FaultEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Clears the log (between campaign runs).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Part;
+
+    #[test]
+    fn record_and_snapshot() {
+        let log = FaultLog::new();
+        assert!(log.is_empty());
+        log.record(FaultEvent {
+            rank: 0,
+            site: Site::SubFftCompute { part: Part::First, index: 1 },
+            element: 5,
+            kind: FaultKind::AddDelta { re: 1.0, im: 0.0 },
+        });
+        assert_eq!(log.len(), 1);
+        let snap = log.snapshot();
+        assert_eq!(snap[0].element, 5);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Randomized injection for Monte-Carlo fault-coverage campaigns
+//! (Table 6 and the `fault_campaign` example).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ftfft_numeric::Complex64;
+
+use crate::injector::FaultInjector;
+use crate::kind::{Component, FaultKind};
+use crate::log::{FaultEvent, FaultLog};
+use crate::site::{InjectionCtx, Site};
+
+/// What a random strike does to its victim element.
+#[derive(Clone, Copy, Debug)]
+pub enum RandomKind {
+    /// Flip one uniformly chosen bit in `[lo, hi]` of a random component —
+    /// §9.4.3 uses high bits (exponent/top mantissa).
+    BitFlipInRange {
+        /// Lowest bit index (inclusive).
+        lo: u8,
+        /// Highest bit index (inclusive).
+        hi: u8,
+    },
+    /// Add a constant of the given magnitude to a random component.
+    AddConstant {
+        /// Magnitude of the added constant.
+        magnitude: f64,
+    },
+}
+
+/// Injector that strikes each eligible site firing with probability `rate`,
+/// up to `max_faults` total.
+pub struct RandomInjector {
+    rate: f64,
+    kind: RandomKind,
+    max_faults: usize,
+    site_filter: Option<fn(Site) -> bool>,
+    state: Mutex<RandomState>,
+    log: FaultLog,
+}
+
+struct RandomState {
+    rng: StdRng,
+    fired: usize,
+}
+
+impl RandomInjector {
+    /// Creates an injector striking with probability `rate` per site firing.
+    pub fn new(seed: u64, rate: f64, kind: RandomKind, max_faults: usize) -> Self {
+        RandomInjector {
+            rate,
+            kind,
+            max_faults,
+            site_filter: None,
+            state: Mutex::new(RandomState { rng: StdRng::seed_from_u64(seed), fired: 0 }),
+            log: FaultLog::new(),
+        }
+    }
+
+    /// Restricts injection to sites accepted by `filter`.
+    pub fn with_site_filter(mut self, filter: fn(Site) -> bool) -> Self {
+        self.site_filter = Some(filter);
+        self
+    }
+
+    /// Log of injected faults.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Number of faults injected so far.
+    pub fn fired(&self) -> usize {
+        self.state.lock().fired
+    }
+
+    fn roll(&self, site: Site, len: usize) -> Option<(usize, FaultKind)> {
+        if len == 0 {
+            return None;
+        }
+        if let Some(f) = self.site_filter {
+            if !f(site) {
+                return None;
+            }
+        }
+        let mut st = self.state.lock();
+        if st.fired >= self.max_faults || st.rng.gen::<f64>() >= self.rate {
+            return None;
+        }
+        st.fired += 1;
+        let element = st.rng.gen_range(0..len);
+        let kind = match self.kind {
+            RandomKind::BitFlipInRange { lo, hi } => FaultKind::BitFlip {
+                bit: st.rng.gen_range(lo..=hi),
+                component: if st.rng.gen::<bool>() { Component::Re } else { Component::Im },
+            },
+            RandomKind::AddConstant { magnitude } => {
+                if st.rng.gen::<bool>() {
+                    FaultKind::AddDelta { re: magnitude, im: 0.0 }
+                } else {
+                    FaultKind::AddDelta { re: 0.0, im: magnitude }
+                }
+            }
+        };
+        Some((element, kind))
+    }
+}
+
+impl FaultInjector for RandomInjector {
+    fn inject(&self, ctx: InjectionCtx, site: Site, data: &mut [Complex64]) -> bool {
+        if let Some((el, kind)) = self.roll(site, data.len()) {
+            kind.apply(&mut data[el]);
+            self.log.record(FaultEvent { rank: ctx.rank, site, element: el, kind });
+            return true;
+        }
+        false
+    }
+
+    fn inject_value(&self, ctx: InjectionCtx, site: Site, value: &mut Complex64) -> bool {
+        if let Some((_, kind)) = self.roll(site, 1) {
+            kind.apply(value);
+            self.log.record(FaultEvent { rank: ctx.rank, site, element: 0, kind });
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::complex::c64;
+
+    #[test]
+    fn respects_max_faults() {
+        let inj = RandomInjector::new(1, 1.0, RandomKind::AddConstant { magnitude: 1.0 }, 3);
+        let mut data = [c64(0.0, 0.0); 8];
+        let mut hits = 0;
+        for _ in 0..100 {
+            if inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 3);
+        assert_eq!(inj.fired(), 3);
+        assert_eq!(inj.log().len(), 3);
+    }
+
+    #[test]
+    fn rate_zero_never_fires() {
+        let inj = RandomInjector::new(2, 0.0, RandomKind::AddConstant { magnitude: 1.0 }, 100);
+        let mut data = [c64(0.0, 0.0); 8];
+        for _ in 0..50 {
+            assert!(!inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let inj =
+                RandomInjector::new(seed, 0.5, RandomKind::BitFlipInRange { lo: 52, hi: 62 }, 10);
+            let mut data = [c64(1.0, 1.0); 4];
+            for _ in 0..20 {
+                inj.inject(InjectionCtx::default(), Site::OutputMemory, &mut data);
+            }
+            (data, inj.log().snapshot())
+        };
+        let (d1, l1) = run(42);
+        let (d2, l2) = run(42);
+        assert_eq!(d1, d2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn site_filter_limits_targets() {
+        let inj = RandomInjector::new(3, 1.0, RandomKind::AddConstant { magnitude: 1.0 }, 100)
+            .with_site_filter(|s| matches!(s, Site::InputMemory));
+        let mut data = [c64(0.0, 0.0); 4];
+        assert!(!inj.inject(InjectionCtx::default(), Site::OutputMemory, &mut data));
+        assert!(inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
+    }
+
+    #[test]
+    fn bit_flips_land_in_requested_range() {
+        let inj = RandomInjector::new(4, 1.0, RandomKind::BitFlipInRange { lo: 52, hi: 62 }, 50);
+        let mut data = [c64(1.0, 1.0); 1];
+        for _ in 0..20 {
+            inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data);
+        }
+        for ev in inj.log().snapshot() {
+            match ev.kind {
+                FaultKind::BitFlip { bit, .. } => assert!((52..=62).contains(&bit)),
+                k => panic!("unexpected kind {k:?}"),
+            }
+        }
+    }
+}

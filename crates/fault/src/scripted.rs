@@ -1,0 +1,227 @@
+//! Deterministic scripted injection — the workhorse of the evaluation
+//! tables, where a known number of faults strike known places.
+
+use parking_lot::Mutex;
+
+use ftfft_numeric::Complex64;
+
+use crate::injector::FaultInjector;
+use crate::kind::FaultKind;
+use crate::log::{FaultEvent, FaultLog};
+use crate::site::{InjectionCtx, Site};
+
+/// One planned fault. Each fires exactly once.
+#[derive(Clone, Copy, Debug)]
+pub struct ScriptedFault {
+    /// Restrict to one rank (`None` = any rank).
+    pub rank: Option<usize>,
+    /// Exact site to strike.
+    pub site: Site,
+    /// Skip this many matching firings before striking (0 = first).
+    pub occurrence: u32,
+    /// Element within the region (clamped to the region length; ignored by
+    /// single-value sites).
+    pub element: usize,
+    /// Mutation to apply.
+    pub kind: FaultKind,
+}
+
+impl ScriptedFault {
+    /// A fault at `site`, element `element`, with `kind`, first occurrence,
+    /// any rank.
+    pub fn new(site: Site, element: usize, kind: FaultKind) -> Self {
+        ScriptedFault { rank: None, site, occurrence: 0, element, kind }
+    }
+
+    /// Restricts the fault to `rank`.
+    pub fn on_rank(mut self, rank: usize) -> Self {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Strikes the `occ`-th matching firing instead of the first.
+    pub fn at_occurrence(mut self, occ: u32) -> Self {
+        self.occurrence = occ;
+        self
+    }
+}
+
+struct SlotState {
+    seen: u32,
+    fired: bool,
+}
+
+/// Injector that executes a fixed script of faults.
+pub struct ScriptedInjector {
+    faults: Vec<ScriptedFault>,
+    state: Mutex<Vec<SlotState>>,
+    log: FaultLog,
+}
+
+impl ScriptedInjector {
+    /// Builds an injector from a script.
+    pub fn new(faults: Vec<ScriptedFault>) -> Self {
+        let state = faults.iter().map(|_| SlotState { seen: 0, fired: false }).collect();
+        ScriptedInjector { faults, state: Mutex::new(state), log: FaultLog::new() }
+    }
+
+    /// Log of faults actually injected so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// `true` once every scripted fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.state.lock().iter().all(|s| s.fired)
+    }
+
+    /// Indices of scripted faults that never fired (site never reached).
+    pub fn unfired(&self) -> Vec<usize> {
+        self.state
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.fired)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All scripted faults due at this firing of `site` (each fault sees
+    /// its own occurrence counter; distinct faults may share one firing).
+    fn fire_all(&self, ctx: InjectionCtx, site: Site) -> Vec<ScriptedFault> {
+        let mut state = self.state.lock();
+        let mut due = Vec::new();
+        for (f, s) in self.faults.iter().zip(state.iter_mut()) {
+            if f.site != site || s.fired {
+                continue;
+            }
+            if let Some(r) = f.rank {
+                if r != ctx.rank {
+                    continue;
+                }
+            }
+            if s.seen < f.occurrence {
+                s.seen += 1;
+                continue;
+            }
+            s.fired = true;
+            due.push(*f);
+        }
+        due
+    }
+}
+
+impl FaultInjector for ScriptedInjector {
+    fn inject(&self, ctx: InjectionCtx, site: Site, data: &mut [Complex64]) -> bool {
+        if data.is_empty() {
+            return false;
+        }
+        let due = self.fire_all(ctx, site);
+        for f in &due {
+            let el = f.element.min(data.len() - 1);
+            f.kind.apply(&mut data[el]);
+            self.log.record(FaultEvent { rank: ctx.rank, site, element: el, kind: f.kind });
+        }
+        !due.is_empty()
+    }
+
+    fn inject_value(&self, ctx: InjectionCtx, site: Site, value: &mut Complex64) -> bool {
+        let due = self.fire_all(ctx, site);
+        for f in &due {
+            f.kind.apply(value);
+            self.log.record(FaultEvent { rank: ctx.rank, site, element: 0, kind: f.kind });
+        }
+        !due.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Part;
+    use ftfft_numeric::complex::c64;
+
+    const SITE: Site = Site::SubFftCompute { part: Part::First, index: 2 };
+
+    #[test]
+    fn fires_once_at_exact_site() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            SITE,
+            1,
+            FaultKind::AddDelta { re: 5.0, im: 0.0 },
+        )]);
+        let mut data = [c64(0.0, 0.0); 4];
+        // Wrong site: no fire.
+        assert!(!inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
+        // Right site: fires.
+        assert!(inj.inject(InjectionCtx::default(), SITE, &mut data));
+        assert_eq!(data[1], c64(5.0, 0.0));
+        // One-shot: second firing does nothing (retries must succeed).
+        assert!(!inj.inject(InjectionCtx::default(), SITE, &mut data));
+        assert!(inj.exhausted());
+        assert_eq!(inj.log().len(), 1);
+    }
+
+    #[test]
+    fn occurrence_skips_matching_firings() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            SITE,
+            0,
+            FaultKind::SetValue { re: 9.0, im: 9.0 },
+        )
+        .at_occurrence(2)]);
+        let mut data = [c64(1.0, 1.0); 2];
+        assert!(!inj.inject(InjectionCtx::default(), SITE, &mut data));
+        assert!(!inj.inject(InjectionCtx::default(), SITE, &mut data));
+        assert!(inj.inject(InjectionCtx::default(), SITE, &mut data));
+        assert_eq!(data[0], c64(9.0, 9.0));
+    }
+
+    #[test]
+    fn rank_restriction() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            SITE,
+            0,
+            FaultKind::AddDelta { re: 1.0, im: 0.0 },
+        )
+        .on_rank(3)]);
+        let mut data = [c64(0.0, 0.0); 1];
+        assert!(!inj.inject(InjectionCtx { rank: 1 }, SITE, &mut data));
+        assert!(inj.inject(InjectionCtx { rank: 3 }, SITE, &mut data));
+    }
+
+    #[test]
+    fn element_clamped_to_region() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            SITE,
+            1000,
+            FaultKind::AddDelta { re: 1.0, im: 0.0 },
+        )]);
+        let mut data = [c64(0.0, 0.0); 3];
+        assert!(inj.inject(InjectionCtx::default(), SITE, &mut data));
+        assert_eq!(data[2], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn unfired_reports_unreached_scripts() {
+        let inj = ScriptedInjector::new(vec![
+            ScriptedFault::new(SITE, 0, FaultKind::AddDelta { re: 1.0, im: 0.0 }),
+            ScriptedFault::new(Site::OutputMemory, 0, FaultKind::SetValue { re: 0.0, im: 0.0 }),
+        ]);
+        let mut data = [c64(0.0, 0.0); 1];
+        inj.inject(InjectionCtx::default(), SITE, &mut data);
+        assert_eq!(inj.unfired(), vec![1]);
+    }
+
+    #[test]
+    fn inject_value_sites() {
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            Site::TwiddleDmrPass { pass: 0 },
+            0,
+            FaultKind::AddDelta { re: 0.0, im: 2.0 },
+        )]);
+        let mut v = c64(1.0, 0.0);
+        assert!(inj.inject_value(InjectionCtx::default(), Site::TwiddleDmrPass { pass: 0 }, &mut v));
+        assert_eq!(v, c64(1.0, 2.0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Injection sites — the instrumented points of the protected FFT pipeline.
+//!
+//! The ABFT executors in `ftfft-core`/`ftfft-parallel` call the injector at
+//! each of these points; a fault plan decides whether to strike. Sites are
+//! deliberately fine-grained so experiments can reproduce the paper's e1/e2/
+//! e3 placements (Table 5) and the per-phase injections of Tables 1–3.
+
+/// Which decomposition layer a sub-FFT belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// First-part m-point FFTs (or layer A of the three-layer plan).
+    First,
+    /// Middle r-point DMR layer of the three-layer plan.
+    Middle,
+    /// Second-part k-point FFTs (or layer C of the three-layer plan).
+    Second,
+}
+
+/// An instrumented point in the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Output of one decomposed sub-FFT, right after its butterflies — a
+    /// computational error inside that transform.
+    SubFftCompute {
+        /// Decomposition layer.
+        part: Part,
+        /// Sub-FFT index within the layer.
+        index: usize,
+    },
+    /// Output of the undecomposed FFT (offline scheme's single transform).
+    WholeFftCompute,
+    /// One pass of a DMR-protected twiddle multiplication.
+    TwiddleDmrPass {
+        /// Which redundant pass (0 or 1; 2 = tie-break).
+        pass: u8,
+    },
+    /// One pass of the DMR-protected checksum-vector generation.
+    ChecksumGenPass {
+        /// Which redundant pass.
+        pass: u8,
+    },
+    /// Stored input region, after checksums were generated but before use.
+    InputMemory,
+    /// Stored intermediate region (between the two ABFT parts).
+    IntermediateMemory,
+    /// Stored output region, after compute but before the final check.
+    OutputMemory,
+    /// A communication block in flight.
+    CommBlock {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// Which transpose (1, 2 or 3).
+        phase: u8,
+    },
+}
+
+/// Execution context forwarded to the injector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct InjectionCtx {
+    /// Rank of the executing processor (0 in sequential runs).
+    pub rank: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Site::SubFftCompute { part: Part::First, index: 3 });
+        s.insert(Site::SubFftCompute { part: Part::First, index: 3 });
+        s.insert(Site::SubFftCompute { part: Part::Second, index: 3 });
+        s.insert(Site::InputMemory);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ctx_default_is_rank0() {
+        assert_eq!(InjectionCtx::default().rank, 0);
+    }
+}

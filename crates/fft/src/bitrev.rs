@@ -1,0 +1,68 @@
+//! Bit-reversal permutation for the iterative radix-2 kernel.
+
+use ftfft_numeric::Complex64;
+
+/// Reverses the low `bits` bits of `x`. `bits == 0` returns 0.
+#[inline]
+pub fn reverse_bits(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Applies the bit-reversal permutation in place.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "bit_reverse_permute: n={n} not a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = reverse_bits(i, bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::complex::c64;
+
+    #[test]
+    fn reverse_bits_known_values() {
+        assert_eq!(reverse_bits(0b001, 3), 0b100);
+        assert_eq!(reverse_bits(0b011, 3), 0b110);
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0, 5), 0);
+    }
+
+    #[test]
+    fn permutation_is_involution() {
+        let n = 64;
+        let orig: Vec<_> = (0..n).map(|i| c64(i as f64, -(i as f64))).collect();
+        let mut v = orig.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, orig);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn permutation_size_8() {
+        let mut v: Vec<_> = (0..8).map(|i| c64(i as f64, 0.0)).collect();
+        bit_reverse_permute(&mut v);
+        let got: Vec<usize> = v.iter().map(|z| z.re as usize).collect();
+        assert_eq!(got, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn size_one_is_noop() {
+        let mut v = vec![c64(3.0, 1.0)];
+        bit_reverse_permute(&mut v);
+        assert_eq!(v[0], c64(3.0, 1.0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Bluestein (chirp-z) FFT for sizes with large prime factors.
+//!
+//! Re-expresses an arbitrary-size DFT as a cyclic convolution of size
+//! `M = next_pow2(2n-1)` evaluated with the radix-2 kernel:
+//! `X_k = c_k Σ_j (x_j c_j) · c̄_{k-j}` with chirp `c_j = ω_{2n}^{j²}`.
+
+use crate::direction::Direction;
+use crate::radix2::fft_radix2_inplace;
+use crate::twiddle_table::TwiddleTable;
+use ftfft_numeric::{cis, Complex64};
+
+/// Precomputed Bluestein plan for one `(n, direction)` pair.
+#[derive(Clone, Debug)]
+pub struct BluesteinPlan {
+    n: usize,
+    m: usize,
+    dir: Direction,
+    chirp: Vec<Complex64>,
+    /// Forward FFT of the wrapped conjugate chirp, pre-scaled by 1/m.
+    b_hat: Vec<Complex64>,
+    fwd: TwiddleTable,
+    inv: TwiddleTable,
+}
+
+impl BluesteinPlan {
+    /// Builds a plan for size `n ≥ 1`.
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(n > 0);
+        let m = (2 * n - 1).next_power_of_two();
+        // chirp[j] = exp(sign·iπ j²/n), angle reduced via j² mod 2n.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                let e = (j as u128 * j as u128 % (2 * n) as u128) as f64;
+                cis(dir.sign() * std::f64::consts::PI * e / n as f64)
+            })
+            .collect();
+        let fwd = TwiddleTable::new(m, Direction::Forward);
+        let inv = TwiddleTable::new(m, Direction::Inverse);
+        let mut b = vec![Complex64::ZERO; m];
+        b[0] = chirp[0].conj();
+        for j in 1..n {
+            let v = chirp[j].conj();
+            b[j] = v;
+            b[m - j] = v;
+        }
+        fft_radix2_inplace(&mut b, &fwd);
+        let scale = 1.0 / m as f64;
+        for z in &mut b {
+            *z = z.scale(scale);
+        }
+        BluesteinPlan { n, m, dir, chirp, b_hat: b, fwd, inv }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transform direction.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Scratch length required by [`execute`](Self::execute).
+    pub fn scratch_len(&self) -> usize {
+        self.m
+    }
+
+    /// Out-of-place transform; `scratch` ≥ [`scratch_len`](Self::scratch_len).
+    pub fn execute(&self, src: &[Complex64], dst: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        assert!(scratch.len() >= self.m);
+        let a = &mut scratch[..self.m];
+        for (j, slot) in a.iter_mut().enumerate() {
+            *slot = if j < self.n { src[j] * self.chirp[j] } else { Complex64::ZERO };
+        }
+        fft_radix2_inplace(a, &self.fwd);
+        for (z, b) in a.iter_mut().zip(&self.b_hat) {
+            *z *= *b;
+        }
+        fft_radix2_inplace(a, &self.inv);
+        for (k, d) in dst.iter_mut().enumerate() {
+            *d = a[k] * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::dft_naive;
+    use ftfft_numeric::{max_abs_diff, uniform_signal};
+
+    fn check(n: usize) {
+        let x = uniform_signal(n, 31 + n as u64);
+        let want = dft_naive(&x, Direction::Forward);
+        let plan = BluesteinPlan::new(n, Direction::Forward);
+        let mut dst = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute(&x, &mut dst, &mut scratch);
+        let err = max_abs_diff(&dst, &want);
+        assert!(err < 1e-8 * (n as f64), "n={n} err={err}");
+    }
+
+    #[test]
+    fn primes_match_naive() {
+        for n in [2usize, 3, 5, 11, 101, 257, 997] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn composites_and_powers_also_work() {
+        for n in [1usize, 4, 12, 64, 100, 1 << 10] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 113;
+        let x = uniform_signal(n, 5);
+        let f = BluesteinPlan::new(n, Direction::Forward);
+        let i = BluesteinPlan::new(n, Direction::Inverse);
+        let mut mid = vec![Complex64::ZERO; n];
+        let mut out = vec![Complex64::ZERO; n];
+        let mut s = vec![Complex64::ZERO; f.scratch_len().max(i.scratch_len())];
+        f.execute(&x, &mut mid, &mut s);
+        i.execute(&mid, &mut out, &mut s);
+        for (a, b) in out.iter().zip(&x) {
+            assert!(a.scale(1.0 / n as f64).approx_eq(*b, 1e-10));
+        }
+    }
+}

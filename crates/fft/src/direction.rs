@@ -1,0 +1,62 @@
+//! Transform direction.
+
+/// Direction of a discrete Fourier transform.
+///
+/// Both directions are **unnormalized**: `inverse(forward(x)) == n·x`.
+/// Use [`normalize`] to divide by `n` after an inverse transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `X_j = Σ_n x_n exp(-2πi jn/N)`.
+    Forward,
+    /// `X_j = Σ_n x_n exp(+2πi jn/N)` (unnormalized).
+    Inverse,
+}
+
+impl Direction {
+    /// The sign of the exponent: -1 for forward, +1 for inverse.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        }
+    }
+}
+
+/// Divides every element by `n`, completing an inverse transform.
+pub fn normalize(data: &mut [ftfft_numeric::Complex64]) {
+    let s = 1.0 / data.len() as f64;
+    for z in data {
+        *z = z.scale(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_and_reverse() {
+        assert_eq!(Direction::Forward.sign(), -1.0);
+        assert_eq!(Direction::Inverse.sign(), 1.0);
+        assert_eq!(Direction::Forward.reverse(), Direction::Inverse);
+        assert_eq!(Direction::Inverse.reverse(), Direction::Forward);
+    }
+
+    #[test]
+    fn normalize_scales() {
+        use ftfft_numeric::complex::c64;
+        let mut v = vec![c64(4.0, -8.0); 4];
+        normalize(&mut v);
+        assert!(v.iter().all(|z| z.approx_eq(c64(1.0, -2.0), 1e-15)));
+    }
+}

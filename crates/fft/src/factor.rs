@@ -1,0 +1,176 @@
+//! Integer factorization and decomposition-split selection.
+//!
+//! The online ABFT scheme protects the *highest level* of the Cooley–Tukey
+//! decomposition `N = m·k` (Fig 1). The split choice drives both overhead
+//! (checksum vectors of size `m`+`k` instead of `N`) and recovery cost
+//! (`O(√N log √N)` recomputation), so `k` and `m` should be as balanced as
+//! the factorization of `N` allows.
+
+/// Prime factorization in ascending order (`12 → [2, 2, 3]`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    assert!(n > 0, "factorize(0)");
+    let mut out = Vec::new();
+    while n.is_multiple_of(2) {
+        out.push(2);
+        n /= 2;
+    }
+    let mut f = 3usize;
+    while f * f <= n {
+        while n.is_multiple_of(f) {
+            out.push(f);
+            n /= f;
+        }
+        f += 2;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+#[inline]
+pub fn log2_exact(n: usize) -> Option<u32> {
+    if is_power_of_two(n) {
+        Some(n.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Chooses the two-layer split `N = k·m` with `k` the largest divisor of `n`
+/// not exceeding `√n`, so `k ≤ m` and both are `Θ(√N)` whenever the
+/// factorization allows. Returns `(k, m)`.
+///
+/// For `n = 2^a`: `k = 2^⌊a/2⌋`, `m = 2^⌈a/2⌉`.
+/// For prime `n`: `(1, n)` — no useful split exists.
+pub fn split_balanced(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut k = (n as f64).sqrt() as usize;
+    // Guard against floating-point truncation on perfect squares.
+    while (k + 1) * (k + 1) <= n {
+        k += 1;
+    }
+    while k > 1 && !n.is_multiple_of(k) {
+        k -= 1;
+    }
+    (k.max(1), n / k.max(1))
+}
+
+/// Chooses the three-layer split `n = k·r·k` used by the parallel in-place
+/// plan (§5): `k` is the largest integer with `k² | n`, `r = n/k²`.
+///
+/// For `n = 2^a`: `r = 1` when `a` is even, `r = 2` when odd.
+pub fn split_three(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut k = (n as f64).sqrt() as usize;
+    while (k + 1) * (k + 1) <= n {
+        k += 1;
+    }
+    while k > 1 && !n.is_multiple_of(k * k) {
+        k -= 1;
+    }
+    let k = k.max(1);
+    (k, n / (k * k))
+}
+
+/// The smallest prime factor of `n ≥ 2`.
+pub fn smallest_factor(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut f = 3usize;
+    while f * f <= n {
+        if n.is_multiple_of(f) {
+            return f;
+        }
+        f += 2;
+    }
+    n
+}
+
+/// `true` when every prime factor of `n` is at most `limit` — such sizes can
+/// be handled by the mixed-radix kernels without Bluestein.
+pub fn is_smooth(n: usize, limit: usize) -> bool {
+    factorize(n).into_iter().all(|f| f <= limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorize_basics() {
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(12), vec![2, 2, 3]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(360), vec![2, 2, 2, 3, 3, 5]);
+        let n = 2usize.pow(10) * 3 * 49;
+        let fs = factorize(n);
+        assert_eq!(fs.iter().product::<usize>(), n);
+        assert!(fs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+        assert_eq!(log2_exact(4096), Some(12));
+        assert_eq!(log2_exact(12), None);
+    }
+
+    #[test]
+    fn split_balanced_powers_of_two() {
+        assert_eq!(split_balanced(1 << 10), (1 << 5, 1 << 5));
+        assert_eq!(split_balanced(1 << 11), (1 << 5, 1 << 6));
+        assert_eq!(split_balanced(1 << 21), (1 << 10, 1 << 11));
+    }
+
+    #[test]
+    fn split_balanced_general() {
+        for n in [1usize, 2, 6, 36, 100, 97, 720, 1000, 65536, 3 * 1024] {
+            let (k, m) = split_balanced(n);
+            assert_eq!(k * m, n, "n={n}");
+            assert!(k <= m, "n={n}");
+            assert!(k * k <= n, "n={n}");
+        }
+        assert_eq!(split_balanced(97), (1, 97));
+        assert_eq!(split_balanced(36), (6, 6));
+    }
+
+    #[test]
+    fn split_three_cases() {
+        assert_eq!(split_three(1 << 12), (1 << 6, 1));
+        assert_eq!(split_three(1 << 13), (1 << 6, 2));
+        for n in [16usize, 32, 64, 72, 128, 100, 3 * 64] {
+            let (k, r) = split_three(n);
+            assert_eq!(k * r * k, n, "n={n}");
+        }
+        // Paper: r is usually 2 or 8 for power-of-two N/p. 2^13 = 64*2*64 ✓.
+        let (_, r) = split_three(1 << 13);
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn smallest_factor_and_smoothness() {
+        assert_eq!(smallest_factor(2), 2);
+        assert_eq!(smallest_factor(15), 3);
+        assert_eq!(smallest_factor(49), 7);
+        assert_eq!(smallest_factor(101), 101);
+        assert!(is_smooth(2usize.pow(8) * 9 * 5, 7));
+        assert!(!is_smooth(11 * 4, 7));
+    }
+}

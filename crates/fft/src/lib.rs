@@ -1,0 +1,48 @@
+//! From-scratch FFT library for the ft-fft workspace.
+//!
+//! This crate is the FFTW stand-in of the reproduction: a planner-based FFT
+//! with the decomposition structure that the online ABFT scheme of
+//! Liang et al. (SC '17) protects. The ABFT executors in `ftfft-core` do not
+//! treat the transform as a black box — they drive the stage primitives of
+//! [`TwoLayerPlan`] and [`ThreeLayerPlan`] directly, inserting checksum
+//! generation/verification between stages exactly as the paper weaves them
+//! into FFTW.
+//!
+//! Kernels:
+//! * [`naive::dft_naive`] — `O(n²)` oracle;
+//! * [`radix2`] — iterative power-of-two kernel;
+//! * [`mixed::MixedPlan`] — recursive mixed-radix for smooth sizes;
+//! * [`bluestein::BluesteinPlan`] — chirp-z for large prime factors;
+//! * [`planner::FftPlan`]/[`planner::Planner`] — dispatch and caching;
+//! * [`two_layer::TwoLayerPlan`] — `N = k·m` out-of-place decomposition
+//!   (Fig 1 of the paper);
+//! * [`three_layer::ThreeLayerPlan`] — `n = k·r·k` in-place decomposition
+//!   (§5 of the paper);
+//! * [`real`] — real-input wrappers for the example applications.
+//!
+//! Transforms are unnormalized in both directions
+//! (`inverse(forward(x)) = n·x`); see [`direction::normalize`].
+
+pub mod bitrev;
+pub mod bluestein;
+pub mod direction;
+pub mod factor;
+pub mod mixed;
+pub mod naive;
+pub mod planner;
+pub mod radix2;
+pub mod real;
+pub mod strided;
+pub mod three_layer;
+pub mod twiddle_table;
+pub mod two_layer;
+
+pub use bluestein::BluesteinPlan;
+pub use direction::{normalize, Direction};
+pub use factor::{factorize, is_power_of_two, split_balanced, split_three};
+pub use mixed::MixedPlan;
+pub use naive::dft_naive;
+pub use planner::{fft, ifft, FftPlan, Planner};
+pub use three_layer::{ThreeLayerPlan, ThreeLayerScratch};
+pub use twiddle_table::TwiddleTable;
+pub use two_layer::{TwoLayerPlan, TwoLayerScratch};

@@ -1,0 +1,198 @@
+//! Recursive mixed-radix Cooley–Tukey FFT for arbitrary smooth sizes.
+//!
+//! The kernel decomposes `n = p·m` by the smallest prime factor `p`,
+//! recursing on `p` interleaved sub-sequences and combining with `p`-point
+//! butterflies. Terminal cases use the direct small DFT. All twiddles come
+//! from one table of size `n` (sub-levels index it with a stride), so a plan
+//! allocates exactly one table.
+
+use crate::direction::Direction;
+use crate::factor::{factorize, smallest_factor};
+use crate::naive::dft_small;
+use crate::twiddle_table::TwiddleTable;
+use ftfft_numeric::Complex64;
+
+/// Sizes at or below this are evaluated by the direct DFT.
+const SMALL_LIMIT: usize = 8;
+
+/// A reusable mixed-radix plan for one `(n, direction)` pair.
+#[derive(Clone, Debug)]
+pub struct MixedPlan {
+    n: usize,
+    dir: Direction,
+    table: TwiddleTable,
+    max_small: usize,
+}
+
+impl MixedPlan {
+    /// Builds a plan for size `n`. Works for any `n ≥ 1`; sizes with very
+    /// large prime factors are better served by the Bluestein plan (the
+    /// planner makes that choice).
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(n > 0);
+        let max_small = factorize(n).into_iter().max().unwrap_or(1).max(SMALL_LIMIT);
+        MixedPlan { n, dir, table: TwiddleTable::new(n, dir), max_small }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (`n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transform direction.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Size of the scratch slice [`execute`](Self::execute) requires.
+    pub fn scratch_len(&self) -> usize {
+        2 * self.max_small
+    }
+
+    /// Out-of-place transform: `dst = DFT(src)`.
+    ///
+    /// `scratch` must be at least [`scratch_len`](Self::scratch_len) long.
+    pub fn execute(&self, src: &[Complex64], dst: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        let (tmp, ws) = scratch.split_at_mut(self.max_small);
+        self.rec(src, 0, 1, dst, self.n, 1, tmp, ws);
+    }
+
+    /// Strided out-of-place transform reading `src[offset + t·stride]`.
+    pub fn execute_strided(
+        &self,
+        src: &[Complex64],
+        offset: usize,
+        stride: usize,
+        dst: &mut [Complex64],
+        scratch: &mut [Complex64],
+    ) {
+        assert_eq!(dst.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        let (tmp, ws) = scratch.split_at_mut(self.max_small);
+        self.rec(src, offset, stride, dst, self.n, 1, tmp, ws);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        &self,
+        src: &[Complex64],
+        off: usize,
+        stride: usize,
+        dst: &mut [Complex64],
+        n: usize,
+        tstride: usize,
+        tmp: &mut [Complex64],
+        ws: &mut [Complex64],
+    ) {
+        if n == 1 {
+            dst[0] = src[off];
+            return;
+        }
+        if n <= SMALL_LIMIT || smallest_factor(n) == n {
+            // Terminal: gather and run the direct DFT.
+            for (t, slot) in tmp[..n].iter_mut().enumerate() {
+                *slot = src[off + t * stride];
+            }
+            for (q, w) in ws[..n].iter_mut().enumerate() {
+                *w = self.table.get(q * tstride);
+            }
+            dft_small(&tmp[..n], &mut dst[..n], &ws[..n]);
+            return;
+        }
+
+        let p = smallest_factor(n);
+        let m = n / p;
+        for q in 0..p {
+            self.rec(src, off + q * stride, stride * p, &mut dst[q * m..(q + 1) * m], m, tstride * p, tmp, ws);
+        }
+        // ω_p^q = ω_n^{q·m}; loop-invariant over columns.
+        for (q, w) in ws[..p].iter_mut().enumerate() {
+            *w = self.table.get(q * m * tstride % self.table.len());
+        }
+        for d in 0..m {
+            for (q, slot) in tmp[..p].iter_mut().enumerate() {
+                let tw = self.table.get((d * q % n) * tstride);
+                *slot = dst[q * m + d] * tw;
+            }
+            // p-point DFT of the twiddled column back into the same slots.
+            for c in 0..p {
+                let mut acc = tmp[0];
+                for q in 1..p {
+                    acc = acc.mul_add(tmp[q], ws[c * q % p]);
+                }
+                dst[c * m + d] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::dft_naive;
+    use ftfft_numeric::{max_abs_diff, uniform_signal};
+
+    fn check(n: usize) {
+        let x = uniform_signal(n, 1000 + n as u64);
+        let want = dft_naive(&x, Direction::Forward);
+        let plan = MixedPlan::new(n, Direction::Forward);
+        let mut dst = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute(&x, &mut dst, &mut scratch);
+        let err = max_abs_diff(&dst, &want);
+        assert!(err < 1e-9 * (n as f64).max(1.0), "n={n} err={err}");
+    }
+
+    #[test]
+    fn matches_naive_for_assorted_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30, 36, 49, 60, 64, 100, 120, 210, 256, 360, 1000] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn prime_sizes_fall_back_to_direct() {
+        for n in [11usize, 13, 17, 31, 97] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 180;
+        let x = uniform_signal(n, 4);
+        let f = MixedPlan::new(n, Direction::Forward);
+        let i = MixedPlan::new(n, Direction::Inverse);
+        let mut mid = vec![Complex64::ZERO; n];
+        let mut out = vec![Complex64::ZERO; n];
+        let mut s = vec![Complex64::ZERO; f.scratch_len().max(i.scratch_len())];
+        f.execute(&x, &mut mid, &mut s);
+        i.execute(&mid, &mut out, &mut s);
+        for (a, b) in out.iter().zip(&x) {
+            assert!(a.scale(1.0 / n as f64).approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn strided_execution_matches_gathered() {
+        let n = 60;
+        let stride = 3;
+        let big = uniform_signal(n * stride, 2);
+        let gathered: Vec<_> = (0..n).map(|t| big[1 + t * stride]).collect();
+        let plan = MixedPlan::new(n, Direction::Forward);
+        let mut a = vec![Complex64::ZERO; n];
+        let mut b = vec![Complex64::ZERO; n];
+        let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute_strided(&big, 1, stride, &mut a, &mut s);
+        plan.execute(&gathered, &mut b, &mut s);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Reference `O(N²)` DFT.
+//!
+//! Used as the correctness oracle for every fast kernel in the workspace and
+//! as the terminal case of the mixed-radix recursion for small prime sizes.
+
+use crate::direction::Direction;
+use ftfft_numeric::{cis, Complex64};
+
+/// Direct evaluation of the DFT definition. `O(n²)`; testing/oracle only.
+pub fn dft_naive(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let base = dir.sign() * 2.0 * std::f64::consts::PI / n as f64;
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (t, &xt) in x.iter().enumerate() {
+            // (j*t) % n keeps the angle small for accuracy at large n.
+            let e = (j * t) % n;
+            acc = acc.mul_add(xt, cis(base * e as f64));
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Small fixed-size DFT into a caller-provided buffer (terminal recursion
+/// case). `ws[q]` must hold `ω_p^q` for `q < p` where `p = src.len()`.
+#[inline]
+pub fn dft_small(src: &[Complex64], dst: &mut [Complex64], ws: &[Complex64]) {
+    let p = src.len();
+    debug_assert_eq!(dst.len(), p);
+    debug_assert_eq!(ws.len(), p);
+    for (c, d) in dst.iter_mut().enumerate() {
+        let mut acc = src[0];
+        for (q, &s) in src.iter().enumerate().skip(1) {
+            acc = acc.mul_add(s, ws[(c * q) % p]);
+        }
+        *d = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::complex::c64;
+    use ftfft_numeric::uniform_signal;
+
+    #[test]
+    fn dc_signal() {
+        let x = vec![c64(1.0, 0.0); 8];
+        let y = dft_naive(&x, Direction::Forward);
+        assert!(y[0].approx_eq(c64(8.0, 0.0), 1e-12));
+        for z in &y[1..] {
+            assert!(z.approx_eq(Complex64::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn single_tone() {
+        // x_t = exp(2πi·3t/16) has all forward-DFT energy in bin... with the
+        // engineering convention X_j = Σ x_t e^{-2πijt/16}, bin 3.
+        let n = 16;
+        let x: Vec<_> = (0..n)
+            .map(|t| Complex64::from_polar(1.0, 2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64))
+            .collect();
+        let y = dft_naive(&x, Direction::Forward);
+        assert!(y[3].approx_eq(c64(n as f64, 0.0), 1e-10));
+        for (j, z) in y.iter().enumerate() {
+            if j != 3 {
+                assert!(z.norm() < 1e-10, "leakage at {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_scaled_input() {
+        let x = uniform_signal(12, 5);
+        let y = dft_naive(&x, Direction::Forward);
+        let z = dft_naive(&y, Direction::Inverse);
+        for (a, b) in z.iter().zip(&x) {
+            assert!(a.scale(1.0 / 12.0).approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let x = uniform_signal(33, 8);
+        let y = dft_naive(&x, Direction::Forward);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        assert!((ey - 33.0 * ex).abs() < 1e-8 * ey.max(1.0));
+    }
+
+    #[test]
+    fn dft_small_matches_naive() {
+        for p in [2usize, 3, 5, 7, 11] {
+            let x = uniform_signal(p, p as u64);
+            let ws: Vec<_> = (0..p).map(|q| ftfft_numeric::omega(p, q)).collect();
+            let mut dst = vec![Complex64::ZERO; p];
+            dft_small(&x, &mut dst, &ws);
+            let want = dft_naive(&x, Direction::Forward);
+            for (a, b) in dst.iter().zip(&want) {
+                assert!(a.approx_eq(*b, 1e-11), "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft_naive(&[], Direction::Forward).is_empty());
+    }
+}

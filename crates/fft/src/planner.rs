@@ -1,0 +1,214 @@
+//! Single-size FFT plans and the caching planner.
+//!
+//! [`FftPlan`] dispatches to the fastest kernel for a size: iterative
+//! radix-2 for powers of two, recursive mixed-radix for smooth composites,
+//! Bluestein otherwise. [`Planner`] memoizes plans per `(n, direction)` the
+//! way FFTW caches wisdom, so repeated sub-FFT sizes (the k- and m-point
+//! transforms of the decomposition) are planned exactly once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::bluestein::BluesteinPlan;
+use crate::direction::Direction;
+use crate::factor::{is_power_of_two, is_smooth};
+use crate::mixed::MixedPlan;
+use crate::radix2::fft_radix2_inplace;
+use crate::twiddle_table::TwiddleTable;
+use ftfft_numeric::Complex64;
+
+/// Largest prime factor handled by the mixed-radix kernel before the
+/// planner switches to Bluestein.
+pub const SMOOTH_LIMIT: usize = 61;
+
+#[derive(Clone, Debug)]
+enum Kernel {
+    Radix2(TwiddleTable),
+    Mixed(MixedPlan),
+    Bluestein(BluesteinPlan),
+}
+
+/// An executable FFT plan for one size and direction.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    dir: Direction,
+    kernel: Kernel,
+}
+
+impl FftPlan {
+    /// Plans a transform of size `n ≥ 1`.
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(n > 0, "cannot plan a 0-point FFT");
+        let kernel = if is_power_of_two(n) {
+            Kernel::Radix2(TwiddleTable::new(n, dir))
+        } else if is_smooth(n, SMOOTH_LIMIT) {
+            Kernel::Mixed(MixedPlan::new(n, dir))
+        } else {
+            Kernel::Bluestein(BluesteinPlan::new(n, dir))
+        };
+        FftPlan { n, dir, kernel }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (`n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transform direction.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Scratch length required by the execute methods.
+    pub fn scratch_len(&self) -> usize {
+        match &self.kernel {
+            Kernel::Radix2(_) => 0,
+            // Mixed and Bluestein stage an input copy for in-place runs.
+            Kernel::Mixed(p) => self.n + p.scratch_len(),
+            Kernel::Bluestein(p) => self.n + p.scratch_len(),
+        }
+    }
+
+    /// In-place transform. `scratch.len() ≥ self.scratch_len()`.
+    pub fn execute_inplace(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n);
+        match &self.kernel {
+            Kernel::Radix2(t) => fft_radix2_inplace(data, t),
+            Kernel::Mixed(p) => {
+                let (copy, rest) = scratch.split_at_mut(self.n);
+                copy.copy_from_slice(data);
+                p.execute(copy, data, rest);
+            }
+            Kernel::Bluestein(p) => {
+                let (copy, rest) = scratch.split_at_mut(self.n);
+                copy.copy_from_slice(data);
+                p.execute(copy, data, rest);
+            }
+        }
+    }
+
+    /// Out-of-place transform (`dst` and `src` must not alias).
+    pub fn execute(&self, src: &[Complex64], dst: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        match &self.kernel {
+            Kernel::Radix2(t) => {
+                dst.copy_from_slice(src);
+                fft_radix2_inplace(dst, t);
+            }
+            Kernel::Mixed(p) => p.execute(src, dst, &mut scratch[..p.scratch_len()]),
+            Kernel::Bluestein(p) => p.execute(src, dst, scratch),
+        }
+    }
+}
+
+/// A caching planner: one plan per `(n, direction)`.
+#[derive(Default)]
+pub struct Planner {
+    cache: Mutex<HashMap<(usize, Direction), Arc<FftPlan>>>,
+}
+
+impl Planner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Planner { cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns (building if needed) the plan for `(n, dir)`.
+    pub fn plan(&self, n: usize, dir: Direction) -> Arc<FftPlan> {
+        let mut cache = self.cache.lock();
+        cache.entry((n, dir)).or_insert_with(|| Arc::new(FftPlan::new(n, dir))).clone()
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+/// One-shot convenience: forward FFT of `x` into a fresh vector.
+pub fn fft(x: &[Complex64]) -> Vec<Complex64> {
+    run(x, Direction::Forward)
+}
+
+/// One-shot convenience: unnormalized inverse FFT of `x`.
+pub fn ifft(x: &[Complex64]) -> Vec<Complex64> {
+    run(x, Direction::Inverse)
+}
+
+fn run(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let plan = FftPlan::new(x.len(), dir);
+    let mut dst = vec![Complex64::ZERO; x.len()];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.execute(x, &mut dst, &mut scratch);
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::dft_naive;
+    use ftfft_numeric::{max_abs_diff, uniform_signal};
+
+    #[test]
+    fn plan_dispatch_matches_naive_for_all_kernel_classes() {
+        // radix-2, smooth mixed, bluestein (large prime).
+        for n in [64usize, 360, 101, 2 * 67 * 3, 997] {
+            let x = uniform_signal(n, n as u64);
+            let plan = FftPlan::new(n, Direction::Forward);
+            let mut dst = vec![Complex64::ZERO; n];
+            let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.execute(&x, &mut dst, &mut s);
+            let want = dft_naive(&x, Direction::Forward);
+            assert!(max_abs_diff(&dst, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inplace_equals_out_of_place() {
+        for n in [128usize, 120, 97] {
+            let x = uniform_signal(n, 7);
+            let plan = FftPlan::new(n, Direction::Forward);
+            let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+            let mut oop = vec![Complex64::ZERO; n];
+            plan.execute(&x, &mut oop, &mut s);
+            let mut ip = x.clone();
+            plan.execute_inplace(&mut ip, &mut s);
+            assert!(max_abs_diff(&ip, &oop) < 1e-12 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn planner_caches() {
+        let p = Planner::new();
+        let a = p.plan(256, Direction::Forward);
+        let b = p.plan(256, Direction::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = p.plan(256, Direction::Inverse);
+        let _ = p.plan(128, Direction::Forward);
+        assert_eq!(p.cached_plans(), 3);
+    }
+
+    #[test]
+    fn convenience_round_trip() {
+        let x = uniform_signal(48, 3);
+        let y = fft(&x);
+        let mut z = ifft(&y);
+        crate::direction::normalize(&mut z);
+        assert!(max_abs_diff(&z, &x) < 1e-11);
+        assert!(fft(&[]).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Real-input FFT via the packed half-size complex transform.
+//!
+//! Utility for the example applications (spectral analysis, convolution of
+//! real signals). An even-length real sequence is packed into an `n/2`-point
+//! complex FFT and unpacked with the standard split formula.
+
+use crate::direction::Direction;
+use crate::planner::FftPlan;
+use ftfft_numeric::complex::c64;
+use ftfft_numeric::{cis, Complex64};
+
+/// Forward FFT of a real signal, returning the `n/2 + 1` non-redundant bins.
+///
+/// # Panics
+/// Panics if `x.len()` is zero or odd.
+pub fn rfft(x: &[f64]) -> Vec<Complex64> {
+    let n = x.len();
+    assert!(n > 0 && n.is_multiple_of(2), "rfft needs even nonzero length, got {n}");
+    let h = n / 2;
+    let packed: Vec<Complex64> = (0..h).map(|t| c64(x[2 * t], x[2 * t + 1])).collect();
+    let plan = FftPlan::new(h, Direction::Forward);
+    let mut z = vec![Complex64::ZERO; h];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.execute(&packed, &mut z, &mut scratch);
+
+    let mut out = vec![Complex64::ZERO; h + 1];
+    for j in 0..=h {
+        let zj = if j == h { z[0] } else { z[j] };
+        let zc = z[(h - j) % h].conj();
+        let even = (zj + zc).scale(0.5);
+        let odd = (zj - zc).scale(0.5) * c64(0.0, -1.0);
+        let w = cis(-2.0 * std::f64::consts::PI * j as f64 / n as f64);
+        out[j] = even + odd * w;
+    }
+    out
+}
+
+/// Inverse of [`rfft`]: reconstructs the length-`n` real signal from its
+/// `n/2 + 1` spectrum bins (normalized).
+pub fn irfft(spec: &[Complex64], n: usize) -> Vec<f64> {
+    assert!(n > 0 && n.is_multiple_of(2));
+    assert_eq!(spec.len(), n / 2 + 1, "irfft: spectrum must have n/2+1 bins");
+    // Rebuild the full Hermitian spectrum and run a complex inverse FFT.
+    let mut full = vec![Complex64::ZERO; n];
+    full[..=n / 2].copy_from_slice(spec);
+    for j in n / 2 + 1..n {
+        full[j] = spec[n - j].conj();
+    }
+    let plan = FftPlan::new(n, Direction::Inverse);
+    let mut out = vec![Complex64::ZERO; n];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.execute(&full, &mut out, &mut scratch);
+    out.into_iter().map(|z| z.re / n as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::dft_naive;
+
+    #[test]
+    fn rfft_matches_complex_dft() {
+        let n = 32;
+        let x: Vec<f64> = (0..n).map(|t| (t as f64 * 0.7).sin() + 0.3 * (t as f64)).collect();
+        let xc: Vec<Complex64> = x.iter().map(|&r| c64(r, 0.0)).collect();
+        let want = dft_naive(&xc, Direction::Forward);
+        let got = rfft(&x);
+        for j in 0..=n / 2 {
+            assert!(got[j].approx_eq(want[j], 1e-9), "bin {j}: {:?} vs {:?}", got[j], want[j]);
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = 64;
+        let x: Vec<f64> = (0..n).map(|t| ((t * t) % 17) as f64 / 17.0 - 0.5).collect();
+        let spec = rfft(&x);
+        let back = irfft(&spec, n);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_real() {
+        let x: Vec<f64> = (0..16).map(|t| t as f64).collect();
+        let spec = rfft(&x);
+        assert!(spec[0].im.abs() < 1e-10);
+        assert!(spec[8].im.abs() < 1e-10);
+    }
+}

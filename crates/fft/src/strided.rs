@@ -1,0 +1,147 @@
+//! Strided access helpers and in-place rectangular transpose.
+//!
+//! The decomposed sub-FFTs of Fig 1 read non-contiguous inputs (stride `k`).
+//! §4.4 and §6.2 of the paper observe that buffering those gathers into
+//! contiguous scratch is itself a performance optimization; these helpers are
+//! the primitive both the plain plans and the ABFT executors use.
+
+use ftfft_numeric::Complex64;
+
+/// Copies `out.len()` elements from `src` starting at `offset`, every
+/// `stride`-th element.
+#[inline]
+pub fn gather(src: &[Complex64], offset: usize, stride: usize, out: &mut [Complex64]) {
+    debug_assert!(stride >= 1);
+    let mut idx = offset;
+    for o in out.iter_mut() {
+        *o = src[idx];
+        idx += stride;
+    }
+}
+
+/// Writes `vals` into `dst` starting at `offset`, every `stride`-th slot.
+#[inline]
+pub fn scatter(dst: &mut [Complex64], offset: usize, stride: usize, vals: &[Complex64]) {
+    debug_assert!(stride >= 1);
+    let mut idx = offset;
+    for v in vals {
+        dst[idx] = *v;
+        idx += stride;
+    }
+}
+
+/// Multiplies each gathered element by the matching `weights` entry while
+/// scattering — the fused "twiddle on the way back" used by the in-place
+/// layers.
+#[inline]
+pub fn scatter_weighted(
+    dst: &mut [Complex64],
+    offset: usize,
+    stride: usize,
+    vals: &[Complex64],
+    weights: &[Complex64],
+) {
+    debug_assert_eq!(vals.len(), weights.len());
+    let mut idx = offset;
+    for (v, w) in vals.iter().zip(weights) {
+        dst[idx] = *v * *w;
+        idx += stride;
+    }
+}
+
+/// In-place transpose of a row-major `rows × cols` matrix using
+/// cycle-following, with one visited bit per element (`O(n)` time,
+/// `n/8` bytes of scratch — preserves the in-place property of §5).
+pub fn transpose_inplace(data: &mut [Complex64], rows: usize, cols: usize) {
+    let n = rows * cols;
+    assert_eq!(data.len(), n, "transpose_inplace: shape mismatch");
+    if rows <= 1 || cols <= 1 {
+        return;
+    }
+    // Element at index i = r*cols + c moves to c*rows + r.
+    // Equivalently dest(i) = (i * rows) mod (n-1), with i = 0 and n-1 fixed.
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    visited[n - 1] = true;
+    for start in 1..n - 1 {
+        if visited[start] {
+            continue;
+        }
+        let mut cur = start;
+        let mut carried = data[start];
+        loop {
+            let dest = (cur * rows) % (n - 1);
+            std::mem::swap(&mut data[dest], &mut carried);
+            visited[cur] = true;
+            cur = dest;
+            if cur == start {
+                break;
+            }
+        }
+    }
+}
+
+/// Out-of-place transpose (`dst[c*rows + r] = src[r*cols + c]`).
+pub fn transpose_out_of_place(src: &[Complex64], dst: &mut [Complex64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    for r in 0..rows {
+        for (c, &v) in src[r * cols..(r + 1) * cols].iter().enumerate() {
+            dst[c * rows + r] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::complex::c64;
+    use ftfft_numeric::uniform_signal;
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let n = 24;
+        let src = uniform_signal(n, 1);
+        let mut dst = vec![Complex64::ZERO; n];
+        let stride = 4;
+        let count = n / stride;
+        let mut buf = vec![Complex64::ZERO; count];
+        for off in 0..stride {
+            gather(&src, off, stride, &mut buf);
+            scatter(&mut dst, off, stride, &buf);
+        }
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn scatter_weighted_multiplies() {
+        let mut dst = vec![Complex64::ZERO; 4];
+        let vals = [c64(1.0, 0.0), c64(2.0, 0.0)];
+        let ws = [c64(0.0, 1.0), c64(3.0, 0.0)];
+        scatter_weighted(&mut dst, 1, 2, &vals, &ws);
+        assert_eq!(dst[1], c64(0.0, 1.0));
+        assert_eq!(dst[3], c64(6.0, 0.0));
+    }
+
+    #[test]
+    fn transpose_inplace_matches_out_of_place() {
+        for (r, c) in [(2usize, 3usize), (3, 2), (4, 4), (1, 7), (7, 1), (8, 2), (5, 6), (16, 4)] {
+            let src = uniform_signal(r * c, (r * 31 + c) as u64);
+            let mut want = vec![Complex64::ZERO; r * c];
+            transpose_out_of_place(&src, &mut want, r, c);
+            let mut got = src.clone();
+            transpose_inplace(&mut got, r, c);
+            assert_eq!(got, want, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn transpose_twice_with_swapped_dims_is_identity() {
+        let (r, c) = (6, 10);
+        let src = uniform_signal(r * c, 77);
+        let mut v = src.clone();
+        transpose_inplace(&mut v, r, c);
+        transpose_inplace(&mut v, c, r);
+        assert_eq!(v, src);
+    }
+}

@@ -1,0 +1,276 @@
+//! Three-layer in-place decomposition `n = k·r·k` (§5 of the paper).
+//!
+//! Parallel FFTW prefers in-place local FFTs. When `n/p` is not a perfect
+//! square, the plan is `r·k` k-point FFTs → twiddle → `k²` r-point FFTs →
+//! twiddle → `r·k` k-point FFTs. Because the first layer overwrites the
+//! input, a restart-based protection of the *last* layer alone cannot
+//! recover (Fig 5); the paper's fix protects the small middle layer with
+//! DMR. This plan exposes every stage so the ABFT executor can do exactly
+//! that, and keeps auxiliary space to `O(√n)` plus the transpose bitmaps.
+//!
+//! Derivation (matching `two_layer`): with `P = r·k` and input index
+//! `nn = n2·P + p`, stage A computes `k`-point FFTs over `n2` for each
+//! `p < P`, storing `Y[p][j2]` back at `nn = j2·P + p`. Chunk `j2`
+//! (contiguous, length `P`) then needs the `P`-point FFT of
+//! `Y[·][j2]·ω_n^{p·j2}`, which stage B/C evaluate by a second split
+//! `P = r·k`: `k` r-point FFTs (stride `k`) with the `ω_n` twiddle fused on
+//! gather and the `ω_P` twiddle fused on scatter, then `r` contiguous
+//! k-point FFTs, then an in-chunk `r×k` transpose. A final `k×P` transpose
+//! restores natural output order.
+
+use std::sync::Arc;
+
+use crate::direction::Direction;
+use crate::factor::split_three;
+use crate::planner::{FftPlan, Planner};
+use crate::strided::{gather, scatter, transpose_inplace};
+use crate::twiddle_table::TwiddleTable;
+use ftfft_numeric::Complex64;
+
+/// Plan for the in-place three-layer decomposition.
+#[derive(Clone)]
+pub struct ThreeLayerPlan {
+    n: usize,
+    k: usize,
+    r: usize,
+    /// `P = r·k`, the chunk length and first-layer FFT count.
+    p: usize,
+    dir: Direction,
+    fft_k: Arc<FftPlan>,
+    fft_r: Arc<FftPlan>,
+    /// ω_n table for the stage-A twiddle.
+    table_n: TwiddleTable,
+    /// ω_P table for the in-chunk twiddle.
+    table_p: TwiddleTable,
+}
+
+/// Working storage for [`ThreeLayerPlan`].
+#[derive(Clone, Debug)]
+pub struct ThreeLayerScratch {
+    /// Gather buffer of length `max(k, r)`.
+    pub buf: Vec<Complex64>,
+    /// Sub-plan scratch.
+    pub fft: Vec<Complex64>,
+}
+
+impl ThreeLayerPlan {
+    /// Plans `n = k·r·k` with `k` the largest square divisor root.
+    pub fn new(planner: &Planner, n: usize, dir: Direction) -> Self {
+        let (k, r) = split_three(n);
+        assert!(k > 1 || r == n, "three-layer split failed for n={n}");
+        let p = r * k;
+        ThreeLayerPlan {
+            n,
+            k,
+            r,
+            p,
+            dir,
+            fft_k: planner.plan(k, dir),
+            fft_r: planner.plan(r, dir),
+            table_n: TwiddleTable::new(n, dir),
+            table_p: TwiddleTable::new(p, dir),
+        }
+    }
+
+    /// Total size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Outer sub-FFT size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Middle layer radix `r` (`1` when `n` is a perfect square).
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Chunk length `P = r·k`; also the number of first-layer FFTs.
+    pub fn chunk_len(&self) -> usize {
+        self.p
+    }
+
+    /// Transform direction.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// The k-point sub-plan.
+    pub fn k_plan(&self) -> &FftPlan {
+        &self.fft_k
+    }
+
+    /// The r-point sub-plan.
+    pub fn r_plan(&self) -> &FftPlan {
+        &self.fft_r
+    }
+
+    /// Allocates scratch for this plan.
+    pub fn make_scratch(&self) -> ThreeLayerScratch {
+        ThreeLayerScratch {
+            buf: vec![Complex64::ZERO; self.k.max(self.r)],
+            fft: vec![Complex64::ZERO; self.fft_k.scratch_len().max(self.fft_r.scratch_len())],
+        }
+    }
+
+    // ----- stage A: r·k k-point FFTs, stride P --------------------------
+
+    /// Gathers first-layer FFT `p1 < P` input (`data[p1 + t·P]`, `k`
+    /// elements) into `buf[..k]`.
+    #[inline]
+    pub fn gather_a(&self, data: &[Complex64], p1: usize, buf: &mut [Complex64]) {
+        debug_assert!(p1 < self.p);
+        gather(data, p1, self.p, &mut buf[..self.k]);
+    }
+
+    /// Runs the k-point FFT in place on `buf[..k]`.
+    #[inline]
+    pub fn fft_k_inplace(&self, buf: &mut [Complex64], fft_scratch: &mut [Complex64]) {
+        self.fft_k.execute_inplace(&mut buf[..self.k], fft_scratch);
+    }
+
+    /// Scatters first-layer output back to the source slots.
+    #[inline]
+    pub fn scatter_a(&self, data: &mut [Complex64], p1: usize, vals: &[Complex64]) {
+        scatter(data, p1, self.p, &vals[..self.k]);
+    }
+
+    // ----- stage B: per chunk, k r-point FFTs with fused twiddles --------
+
+    /// Stage-A twiddle weight `ω_n^{p1·j2}` (applied to chunk `j2`, local
+    /// element `p1`).
+    #[inline(always)]
+    pub fn twiddle_n_weight(&self, p1: usize, j2: usize) -> Complex64 {
+        self.table_n.get_mod(p1 * j2)
+    }
+
+    /// In-chunk twiddle weight `ω_P^{p1·j2r}`.
+    #[inline(always)]
+    pub fn twiddle_p_weight(&self, p1: usize, j2r: usize) -> Complex64 {
+        self.table_p.get_mod(p1 * j2r)
+    }
+
+    /// Runs the r-point FFT in place on `buf[..r]`.
+    #[inline]
+    pub fn fft_r_inplace(&self, buf: &mut [Complex64], fft_scratch: &mut [Complex64]) {
+        self.fft_r.execute_inplace(&mut buf[..self.r], fft_scratch);
+    }
+
+    /// Reference middle layer for chunk `j2`: gathers each stride-`k`
+    /// column with the ω_n twiddle fused, runs the r-point FFT, scatters
+    /// back with the ω_P twiddle fused. With `r == 1` this reduces to the
+    /// pure ω_n twiddle pass.
+    pub fn middle_layer_chunk(&self, chunk: &mut [Complex64], j2: usize, s: &mut ThreeLayerScratch) {
+        debug_assert_eq!(chunk.len(), self.p);
+        if self.r == 1 {
+            for (p1, z) in chunk.iter_mut().enumerate() {
+                *z *= self.twiddle_n_weight(p1, j2);
+            }
+            return;
+        }
+        for n1 in 0..self.k {
+            for (t, slot) in s.buf[..self.r].iter_mut().enumerate() {
+                let p1 = t * self.k + n1;
+                *slot = chunk[p1] * self.twiddle_n_weight(p1, j2);
+            }
+            self.fft_r.execute_inplace(&mut s.buf[..self.r], &mut s.fft);
+            for (j2r, &v) in s.buf[..self.r].iter().enumerate() {
+                chunk[j2r * self.k + n1] = v * self.twiddle_p_weight(n1, j2r);
+            }
+        }
+    }
+
+    // ----- stage C: per chunk, r contiguous k-point FFTs + transposes ----
+
+    /// Runs the `r` contiguous k-point FFTs of chunk stage C in place and
+    /// finishes with the in-chunk `r×k` transpose.
+    pub fn last_layer_chunk(&self, chunk: &mut [Complex64], s: &mut ThreeLayerScratch) {
+        debug_assert_eq!(chunk.len(), self.p);
+        for j2r in 0..self.r {
+            self.fft_k.execute_inplace(&mut chunk[j2r * self.k..(j2r + 1) * self.k], &mut s.fft);
+        }
+        transpose_inplace(chunk, self.r, self.k);
+    }
+
+    /// Final global `k×P` transpose restoring natural output order.
+    pub fn final_transpose(&self, data: &mut [Complex64]) {
+        transpose_inplace(data, self.k, self.p);
+    }
+
+    /// Reference unprotected in-place execution.
+    pub fn execute_inplace(&self, data: &mut [Complex64], s: &mut ThreeLayerScratch) {
+        assert_eq!(data.len(), self.n);
+        for p1 in 0..self.p {
+            self.gather_a(data, p1, &mut s.buf);
+            let ThreeLayerScratch { buf, fft } = s;
+            self.fft_k.execute_inplace(&mut buf[..self.k], fft);
+            self.scatter_a(data, p1, &s.buf);
+        }
+        for j2 in 0..self.k {
+            let chunk = &mut data[j2 * self.p..(j2 + 1) * self.p];
+            self.middle_layer_chunk(chunk, j2, s);
+            self.last_layer_chunk(chunk, s);
+        }
+        self.final_transpose(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::dft_naive;
+    use ftfft_numeric::{max_abs_diff, uniform_signal};
+
+    fn check(n: usize) {
+        let planner = Planner::new();
+        let plan = ThreeLayerPlan::new(&planner, n, Direction::Forward);
+        assert_eq!(plan.k() * plan.r() * plan.k(), n);
+        let x = uniform_signal(n, 21 + n as u64);
+        let want = dft_naive(&x, Direction::Forward);
+        let mut data = x.clone();
+        let mut s = plan.make_scratch();
+        plan.execute_inplace(&mut data, &mut s);
+        let err = max_abs_diff(&data, &want);
+        assert!(err < 1e-9 * n as f64, "n={n} k={} r={} err={err}", plan.k(), plan.r());
+    }
+
+    #[test]
+    fn perfect_squares_use_r1() {
+        for n in [4usize, 16, 64, 256, 1024, 4096] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn odd_powers_use_r2() {
+        for n in [8usize, 32, 128, 512, 2048, 8192] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn composite_non_powers() {
+        for n in [36usize, 72, 100, 144, 200, 288] {
+            check(n);
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 512;
+        let planner = Planner::new();
+        let f = ThreeLayerPlan::new(&planner, n, Direction::Forward);
+        let i = ThreeLayerPlan::new(&planner, n, Direction::Inverse);
+        let x = uniform_signal(n, 6);
+        let mut data = x.clone();
+        let mut s = f.make_scratch();
+        f.execute_inplace(&mut data, &mut s);
+        let mut s2 = i.make_scratch();
+        i.execute_inplace(&mut data, &mut s2);
+        for (a, b) in data.iter().zip(&x) {
+            assert!(a.scale(1.0 / n as f64).approx_eq(*b, 1e-10));
+        }
+    }
+}

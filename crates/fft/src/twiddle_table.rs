@@ -1,0 +1,128 @@
+//! Precomputed twiddle-factor tables.
+//!
+//! A table for size `n` stores `ω_n^t` for `t ∈ [0, n)`, generated once per
+//! plan. Sub-transforms of size `n/s` reuse the parent table through a
+//! stride (`ω_{n/s}^t = ω_n^{t·s}`), which is how the recursive mixed-radix
+//! kernel avoids re-deriving tables at every level.
+
+use crate::direction::Direction;
+use ftfft_numeric::{cis, Complex64};
+
+/// Precomputed `ω_n^t` for one direction.
+#[derive(Clone, Debug)]
+pub struct TwiddleTable {
+    n: usize,
+    dir: Direction,
+    w: Vec<Complex64>,
+}
+
+impl TwiddleTable {
+    /// Builds the table for size `n` and direction `dir`.
+    ///
+    /// Generation walks the unit circle in blocks re-anchored by direct
+    /// `sin`/`cos` evaluation every `RESYNC` steps: incremental complex
+    /// multiplication alone drifts at `O(n·ε)`, which would pollute the
+    /// checksum residuals that the ABFT thresholds are calibrated against.
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(n > 0, "twiddle table of size 0");
+        const RESYNC: usize = 64;
+        let mut w = Vec::with_capacity(n);
+        let step_angle = dir.sign() * 2.0 * std::f64::consts::PI / n as f64;
+        let mut t = 0usize;
+        while t < n {
+            let anchor = cis(step_angle * t as f64);
+            let step = cis(step_angle);
+            let mut cur = anchor;
+            let block = RESYNC.min(n - t);
+            for _ in 0..block {
+                w.push(cur);
+                cur *= step;
+            }
+            t += block;
+        }
+        TwiddleTable { n, dir, w }
+    }
+
+    /// Table size `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when `n == 0` (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Direction this table was generated for.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// `ω_n^t` for `t < n`.
+    #[inline(always)]
+    pub fn get(&self, t: usize) -> Complex64 {
+        self.w[t]
+    }
+
+    /// `ω_n^t` with `t` reduced modulo `n` (for twiddle products `n1·j2`).
+    #[inline(always)]
+    pub fn get_mod(&self, t: usize) -> Complex64 {
+        self.w[t % self.n]
+    }
+
+    /// Raw table slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::omega;
+
+    #[test]
+    fn forward_table_matches_direct_evaluation() {
+        let n = 1000;
+        let t = TwiddleTable::new(n, Direction::Forward);
+        for k in [0usize, 1, 63, 64, 65, 500, 999] {
+            assert!(
+                t.get(k).approx_eq(omega(n, k), 1e-13),
+                "k={k}: {:?} vs {:?}",
+                t.get(k),
+                omega(n, k)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_table_is_conjugate() {
+        let n = 256;
+        let f = TwiddleTable::new(n, Direction::Forward);
+        let i = TwiddleTable::new(n, Direction::Inverse);
+        for k in 0..n {
+            assert!(i.get(k).approx_eq(f.get(k).conj(), 1e-13), "k={k}");
+        }
+    }
+
+    #[test]
+    fn get_mod_reduces() {
+        let n = 16;
+        let t = TwiddleTable::new(n, Direction::Forward);
+        assert!(t.get_mod(5 + 3 * n).approx_eq(t.get(5), 1e-15));
+    }
+
+    #[test]
+    fn large_table_stays_accurate() {
+        // Drift check at the far end of a big table.
+        let n = 1 << 16;
+        let t = TwiddleTable::new(n, Direction::Forward);
+        let k = n - 1;
+        assert!(t.get(k).approx_eq(omega(n, k), 1e-12));
+        assert!((t.get(k).norm() - 1.0).abs() < 1e-12);
+    }
+}

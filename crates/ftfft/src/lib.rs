@@ -1,0 +1,76 @@
+//! # ftfft — fault-tolerant FFT
+//!
+//! A from-scratch Rust reproduction of **"Correcting Soft Errors Online in
+//! Fast Fourier Transform"** (Liang et al., SC '17): an FFT library whose
+//! transforms detect and correct transient soft errors *while they run*,
+//! using algorithm-based fault tolerance (ABFT) checksums woven into the
+//! Cooley–Tukey decomposition.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ftfft::prelude::*;
+//!
+//! let n = 1 << 12;
+//! let mut signal = uniform_signal(n, 7);
+//! let mut spectrum = vec![Complex64::ZERO; n];
+//!
+//! // Plan a protected transform (the paper's "Opt-Online" scheme:
+//! // computational + memory fault tolerance, all §4 optimizations).
+//! let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+//! let mut ws = plan.make_workspace();
+//! let report = plan.execute(&mut signal, &mut spectrum, &NoFaults, &mut ws);
+//! assert!(report.is_clean());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Sub-crate | Contents |
+//! |---|---|
+//! | [`numeric`] | complex arithmetic, statistics, `erf`/Φ, signal generators |
+//! | [`fft`] | the FFT library (planner, kernels, two-/three-layer plans) |
+//! | [`checksum`] | ABFT encodings (computational, memory, combined, blocks) |
+//! | [`fault`] | soft-error injection framework |
+//! | [`roundoff`] | §8 threshold model and throughput analysis |
+//! | [`core`] | the protected sequential schemes (offline/online × comp/mem) |
+//! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap |
+
+pub use ftfft_checksum as checksum;
+pub use ftfft_core as core;
+pub use ftfft_fault as fault;
+pub use ftfft_fft as fft;
+pub use ftfft_numeric as numeric;
+pub use ftfft_parallel as parallel;
+pub use ftfft_roundoff as roundoff;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use ftfft_core::{FtConfig, FtFftPlan, FtReport, InPlaceFtPlan, Scheme, Workspace};
+    pub use ftfft_fault::{
+        Component, FaultInjector, FaultKind, InjectionCtx, NoFaults, Part, RandomInjector,
+        RandomKind, ScriptedFault, ScriptedInjector, Site,
+    };
+    pub use ftfft_fft::{dft_naive, fft, ifft, normalize, Direction, FftPlan, Planner};
+    pub use ftfft_numeric::{
+        inf_norm, normal_signal, relative_error_inf, uniform_signal, Complex64, SignalDist,
+    };
+    pub use ftfft_parallel::{NetworkModel, ParallelFft, ParallelScheme};
+    pub use ftfft_roundoff::{thresholds_for_split, throughput, Calibrator, Thresholds};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let n = 256;
+        let mut x = uniform_signal(n, 1);
+        let mut out = vec![Complex64::ZERO; n];
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineCompOpt));
+        let rep = plan.execute_alloc(&mut x, &mut out, &NoFaults);
+        assert!(rep.is_clean());
+        let want = dft_naive(&x, Direction::Forward);
+        assert!(ftfft_numeric::max_abs_diff(&out, &want) < 1e-8 * n as f64);
+    }
+}

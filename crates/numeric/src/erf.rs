@@ -1,0 +1,76 @@
+//! Error function and standard-normal CDF.
+//!
+//! §8 of the paper selects detection thresholds η so that the *throughput*
+//! `1/(3 − 2Φ(η/(√N σ)))` stays near 1. `std` does not expose `erf`, so we
+//! implement the Abramowitz & Stegun 7.1.26 rational approximation (max
+//! absolute error 1.5e-7, ample for threshold selection) with exact symmetry.
+
+/// Error function `erf(x)`, accurate to ~1.5e-7 absolute.
+pub fn erf(x: f64) -> f64 {
+    // A&S 7.1.26 with t = 1/(1+px).
+    const P: f64 = 0.327_591_1;
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let poly = ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t;
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(x) = (1 + erf(x/√2))/2`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables (to the approximation's accuracy).
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (3.0, 0.999_977_909_5),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erf_limits_and_monotonicity() {
+        assert!(erf(6.0) > 0.999_999);
+        assert!(erf(-6.0) < -0.999_999);
+        let mut prev = -1.0;
+        for i in -50..=50 {
+            let v = erf(i as f64 / 10.0);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(3.0) - 0.998_650_102).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.158_655_254).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_sigma_throughput_matches_paper() {
+        // Paper §8: with η = 3σ√N the theoretical throughput is 0.997.
+        let throughput = 1.0 / (3.0 - 2.0 * normal_cdf(3.0));
+        assert!((throughput - 0.997).abs() < 5e-4, "got {throughput}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Numeric substrate for the ft-fft workspace.
+//!
+//! The ABFT-FFT reproduction deliberately avoids external numeric crates so
+//! that every arithmetic path a fault can strike is owned by this workspace.
+//! This crate provides:
+//!
+//! * [`Complex64`] — a `#[repr(C)]` double-precision complex number with the
+//!   full operator set used by the FFT kernels ([`complex`]);
+//! * twiddle-factor primitives `ω_N^k = exp(-2πik/N)` and the cube roots of
+//!   unity used by the ABFT checksum encoding ([`twiddle`]);
+//! * running statistics, norms, and infinity-norm relative error ([`stats`]);
+//! * `erf`/`Φ` rational approximations for the §8 round-off throughput model
+//!   ([`mod@erf`]);
+//! * seedable random signal generators for the paper's `U(-1,1)` and
+//!   `N(0,1)` workloads ([`rng`]).
+
+pub mod complex;
+pub mod erf;
+pub mod rng;
+pub mod stats;
+pub mod twiddle;
+
+pub use complex::Complex64;
+pub use erf::{erf, normal_cdf};
+pub use rng::{normal_signal, uniform_signal, SignalDist};
+pub use stats::{inf_norm, max_abs_diff, mean, relative_error_inf, variance, RunningStats};
+pub use twiddle::{cis, omega, omega3, omega3_pow, OMEGA3_IM, OMEGA3_RE};

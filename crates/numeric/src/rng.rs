@@ -1,0 +1,97 @@
+//! Random signal generation for the paper's workloads.
+//!
+//! §9 evaluates with inputs drawn from `U(-1,1)` and `N(0,1)`. We expose
+//! deterministic, seedable generators so every experiment in the benchmark
+//! harness is reproducible bit-for-bit.
+
+use crate::complex::{c64, Complex64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input distribution of a generated test signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalDist {
+    /// Real and imaginary parts i.i.d. uniform on (-1, 1).
+    Uniform,
+    /// Real and imaginary parts i.i.d. standard normal.
+    Normal,
+}
+
+impl SignalDist {
+    /// Population standard deviation of one component under this
+    /// distribution (σ₀ in §8: 1/√3 for U(-1,1), 1 for N(0,1)).
+    pub fn component_std_dev(self) -> f64 {
+        match self {
+            SignalDist::Uniform => (1.0f64 / 3.0).sqrt(),
+            SignalDist::Normal => 1.0,
+        }
+    }
+
+    /// Generates `n` complex samples with the given seed.
+    pub fn generate(self, n: usize, seed: u64) -> Vec<Complex64> {
+        match self {
+            SignalDist::Uniform => uniform_signal(n, seed),
+            SignalDist::Normal => normal_signal(n, seed),
+        }
+    }
+}
+
+/// `n` complex samples with both components uniform on (-1, 1).
+pub fn uniform_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+/// `n` complex samples with both components standard normal (Box–Muller).
+pub fn normal_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| c64(standard_normal(&mut rng), standard_normal(&mut rng))).collect()
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller; u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, variance};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(uniform_signal(64, 42), uniform_signal(64, 42));
+        assert_eq!(normal_signal(64, 42), normal_signal(64, 42));
+        assert_ne!(uniform_signal(64, 42), uniform_signal(64, 43));
+    }
+
+    #[test]
+    fn uniform_in_range_with_expected_moments() {
+        let xs = uniform_signal(20_000, 7);
+        let re: Vec<f64> = xs.iter().map(|z| z.re).collect();
+        assert!(re.iter().all(|&x| (-1.0..1.0).contains(&x)));
+        assert!(mean(&re).abs() < 0.02);
+        // Var U(-1,1) = 1/3.
+        assert!((variance(&re) - 1.0 / 3.0).abs() < 0.01);
+        assert!((SignalDist::Uniform.component_std_dev().powi(2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let xs = normal_signal(20_000, 7);
+        let im: Vec<f64> = xs.iter().map(|z| z.im).collect();
+        assert!(mean(&im).abs() < 0.03);
+        assert!((variance(&im) - 1.0).abs() < 0.05);
+        assert_eq!(SignalDist::Normal.component_std_dev(), 1.0);
+    }
+
+    #[test]
+    fn dist_generate_dispatch() {
+        assert_eq!(SignalDist::Uniform.generate(16, 1), uniform_signal(16, 1));
+        assert_eq!(SignalDist::Normal.generate(16, 1), normal_signal(16, 1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Statistics and norms used by the round-off model and the evaluation
+//! harness (Tables 4–6 report max residuals, variances, and ∞-norm relative
+//! errors).
+
+use crate::complex::Complex64;
+
+/// Arithmetic mean of a real sample. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a real sample. Returns 0 for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Infinity norm `max_j |x_j|` of a complex vector.
+pub fn inf_norm(xs: &[Complex64]) -> f64 {
+    xs.iter().map(|z| z.norm()).fold(0.0, f64::max)
+}
+
+/// `max_j |a_j - b_j|` over paired complex vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm())
+        .fold(0.0, f64::max)
+}
+
+/// The paper's Table 6 metric: `‖x' − x‖_∞ / ‖x‖_∞`.
+///
+/// Returns `f64::INFINITY` when the reference has zero norm but the vectors
+/// differ, and `0.0` when both conditions hold trivially.
+pub fn relative_error_inf(actual: &[Complex64], reference: &[Complex64]) -> f64 {
+    let denom = inf_norm(reference);
+    let num = max_abs_diff(actual, reference);
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// Numerically stable running mean/variance/extrema (Welford).
+#[derive(Clone, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-15);
+        assert!((variance(&xs) - 1.25).abs() < 1e-15);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [0.5, -1.5, 2.25, 3.0, -0.75, 10.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), xs.len() as u64);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((rs.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(rs.min(), -1.5);
+        assert_eq!(rs.max(), 10.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = [c64(3.0, 4.0), c64(0.0, 1.0)];
+        assert_eq!(inf_norm(&a), 5.0);
+        let b = [c64(3.0, 4.0), c64(0.0, 0.0)];
+        assert_eq!(max_abs_diff(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn relative_error_inf_cases() {
+        let x = [c64(2.0, 0.0), c64(0.0, 0.0)];
+        let y = [c64(1.0, 0.0), c64(0.0, 0.0)];
+        assert!((relative_error_inf(&x, &y) - 1.0).abs() < 1e-15);
+        let z = [c64(0.0, 0.0); 2];
+        assert_eq!(relative_error_inf(&z, &z), 0.0);
+        assert_eq!(relative_error_inf(&x, &z), f64::INFINITY);
+    }
+}

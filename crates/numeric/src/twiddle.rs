@@ -1,0 +1,101 @@
+//! Twiddle-factor primitives and the cube roots of unity.
+//!
+//! The forward DFT convention throughout the workspace is
+//! `X_j = Σ_n x_n ω_N^{jn}` with `ω_N = exp(-2πi/N)` (engineering sign).
+//! The ABFT computational checksum of Wang & Jha (and §2.2 of the paper)
+//! encodes with `ω₃ = -1/2 + (√3/2)i`, the *first* cube root of unity, i.e.
+//! `exp(+2πi/3)`; note the opposite sign from the transform twiddles.
+
+use crate::complex::{c64, Complex64};
+
+/// Real part of ω₃ = -1/2 + (√3/2)i.
+pub const OMEGA3_RE: f64 = -0.5;
+/// Imaginary part of ω₃: √3/2.
+pub const OMEGA3_IM: f64 = 0.866_025_403_784_438_6;
+
+/// `exp(iθ)` — the unit phasor at angle `theta`.
+#[inline]
+pub fn cis(theta: f64) -> Complex64 {
+    c64(theta.cos(), theta.sin())
+}
+
+/// Forward twiddle factor `ω_n^k = exp(-2πik/n)`.
+///
+/// `k` is reduced modulo `n` before evaluating so large products such as
+/// `n1*j2` in the Cooley–Tukey twiddle stage stay accurate.
+#[inline]
+pub fn omega(n: usize, k: usize) -> Complex64 {
+    debug_assert!(n > 0);
+    let k = k % n;
+    cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64)
+}
+
+/// The checksum root ω₃ = exp(+2πi/3) used by the Wang–Jha encoding.
+#[inline]
+pub fn omega3() -> Complex64 {
+    c64(OMEGA3_RE, OMEGA3_IM)
+}
+
+/// `ω₃^k`, evaluated exactly from the 3-cycle (no trig, no drift).
+#[inline]
+pub fn omega3_pow(k: usize) -> Complex64 {
+    match k % 3 {
+        0 => Complex64::ONE,
+        1 => c64(OMEGA3_RE, OMEGA3_IM),
+        _ => c64(OMEGA3_RE, -OMEGA3_IM),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_is_unit_and_periodic() {
+        for n in [2usize, 3, 8, 12, 1000] {
+            for k in [0usize, 1, n / 2, n - 1, n, 3 * n + 1] {
+                let w = omega(n, k);
+                assert!((w.norm() - 1.0).abs() < 1e-12, "n={n} k={k}");
+                assert!(w.approx_eq(omega(n, k % n), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn omega_special_values() {
+        assert!(omega(4, 0).approx_eq(c64(1.0, 0.0), 1e-15));
+        assert!(omega(4, 1).approx_eq(c64(0.0, -1.0), 1e-15));
+        assert!(omega(4, 2).approx_eq(c64(-1.0, 0.0), 1e-15));
+        assert!(omega(2, 1).approx_eq(c64(-1.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn omega3_is_primitive_cube_root() {
+        let w = omega3();
+        assert!((w * w * w).approx_eq(Complex64::ONE, 1e-15));
+        assert!(!w.approx_eq(Complex64::ONE, 1e-3));
+        // 1 + ω₃ + ω₃² = 0
+        let s = Complex64::ONE + w + w * w;
+        assert!(s.approx_eq(Complex64::ZERO, 1e-15));
+    }
+
+    #[test]
+    fn omega3_pow_cycles_exactly() {
+        for k in 0..12 {
+            let direct = omega3_pow(k);
+            let mut acc = Complex64::ONE;
+            for _ in 0..k {
+                acc *= omega3();
+            }
+            assert!(direct.approx_eq(acc, 1e-12), "k={k}");
+        }
+    }
+
+    #[test]
+    fn omega3_matches_paper_constant() {
+        // The paper defines r_j = ω₃^j with ω₃ = -1/2 + (√3/2)i.
+        let w = omega3_pow(1);
+        assert!((w.re + 0.5).abs() < 1e-15);
+        assert!((w.im - 3.0f64.sqrt() / 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,26 @@
+//! Parallel in-place online ABFT FFT on a simulated message-passing
+//! machine (§5–§6 of Liang et al., SC '17).
+//!
+//! The paper evaluates on TIANHE-2 with MPI; this crate substitutes a
+//! deterministic in-process machine — one OS thread per rank, a full
+//! channel mesh with `Isend`/`Irecv`/`Wait` semantics, and an optional α–β
+//! network model so communication–computation overlap is measurable. The
+//! code paths are the paper's: a six-step transform with three block
+//! transposes, checksummed communication, ABFT-protected local FFTs (the
+//! in-place FFT 2 via [`ftfft_core::InPlaceFtPlan`]), DMR twiddles, and
+//! the Algorithm 3 double-buffered overlap pipeline.
+//!
+//! Entry point: [`ParallelFft`] with a [`ParallelScheme`] (the four bars
+//! of Fig 8: FFTW / FT-FFTW / opt-FFTW / opt-FT-FFTW).
+
+pub mod machine;
+pub mod network;
+pub mod scheme;
+pub mod sixstep;
+pub mod transpose;
+
+pub use machine::{run_ranks, Comm, RecvHandle};
+pub use network::NetworkModel;
+pub use scheme::ParallelScheme;
+pub use sixstep::ParallelFft;
+pub use transpose::{exchange, BlockProtection};

@@ -1,0 +1,210 @@
+//! Simulated message-passing machine: one OS thread per rank, a full mesh
+//! of channels, nonblocking send/receive in the MPI style the paper's
+//! Algorithm 3 assumes (`Isend`/`Irecv`/`Wait`), and a shared barrier.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ftfft_numeric::Complex64;
+
+use crate::network::NetworkModel;
+
+/// A message between ranks: payload plus its send timestamp (for the
+/// network model).
+struct Msg {
+    data: Vec<Complex64>,
+    sent: Instant,
+}
+
+/// Per-rank communication endpoint.
+pub struct Comm {
+    rank: usize,
+    p: usize,
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+    network: Option<NetworkModel>,
+}
+
+/// Handle for a posted nonblocking receive.
+pub struct RecvHandle<'a> {
+    comm: &'a Comm,
+    from: usize,
+}
+
+impl Comm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Nonblocking send (unbounded channel: never blocks) — `Isend` whose
+    /// completion is immediate.
+    pub fn isend(&self, to: usize, data: Vec<Complex64>) {
+        self.senders[to]
+            .send(Msg { data, sent: Instant::now() })
+            .expect("peer rank hung up");
+    }
+
+    /// Posts a nonblocking receive from `from`.
+    pub fn irecv(&self, from: usize) -> RecvHandle<'_> {
+        RecvHandle { comm: self, from }
+    }
+
+    /// Blocking receive from `from`, honouring the network model.
+    pub fn recv(&self, from: usize) -> Vec<Complex64> {
+        let msg = self.receivers[from].recv().expect("peer rank hung up");
+        if let Some(net) = self.network {
+            NetworkModel::wait_until(net.arrival(msg.sent, msg.data.len()));
+        }
+        msg.data
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+impl RecvHandle<'_> {
+    /// Waits for the message (`MPI_Wait`).
+    pub fn wait(self) -> Vec<Complex64> {
+        self.comm.recv(self.from)
+    }
+}
+
+/// Runs `f` on `p` ranks (threads) and collects the per-rank results in
+/// rank order. `f` may borrow from the caller's stack (scoped threads).
+pub fn run_ranks<T, F>(p: usize, network: Option<NetworkModel>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Sync,
+{
+    assert!(p > 0);
+    // Build the full channel mesh: mesh[i][j] carries i → j traffic.
+    let mut senders: Vec<Vec<Sender<Msg>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Receiver<Msg>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    for i in 0..p {
+        for j in 0..p {
+            let (tx, rx) = unbounded();
+            senders[i].push(tx);
+            receivers[j].push(rx);
+        }
+    }
+    // receivers[j][i] currently holds the endpoint for i → j in send order;
+    // reorder so receivers[j][i] is indexed by source i.
+    // (They already are: inner loop pushes per-source in order for each j.)
+    let barrier = Arc::new(Barrier::new(p));
+
+    let mut comms: Vec<Option<Comm>> = Vec::with_capacity(p);
+    let mut receivers_iter = receivers.into_iter();
+    for (rank, s) in senders.into_iter().enumerate() {
+        let r = receivers_iter.next().expect("mesh size mismatch");
+        comms.push(Some(Comm {
+            rank,
+            p,
+            senders: s,
+            receivers: r,
+            barrier: barrier.clone(),
+            network,
+        }));
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter_mut()
+            .map(|slot| {
+                let comm = slot.take().expect("comm already taken");
+                let f = &f;
+                scope.spawn(move || f(comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_numeric::complex::c64;
+
+    #[test]
+    fn ring_pass() {
+        let results = run_ranks(4, None, |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % comm.size();
+            let prev = (me + comm.size() - 1) % comm.size();
+            comm.isend(next, vec![c64(me as f64, 0.0)]);
+            let got = comm.recv(prev);
+            got[0].re as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn irecv_wait_matches_blocking() {
+        let results = run_ranks(2, None, |comm| {
+            let other = 1 - comm.rank();
+            let h = comm.irecv(other);
+            comm.isend(other, vec![c64(42.0, -1.0); 8]);
+            let data = h.wait();
+            data.len()
+        });
+        assert_eq!(results, vec![8, 8]);
+    }
+
+    #[test]
+    fn messages_are_fifo_per_pair() {
+        let results = run_ranks(2, None, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10 {
+                    comm.isend(1, vec![c64(i as f64, 0.0)]);
+                }
+                0
+            } else {
+                let mut last = -1.0;
+                for _ in 0..10 {
+                    let m = comm.recv(0);
+                    assert!(m[0].re > last);
+                    last = m[0].re;
+                }
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn network_model_delays_delivery() {
+        use std::time::{Duration, Instant};
+        let net = NetworkModel { latency: Duration::from_millis(3), per_word: Duration::ZERO };
+        run_ranks(2, Some(net), |comm| {
+            // Synchronize so thread start-up skew doesn't eat the latency.
+            comm.barrier();
+            if comm.rank() == 0 {
+                comm.isend(1, vec![c64(1.0, 0.0)]);
+            } else {
+                let t0 = Instant::now();
+                let _ = comm.recv(0);
+                assert!(t0.elapsed() >= Duration::from_millis(1));
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, None, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

@@ -1,0 +1,65 @@
+//! Calibrated network cost model.
+//!
+//! The simulated machine runs all ranks on one node, where channel latency
+//! is far below a real interconnect's. To reproduce the paper's
+//! communication/computation balance (and make the Algorithm 3 overlap
+//! measurable), an optional α–β model delays each message: a message of `w`
+//! complex words becomes visible `latency + w·per_word` after it was sent.
+//! Receivers spin-wait on the deadline, emulating an in-flight message.
+
+use std::time::{Duration, Instant};
+
+/// α–β per-message cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed per-message latency (α).
+    pub latency: Duration,
+    /// Per-complex-word transfer time (β).
+    pub per_word: Duration,
+}
+
+impl NetworkModel {
+    /// A model resembling a commodity cluster interconnect, scaled so that
+    /// laptop-sized problems see a realistic comm/compute ratio.
+    pub fn cluster() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(20),
+            per_word: Duration::from_nanos(8),
+        }
+    }
+
+    /// Deadline by which a `words`-long message sent at `sent` arrives.
+    pub fn arrival(&self, sent: Instant, words: usize) -> Instant {
+        sent + self.latency + self.per_word * words as u32
+    }
+
+    /// Spin until `deadline` (sub-millisecond precision matters here; a
+    /// sleep would quantize to the scheduler tick).
+    pub fn wait_until(deadline: Instant) {
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_scales_with_words() {
+        let m = NetworkModel { latency: Duration::from_micros(10), per_word: Duration::from_nanos(100) };
+        let t0 = Instant::now();
+        let small = m.arrival(t0, 10);
+        let big = m.arrival(t0, 10_000);
+        assert!(big > small);
+        assert_eq!(big - t0, Duration::from_micros(10) + Duration::from_nanos(100) * 10_000);
+    }
+
+    #[test]
+    fn wait_until_respects_deadline() {
+        let deadline = Instant::now() + Duration::from_micros(200);
+        NetworkModel::wait_until(deadline);
+        assert!(Instant::now() >= deadline);
+    }
+}

@@ -1,0 +1,63 @@
+//! Parallel scheme selection — the four bars of Fig 8.
+
+/// Which parallel FFT configuration to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParallelScheme {
+    /// Plain six-step FFT, blocking transposes — baseline "FFTW".
+    Fftw,
+    /// Fault-tolerant scheme with the sequential optimizations only
+    /// (blocking transposes) — "FT-FFTW".
+    FtFftw,
+    /// Plain FFT plus the §6 parallel optimizations (pipelined transposes,
+    /// twiddle overlapped with communication) — "opt-FFTW".
+    OptFftw,
+    /// Fault tolerance plus the parallel optimizations: checksum work
+    /// hidden behind communication (Fig 6) — "opt-FT-FFTW".
+    OptFtFftw,
+}
+
+impl ParallelScheme {
+    /// `true` when checksums/DMR protection is active.
+    pub fn protected(self) -> bool {
+        matches!(self, ParallelScheme::FtFftw | ParallelScheme::OptFtFftw)
+    }
+
+    /// `true` when Algorithm 3 overlap is active.
+    pub fn overlap(self) -> bool {
+        matches!(self, ParallelScheme::OptFftw | ParallelScheme::OptFtFftw)
+    }
+
+    /// Label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParallelScheme::Fftw => "FFTW",
+            ParallelScheme::FtFftw => "FT-FFTW",
+            ParallelScheme::OptFftw => "opt-FFTW",
+            ParallelScheme::OptFtFftw => "opt-FT-FFTW",
+        }
+    }
+
+    /// All schemes in Fig 8 presentation order.
+    pub const ALL: [ParallelScheme; 4] = [
+        ParallelScheme::Fftw,
+        ParallelScheme::FtFftw,
+        ParallelScheme::OptFftw,
+        ParallelScheme::OptFtFftw,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(!ParallelScheme::Fftw.protected());
+        assert!(ParallelScheme::FtFftw.protected());
+        assert!(!ParallelScheme::FtFftw.overlap());
+        assert!(ParallelScheme::OptFtFftw.protected());
+        assert!(ParallelScheme::OptFtFftw.overlap());
+        assert!(ParallelScheme::OptFftw.overlap());
+        assert_eq!(ParallelScheme::ALL.len(), 4);
+    }
+}

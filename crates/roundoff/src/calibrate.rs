@@ -1,0 +1,75 @@
+//! Empirical threshold calibration.
+//!
+//! Table 6's protocol: run the scheme fault-free a number of times, record
+//! the maximum observed checksum residual, and set η to a small multiple of
+//! that bound so throughput is ~100%. This complements the closed-form
+//! model in [`crate::threshold`], which can be loose on real hardware.
+
+use ftfft_numeric::RunningStats;
+
+/// Accumulates fault-free residuals and derives a calibrated η.
+#[derive(Clone, Debug, Default)]
+pub struct Calibrator {
+    stats: RunningStats,
+}
+
+impl Calibrator {
+    /// Creates an empty calibrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fault-free residual observation.
+    pub fn observe(&mut self, residual: f64) {
+        self.stats.push(residual);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Largest fault-free residual seen.
+    pub fn max_residual(&self) -> f64 {
+        if self.stats.count() == 0 {
+            0.0
+        } else {
+            self.stats.max()
+        }
+    }
+
+    /// Mean residual.
+    pub fn mean_residual(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Calibrated threshold: `headroom ×` the observed maximum (the paper
+    /// sets η to a "rough upper bound" of the fault-free residuals).
+    pub fn eta(&self, headroom: f64) -> f64 {
+        self.max_residual() * headroom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_max_and_mean() {
+        let mut c = Calibrator::new();
+        for r in [1e-10, 3e-10, 2e-10] {
+            c.observe(r);
+        }
+        assert_eq!(c.count(), 3);
+        assert!((c.max_residual() - 3e-10).abs() < 1e-24);
+        assert!((c.mean_residual() - 2e-10).abs() < 1e-12);
+        assert!((c.eta(2.0) - 6e-10).abs() < 1e-24);
+    }
+
+    #[test]
+    fn empty_calibrator_gives_zero_eta() {
+        let c = Calibrator::new();
+        assert_eq!(c.eta(3.0), 0.0);
+        assert_eq!(c.max_residual(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Floating-point round-off noise model for FFT (§8.1 of the paper).
+//!
+//! Following Weinstein's analysis, an N-point floating-point FFT of a
+//! zero-mean input with component variance σ₀² accumulates round-off noise
+//! with noise-to-signal ratio `σ_E²/σ_X² = 2 σ_ε² log₂N`, where σ_ε is the
+//! per-operation rounding error. Gentleman & Sande's empirical value
+//! `σ_ε² = (0.21)·2^(-2t)` is used with `t = 52` mantissa bits for `f64`.
+//!
+//! The checksum residual compared against η is the *sum* of output errors,
+//! so the paper propagates the per-element noise through the weighted sum
+//! and takes the conservative upper bound `m·σ_e` for an m-point part.
+
+/// Mantissa bits of an IEEE-754 double.
+pub const F64_MANTISSA_BITS: u32 = 52;
+
+/// Per-operation rounding std-dev `σ_ε = √0.21 · 2^(-t)` (Gentleman–Sande).
+pub fn sigma_eps(mantissa_bits: u32) -> f64 {
+    0.21f64.sqrt() * 2.0f64.powi(-(mantissa_bits as i32))
+}
+
+/// Std-dev of the round-off error of a single output element of an m-point
+/// FFT with zero-mean inputs of component std-dev `sigma0`:
+/// `σ_e = √(2·m·σ₀²·σ_ε²·log₂m)`.
+pub fn output_roundoff_std(m: usize, sigma0: f64, mantissa_bits: u32) -> f64 {
+    if m < 2 {
+        return 0.0;
+    }
+    let se = sigma_eps(mantissa_bits);
+    (2.0 * m as f64 * sigma0 * sigma0 * se * se * (m as f64).log2()).sqrt()
+}
+
+/// Paper's conservative bound on the checksum-sum round-off of an m-point
+/// part: `σ_roe = m·σ_e` (upper end of the `log₂m·σ_e … m·σ_e` range).
+pub fn checksum_roundoff_std(m: usize, sigma0: f64, mantissa_bits: u32) -> f64 {
+    m as f64 * output_roundoff_std(m, sigma0, mantissa_bits)
+}
+
+/// Second-part variant: the k-point FFTs see inputs of std-dev `√m·σ₀`
+/// (the output scale of the first part), giving
+/// `σ_roe2 = k·√(2k·m·σ₀²·σ_ε²·log₂k)`.
+pub fn checksum_roundoff_std_second(
+    k: usize,
+    m: usize,
+    sigma0: f64,
+    mantissa_bits: u32,
+) -> f64 {
+    if k < 2 {
+        return 0.0;
+    }
+    let se = sigma_eps(mantissa_bits);
+    let input_var = m as f64 * sigma0 * sigma0;
+    k as f64 * (2.0 * k as f64 * input_var * se * se * (k as f64).log2()).sqrt()
+}
+
+/// Memory-checksum round-off (§8.2): summing `m` elements of std-dev
+/// `sqrt(var)` loses about `m·√var·σ_ε`.
+pub fn memory_sum_roundoff_std(m: usize, value_std: f64, mantissa_bits: u32) -> f64 {
+    m as f64 * value_std * sigma_eps(mantissa_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_eps_scale() {
+        let se = sigma_eps(F64_MANTISSA_BITS);
+        // ≈ 0.458 * 2.22e-16 ≈ 1.0e-16
+        assert!(se > 5e-17 && se < 2e-16, "{se}");
+    }
+
+    #[test]
+    fn output_noise_grows_with_size() {
+        let s0 = (1.0f64 / 3.0).sqrt();
+        let a = output_roundoff_std(1 << 10, s0, F64_MANTISSA_BITS);
+        let b = output_roundoff_std(1 << 14, s0, F64_MANTISSA_BITS);
+        assert!(b > a);
+        assert!(a > 0.0);
+        assert_eq!(output_roundoff_std(1, s0, F64_MANTISSA_BITS), 0.0);
+    }
+
+    #[test]
+    fn paper_magnitude_sanity() {
+        // For N = 2^25 split as m = 2^13: the paper's Est1 is ~1.45e-8 with
+        // η = 3√m σ_roe; check the model lands within an order of magnitude.
+        let m = 1 << 13;
+        let s0 = (1.0f64 / 3.0).sqrt();
+        let sroe = checksum_roundoff_std(m, s0, F64_MANTISSA_BITS);
+        let eta1 = 3.0 * (m as f64).sqrt() * sroe;
+        assert!(eta1 > 1e-9 && eta1 < 1e-6, "eta1={eta1}");
+    }
+
+    #[test]
+    fn second_part_noise_exceeds_first_for_balanced_split() {
+        // Inputs to the second part are √m times larger, so its residual
+        // bound should dominate (paper Table 4: Est2 ≫ Est1).
+        let (k, m) = (1 << 12, 1 << 13);
+        let s0 = (1.0f64 / 3.0).sqrt();
+        let a = checksum_roundoff_std(m, s0, F64_MANTISSA_BITS);
+        let b = checksum_roundoff_std_second(k, m, s0, F64_MANTISSA_BITS);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn memory_sum_noise_is_tiny() {
+        let s = memory_sum_roundoff_std(1 << 13, 1.0, F64_MANTISSA_BITS);
+        assert!(s < 1e-11);
+        assert!(s > 0.0);
+    }
+}

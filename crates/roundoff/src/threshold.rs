@@ -1,0 +1,116 @@
+//! Detection-threshold (η) selection for the ABFT schemes.
+//!
+//! η trades throughput (fault-free runs flagged faulty → useless retries)
+//! against coverage (real faults below η slip through). §8 sets
+//! `η = 3·√size·σ_roe` per protected part, which the normal model puts at
+//! ≈99.7% throughput. The *offline* scheme has one part of size N, so its η
+//! is far larger than the online scheme's per-sub-FFT thresholds — the root
+//! of the paper's Table 5 detectability gap.
+
+use crate::model::{
+    checksum_roundoff_std, checksum_roundoff_std_second, memory_sum_roundoff_std,
+    F64_MANTISSA_BITS,
+};
+
+/// Thresholds for a two-layer online scheme (and the offline whole-FFT one).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thresholds {
+    /// η for each first-part m-point FFT.
+    pub eta1: f64,
+    /// η for each second-part k-point FFT.
+    pub eta2: f64,
+    /// η for the offline whole-transform check (size N).
+    pub eta_offline: f64,
+    /// Tolerance for memory-checksum comparisons on the input scale.
+    pub eta_mem_in: f64,
+    /// Tolerance for memory-checksum comparisons on the intermediate scale
+    /// (first-part outputs are √m larger).
+    pub eta_mem_mid: f64,
+    /// Tolerance for memory-checksum comparisons on the output scale.
+    pub eta_mem_out: f64,
+}
+
+/// Model-based thresholds for an `N = k·m` split with input component
+/// std-dev `sigma0`.
+pub fn thresholds_for_split(n: usize, k: usize, m: usize, sigma0: f64) -> Thresholds {
+    assert_eq!(k * m, n, "split mismatch");
+    let t = F64_MANTISSA_BITS;
+    let sroe1 = checksum_roundoff_std(m, sigma0, t);
+    let sroe2 = checksum_roundoff_std_second(k, m, sigma0, t);
+    // Offline: one check over the full N-point transform. Its inputs have
+    // std σ0 and the transform is N-point, so the same bound with size N.
+    let sroe_off = checksum_roundoff_std(n, sigma0, t);
+
+    // Memory sums: input elements ~σ0, intermediate ~√m·σ0, output ~√N·σ0.
+    let mem_in = memory_sum_roundoff_std(m.max(k), sigma0, t);
+    let mem_mid = memory_sum_roundoff_std(m.max(k), (m as f64).sqrt() * sigma0, t);
+    let mem_out = memory_sum_roundoff_std(n, (n as f64).sqrt() * sigma0, t);
+
+    // The Gentleman–Sande σ_ε is an *average-case* constant and the rA
+    // weights near the geometric-series pole amplify individual terms, so
+    // the raw 3σ bound sits within ~2× of real residuals. A fixed headroom
+    // keeps throughput at ~100% (Table 4) while the detectability gap of
+    // Table 5 (orders of magnitude) is unaffected.
+    const HEADROOM: f64 = 4.0;
+    Thresholds {
+        eta1: HEADROOM * 3.0 * (m as f64).sqrt() * sroe1,
+        eta2: HEADROOM * 3.0 * (k as f64).sqrt() * sroe2,
+        eta_offline: HEADROOM * 3.0 * (n as f64).sqrt() * sroe_off,
+        // 6σ on the memory sums: they are cheap exact sums, so the model
+        // underestimates relative to fused-multiply hardware; headroom
+        // avoids false positives without hurting coverage (deltas of
+        // interest are ≫ these scales).
+        eta_mem_in: 6.0 * mem_in.max(f64::EPSILON),
+        eta_mem_mid: 6.0 * mem_mid.max(f64::EPSILON),
+        eta_mem_out: 6.0 * mem_out.max(f64::EPSILON),
+    }
+}
+
+/// Scales model thresholds by an empirical safety factor (used after
+/// calibration finds the model tight or loose on a given machine).
+pub fn scaled(t: Thresholds, factor: f64) -> Thresholds {
+    Thresholds {
+        eta1: t.eta1 * factor,
+        eta2: t.eta2 * factor,
+        eta_offline: t.eta_offline * factor,
+        eta_mem_in: t.eta_mem_in * factor,
+        eta_mem_mid: t.eta_mem_mid * factor,
+        eta_mem_out: t.eta_mem_out * factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_thresholds_are_far_below_offline() {
+        let n = 1 << 20;
+        let (k, m) = (1 << 10, 1 << 10);
+        let t = thresholds_for_split(n, k, m, (1.0f64 / 3.0).sqrt());
+        assert!(t.eta1 < t.eta_offline / 100.0, "eta1={} off={}", t.eta1, t.eta_offline);
+        assert!(t.eta2 < t.eta_offline, "eta2={} off={}", t.eta2, t.eta_offline);
+        assert!(t.eta1 > 0.0 && t.eta2 > 0.0);
+    }
+
+    #[test]
+    fn second_part_threshold_dominates_first() {
+        let t = thresholds_for_split(1 << 16, 1 << 8, 1 << 8, 1.0);
+        assert!(t.eta2 > t.eta1);
+    }
+
+    #[test]
+    fn memory_thresholds_ordered_by_scale() {
+        let t = thresholds_for_split(1 << 16, 1 << 8, 1 << 8, 1.0);
+        assert!(t.eta_mem_in < t.eta_mem_mid);
+        assert!(t.eta_mem_mid < t.eta_mem_out);
+    }
+
+    #[test]
+    fn scaling() {
+        let t = thresholds_for_split(1 << 10, 1 << 5, 1 << 5, 1.0);
+        let s = scaled(t, 2.0);
+        assert_eq!(s.eta1, 2.0 * t.eta1);
+        assert_eq!(s.eta_mem_out, 2.0 * t.eta_mem_out);
+    }
+}

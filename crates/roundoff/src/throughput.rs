@@ -1,0 +1,61 @@
+//! Throughput model (§8.1): the fraction of useful runs when fault-free
+//! executions are occasionally mis-flagged by a threshold η.
+//!
+//! `throughput(η, N, σ) = 1 / (3 − 2Φ(η/(√N σ)))`: a false positive costs a
+//! retry plus re-verification, hence the specific form. At `η = 3σ√N` this
+//! evaluates to ≈0.997.
+
+use ftfft_numeric::normal_cdf;
+
+/// Theoretical throughput for threshold `eta` with residual scale
+/// `sqrt_n_sigma = √N·σ`.
+pub fn throughput(eta: f64, sqrt_n_sigma: f64) -> f64 {
+    if sqrt_n_sigma <= 0.0 {
+        return 1.0;
+    }
+    1.0 / (3.0 - 2.0 * normal_cdf(eta / sqrt_n_sigma))
+}
+
+/// Empirical throughput from a campaign: `runs / (runs + retries)` — every
+/// false positive triggers one retry of the protected part.
+pub fn empirical_throughput(runs: u64, false_positive_retries: u64) -> f64 {
+    if runs == 0 {
+        return 1.0;
+    }
+    runs as f64 / (runs + false_positive_retries) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_sigma_gives_paper_value() {
+        let t = throughput(3.0, 1.0);
+        assert!((t - 0.997).abs() < 5e-4, "{t}");
+    }
+
+    #[test]
+    fn monotone_in_eta() {
+        let mut prev = 0.0;
+        for i in 0..10 {
+            let t = throughput(i as f64, 1.0);
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert!(throughput(10.0, 1.0) > 0.999_999);
+    }
+
+    #[test]
+    fn zero_eta_costs_half_the_runs() {
+        // Φ(0)=0.5 → throughput = 1/2: every second run is a false alarm.
+        assert!((throughput(0.0, 1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_counts() {
+        assert_eq!(empirical_throughput(0, 0), 1.0);
+        assert_eq!(empirical_throughput(100, 0), 1.0);
+        assert!((empirical_throughput(997, 3) - 0.997).abs() < 1e-9);
+    }
+}

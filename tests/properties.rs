@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use ftfft::checksum::{
+    combined_checksum, combined_sum1, combined_verify, input_checksum_vector, mem_checksum,
+    verify_and_correct, weighted_sum, MemVerdict,
+};
+use ftfft::prelude::*;
+use proptest::prelude::*;
+
+fn arb_signal(max_log2: u32) -> impl Strategy<Value = Vec<Complex64>> {
+    (1u32..=max_log2).prop_flat_map(|log2n| {
+        let n = 1usize << log2n;
+        (prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n))
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// fft then inverse fft recovers the input (after normalization).
+    #[test]
+    fn fft_round_trip(x in arb_signal(10)) {
+        let y = fft(&x);
+        let mut z = ifft(&y);
+        normalize(&mut z);
+        let err = ftfft::numeric::max_abs_diff(&z, &x);
+        prop_assert!(err < 1e-9, "err {err}");
+    }
+
+    /// Linearity: FFT(a·x + y) == a·FFT(x) + FFT(y).
+    #[test]
+    fn fft_linearity(x in arb_signal(9), scale in -3.0f64..3.0) {
+        let n = x.len();
+        let y = uniform_signal(n, 999);
+        let lhs: Vec<Complex64> = {
+            let combo: Vec<Complex64> = x.iter().zip(&y).map(|(&a, &b)| a.scale(scale) + b).collect();
+            fft(&combo)
+        };
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for j in 0..n {
+            let rhs = fx[j].scale(scale) + fy[j];
+            prop_assert!(lhs[j].approx_eq(rhs, 1e-8 * n as f64), "bin {j}");
+        }
+    }
+
+    /// Parseval: energy is preserved up to the 1/N convention.
+    #[test]
+    fn fft_parseval(x in arb_signal(10)) {
+        let n = x.len() as f64;
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        prop_assert!((ey - n * ex).abs() <= 1e-7 * (ey.abs() + 1.0));
+    }
+
+    /// The ABFT invariant r·FFT(x) == (rA)·x for random inputs.
+    #[test]
+    fn abft_invariant(x in arb_signal(10)) {
+        let n = x.len();
+        let ra = input_checksum_vector(n, Direction::Forward);
+        let cx = combined_sum1(&x, &ra);
+        let y = fft(&x);
+        let rx = weighted_sum(&y);
+        prop_assert!((rx - cx).norm() < 1e-7 * n as f64, "residual {}", (rx - cx).norm());
+    }
+
+    /// Memory checksum locate/correct round-trips for any position and a
+    /// detectable magnitude.
+    #[test]
+    fn memory_locate_correct_round_trip(
+        x in arb_signal(9),
+        idx_frac in 0.0f64..1.0,
+        delta_re in prop::sample::select(vec![0.5f64, -2.0, 10.0, 1e3]),
+    ) {
+        let n = x.len();
+        let idx = ((idx_frac * n as f64) as usize).min(n - 1);
+        let ck = mem_checksum(&x);
+        let mut corrupted = x.clone();
+        corrupted[idx] += Complex64::new(delta_re, -delta_re);
+        let v = verify_and_correct(&mut corrupted, ck, 1e-9);
+        prop_assert!(matches!(v, MemVerdict::Located { index, .. } if index == idx), "{v:?}");
+        for (a, b) in corrupted.iter().zip(&x) {
+            prop_assert!(a.approx_eq(*b, 1e-7));
+        }
+    }
+
+    /// Combined checksums (rA weights) also locate and size faults.
+    #[test]
+    fn combined_locate_round_trip(
+        x in arb_signal(8),
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let n = x.len();
+        let idx = ((idx_frac * n as f64) as usize).min(n - 1);
+        let ra = input_checksum_vector(n, Direction::Forward);
+        let ck = combined_checksum(&x, &ra);
+        let mut corrupted = x.clone();
+        corrupted[idx] += Complex64::new(3.0, 1.0);
+        match combined_verify(&corrupted, &ra, ck, 1e-8) {
+            MemVerdict::Located { index, delta } => {
+                prop_assert_eq!(index, idx);
+                prop_assert!(delta.approx_eq(Complex64::new(3.0, 1.0), 1e-5));
+            }
+            v => prop_assert!(false, "expected Located, got {:?}", v),
+        }
+    }
+
+    /// The protected transform equals the plain transform bit-for-bit in
+    /// fault-free runs (protection must not perturb results).
+    #[test]
+    fn protected_equals_plain_when_fault_free(x in arb_signal(9)) {
+        let n = x.len();
+        let plain = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::Plain));
+        let prot = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+        let mut a = x.clone();
+        let mut out_a = vec![Complex64::ZERO; n];
+        plain.execute_alloc(&mut a, &mut out_a, &NoFaults);
+        let mut b = x.clone();
+        let mut out_b = vec![Complex64::ZERO; n];
+        let rep = prot.execute_alloc(&mut b, &mut out_b, &NoFaults);
+        prop_assert!(rep.is_clean());
+        prop_assert_eq!(out_a, out_b);
+    }
+
+    /// A random computational fault of visible size is always detected and
+    /// the final output still matches the clean transform.
+    #[test]
+    fn injected_subfft_fault_always_detected(
+        x in arb_signal(9),
+        element in 0usize..64,
+        magnitude in prop::sample::select(vec![1e-3f64, 1e-1, 1.0, 100.0]),
+    ) {
+        let n = x.len();
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineCompOpt));
+        let k = plan.two().k();
+        let idx = element % k;
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            Site::SubFftCompute { part: Part::First, index: idx },
+            element,
+            FaultKind::AddDelta { re: magnitude, im: 0.0 },
+        )]);
+        let mut a = x.clone();
+        let mut out = vec![Complex64::ZERO; n];
+        let rep = plan.execute_alloc(&mut a, &mut out, &inj);
+        prop_assert_eq!(rep.comp_detected, 1, "{:?}", rep);
+        let want = fft(&x);
+        prop_assert!(ftfft::numeric::max_abs_diff(&out, &want) < 1e-8 * n as f64);
+    }
+
+    /// Parallel == sequential for random power-of-two sizes and rank counts.
+    #[test]
+    fn parallel_matches_sequential(log2n in 8u32..12, logp in 0u32..3) {
+        let n = 1usize << log2n;
+        let p = 1usize << logp;
+        let x = uniform_signal(n, log2n as u64 * 31 + logp as u64);
+        let want = fft(&x);
+        let plan = ParallelFft::new(n, p, ParallelScheme::OptFtFftw, None, SignalDist::Uniform.component_std_dev(), 3);
+        let (out, rep) = plan.run(&x, &NoFaults);
+        prop_assert!(rep.is_clean(), "{:?}", rep);
+        prop_assert!(relative_error_inf(&out, &want) < 1e-9);
+    }
+}
