@@ -17,10 +17,7 @@ fn bench(c: &mut Criterion) {
             "lowlat",
             NetworkModel { latency: Duration::from_micros(5), per_word: Duration::from_nanos(2) },
         ),
-        (
-            "cluster",
-            NetworkModel::cluster(),
-        ),
+        ("cluster", NetworkModel::cluster()),
     ];
     for (net_label, net) in nets {
         for scheme in [ParallelScheme::FtFftw, ParallelScheme::OptFtFftw] {

@@ -21,24 +21,22 @@ fn main() {
 
     if which == "a" || which == "both" {
         banner("Fig 7(a): computational FT overhead (%)");
-        table(&log2ns, runs, &[
-            Scheme::OfflineNaive,
-            Scheme::Offline,
-            Scheme::OnlineComp,
-            Scheme::OnlineCompOpt,
-        ]);
+        table(
+            &log2ns,
+            runs,
+            &[Scheme::OfflineNaive, Scheme::Offline, Scheme::OnlineComp, Scheme::OnlineCompOpt],
+        );
     }
     if which == "b" || which == "both" {
         banner("Fig 7(b): computational & memory FT overhead (%)");
         // The paper's Fig 7(b) bars: naive offline, optimized offline with
         // memory checksums, online with the Fig 2 hierarchy, online with
         // the Fig 3 optimized hierarchy.
-        table(&log2ns, runs, &[
-            Scheme::OfflineNaive,
-            Scheme::OfflineMem,
-            Scheme::OnlineMem,
-            Scheme::OnlineMemOpt,
-        ]);
+        table(
+            &log2ns,
+            runs,
+            &[Scheme::OfflineNaive, Scheme::OfflineMem, Scheme::OnlineMem, Scheme::OnlineMemOpt],
+        );
     }
 }
 

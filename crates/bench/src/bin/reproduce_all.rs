@@ -2,34 +2,29 @@
 //! Total runtime is dominated by Fig 7 / Table 1 timing sweeps.
 //!
 //! ```text
-//! cargo run -p ftfft-bench --release --bin reproduce_all
+//! cargo run -p ftfft-bench --release --bin reproduce_all [-- --smoke]
 //! ```
+//!
+//! `--smoke` shrinks every experiment to `n = 2^10`, 1–5 trials — a
+//! seconds-long end-to-end pass used by `tests/bin_smoke.rs` to keep the
+//! harness from rotting.
 
 use std::process::Command;
 
 fn main() {
-    let bins: &[(&str, &[&str])] = &[
-        ("fig7", &["both"]),
-        ("table1", &[]),
-        ("fig8", &["both"]),
-        ("table2", &[]),
-        ("table3", &[]),
-        ("table4", &["--runs", "100"]),
-        ("table5", &[]),
-        ("table6", &["--runs", "200"]),
-        ("opcount", &[]),
-    ];
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
         .expect("cannot locate harness directory");
-    for (bin, args) in bins {
-        println!("\n############ {bin} ############");
-        let status = Command::new(exe_dir.join(bin))
-            .args(*args)
+    for bin in ftfft_bench::HARNESS_BINS {
+        let args = if smoke { bin.smoke_args } else { bin.full_args };
+        println!("\n############ {} ############", bin.name);
+        let status = Command::new(exe_dir.join(bin.name))
+            .args(args)
             .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} exited with {status}");
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.name));
+        assert!(status.success(), "{} exited with {status}", bin.name);
     }
     println!("\nAll experiments reproduced. Compare against EXPERIMENTS.md.");
 }

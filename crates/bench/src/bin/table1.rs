@@ -32,6 +32,8 @@ fn comp_fault_second() -> ScriptedFault {
     )
 }
 
+type Row = (String, Box<dyn Fn(usize) -> f64>);
+
 fn main() {
     let args = Args::parse();
     let log2ns: Vec<u32> = args.get_list("log2ns").unwrap_or_else(|| vec![16, 17, 18, 19]);
@@ -44,25 +46,16 @@ fn main() {
     }
     println!();
 
-    let rows: Vec<(String, Box<dyn Fn(usize) -> f64>)> = vec![
-        (
-            "FFTW (0)".into(),
-            Box::new(move |n| time_scheme(n, Scheme::Plain, runs)),
-        ),
-        (
-            "Opt-Offline (0)".into(),
-            Box::new(move |n| time_scheme(n, Scheme::OfflineMem, runs)),
-        ),
+    let rows: Vec<Row> = vec![
+        ("FFTW (0)".into(), Box::new(move |n| time_scheme(n, Scheme::Plain, runs))),
+        ("Opt-Offline (0)".into(), Box::new(move |n| time_scheme(n, Scheme::OfflineMem, runs))),
         (
             "Opt-Offline (1m)".into(),
             Box::new(move |n| {
                 time_scheme_with_faults(n, Scheme::OfflineMem, runs, || vec![mem_fault()])
             }),
         ),
-        (
-            "Opt-Online (0)".into(),
-            Box::new(move |n| time_scheme(n, Scheme::OnlineMemOpt, runs)),
-        ),
+        ("Opt-Online (0)".into(), Box::new(move |n| time_scheme(n, Scheme::OnlineMemOpt, runs))),
         (
             "Opt-Online (1c)".into(),
             Box::new(move |n| {

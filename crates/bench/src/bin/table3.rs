@@ -27,7 +27,8 @@ fn main() {
     for (label, mem, comp) in rows {
         print!("{:<24}", format!("Opt-FT-FFTW {label}"));
         for &l in &log2ns {
-            let t = time_parallel(1 << l, p, scheme, net, runs, || parallel_fault_set(p, mem, comp));
+            let t =
+                time_parallel(1 << l, p, scheme, net, runs, || parallel_fault_set(p, mem, comp));
             print!("{:>12.2}", t * 1e3);
         }
         println!();

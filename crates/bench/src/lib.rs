@@ -122,6 +122,67 @@ pub fn time_parallel(
     })
 }
 
+/// One experiment binary of the harness, with its argument sets for both
+/// run modes.
+pub struct HarnessBin {
+    /// Binary name under `src/bin/`.
+    pub name: &'static str,
+    /// Laptop-scale arguments (`reproduce_all` default mode).
+    pub full_args: &'static [&'static str],
+    /// Tiny arguments (`n = 2^10`, 1–5 trials, 1–2 ranks) for
+    /// `reproduce_all --smoke` and `tests/bin_smoke.rs`.
+    pub smoke_args: &'static [&'static str],
+}
+
+/// Every experiment binary, in `reproduce_all` execution order — the
+/// single registry both run modes and the smoke tests derive from, so a
+/// binary cannot be orchestrated in one mode and forgotten in the other.
+pub const HARNESS_BINS: &[HarnessBin] = &[
+    HarnessBin {
+        name: "fig7",
+        full_args: &["both"],
+        smoke_args: &["both", "--log2ns", "10", "--runs", "1"],
+    },
+    HarnessBin { name: "table1", full_args: &[], smoke_args: &["--log2ns", "10", "--runs", "1"] },
+    HarnessBin {
+        name: "fig8",
+        full_args: &["both"],
+        smoke_args: &["both", "--log2ns", "10", "--log2n", "10", "--ranks", "1,2", "--runs", "1"],
+    },
+    HarnessBin {
+        name: "table2",
+        full_args: &[],
+        smoke_args: &["--log2n", "10", "--ranks", "1,2", "--runs", "1"],
+    },
+    HarnessBin {
+        name: "table3",
+        full_args: &[],
+        smoke_args: &["--log2ns", "10", "--p", "2", "--runs", "1"],
+    },
+    HarnessBin {
+        name: "table4",
+        full_args: &["--runs", "100"],
+        smoke_args: &["--log2n", "10", "--runs", "2"],
+    },
+    HarnessBin { name: "table5", full_args: &[], smoke_args: &["--log2n", "10"] },
+    HarnessBin {
+        name: "table6",
+        full_args: &["--runs", "200"],
+        smoke_args: &["--log2n", "10", "--runs", "5"],
+    },
+    HarnessBin { name: "opcount", full_args: &[], smoke_args: &["--log2n", "10", "--runs", "1"] },
+];
+
+/// Smoke arguments for one binary (panics on an unknown name so a
+/// renamed binary breaks loudly in every consumer).
+pub fn smoke_args(bin: &str) -> &'static [&'static str] {
+    HARNESS_BINS
+        .iter()
+        .find(|b| b.name == bin)
+        .map(|b| b.smoke_args)
+        .unwrap_or_else(|| panic!("no smoke args registered for binary {bin}"))
+}
+
 /// Standard per-rank fault set for the Table 2/3 rows: `mem` memory and
 /// `comp` computational faults spread across ranks.
 pub fn parallel_fault_set(p: usize, mem: usize, comp: usize) -> Vec<ScriptedFault> {
@@ -130,8 +191,12 @@ pub fn parallel_fault_set(p: usize, mem: usize, comp: usize) -> Vec<ScriptedFaul
         for i in 0..mem {
             let site = if i % 2 == 0 { Site::InputMemory } else { Site::IntermediateMemory };
             faults.push(
-                ScriptedFault::new(site, 17 * (r + 1) + i, FaultKind::SetValue { re: 3.0, im: -3.0 })
-                    .on_rank(r),
+                ScriptedFault::new(
+                    site,
+                    17 * (r + 1) + i,
+                    FaultKind::SetValue { re: 3.0, im: -3.0 },
+                )
+                .on_rank(r),
             );
         }
         for i in 0..comp {

@@ -1,0 +1,98 @@
+//! Smoke tests for the reproduction harness binaries.
+//!
+//! Each `src/bin/` target runs once at a tiny problem size (`n = 2^10`,
+//! one trial) so the harness cannot silently rot: any panic, bad CLI
+//! parse, or scheme regression fails `cargo test`. Timing *values* are
+//! not asserted — only that every binary completes and prints its table.
+//!
+//! The per-binary argument sets come from [`ftfft_bench::HARNESS_BINS`],
+//! the same registry `reproduce_all` derives both its run modes from.
+
+use std::process::Command;
+
+use ftfft_bench::smoke_args;
+
+/// Runs `exe` with `args`, asserting success and non-empty stdout.
+fn run_ok(name: &str, exe: &str, args: &[&str]) -> String {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "{name} {args:?} exited with {}:\n--- stdout ---\n{stdout}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!stdout.trim().is_empty(), "{name} printed nothing");
+    stdout
+}
+
+#[test]
+fn fig7_smoke() {
+    let out = run_ok("fig7", env!("CARGO_BIN_EXE_fig7"), smoke_args("fig7"));
+    assert!(out.contains("Fig 7"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn fig8_smoke() {
+    run_ok("fig8", env!("CARGO_BIN_EXE_fig8"), smoke_args("fig8"));
+}
+
+#[test]
+fn table1_smoke() {
+    let out = run_ok("table1", env!("CARGO_BIN_EXE_table1"), smoke_args("table1"));
+    assert!(out.contains("Table 1"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn table2_smoke() {
+    run_ok("table2", env!("CARGO_BIN_EXE_table2"), smoke_args("table2"));
+}
+
+#[test]
+fn table3_smoke() {
+    run_ok("table3", env!("CARGO_BIN_EXE_table3"), smoke_args("table3"));
+}
+
+#[test]
+fn table4_smoke() {
+    run_ok("table4", env!("CARGO_BIN_EXE_table4"), smoke_args("table4"));
+}
+
+#[test]
+fn table5_smoke() {
+    run_ok("table5", env!("CARGO_BIN_EXE_table5"), smoke_args("table5"));
+}
+
+#[test]
+fn table6_smoke() {
+    run_ok("table6", env!("CARGO_BIN_EXE_table6"), smoke_args("table6"));
+}
+
+#[test]
+fn opcount_smoke() {
+    run_ok("opcount", env!("CARGO_BIN_EXE_opcount"), smoke_args("opcount"));
+}
+
+#[test]
+fn smoke_tests_cover_every_orchestrated_binary() {
+    // reproduce_all drives exactly HARNESS_BINS (both modes); the literal
+    // list below mirrors the per-binary `#[test]`s above, which must name
+    // each binary via `env!(CARGO_BIN_EXE_..)` at compile time. Adding a
+    // binary to the registry without a matching smoke test fails here.
+    let names: Vec<&str> = ftfft_bench::HARNESS_BINS.iter().map(|b| b.name).collect();
+    assert_eq!(
+        names,
+        ["fig7", "table1", "fig8", "table2", "table3", "table4", "table5", "table6", "opcount"]
+    );
+}
+
+#[test]
+fn reproduce_all_smoke() {
+    // End-to-end: the orchestrator finds its sibling binaries and drives
+    // every experiment at smoke scale.
+    let out = run_ok("reproduce_all", env!("CARGO_BIN_EXE_reproduce_all"), &["--smoke"]);
+    assert!(out.contains("All experiments reproduced"), "unexpected output:\n{out}");
+}

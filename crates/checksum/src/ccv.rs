@@ -34,8 +34,8 @@ pub fn ccv_with_sum(rx: Complex64, expected: Complex64, eta: f64) -> CcvOutcome 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::input_vector::input_checksum_vector;
     use crate::combined::combined_sum1;
+    use crate::input_vector::input_checksum_vector;
     use ftfft_fft::{fft, Direction};
     use ftfft_numeric::complex::c64;
     use ftfft_numeric::uniform_signal;

@@ -21,10 +21,7 @@ pub struct IncrementalSlots {
 impl IncrementalSlots {
     /// Creates `m` zeroed slots (one per second-part FFT).
     pub fn new(m: usize) -> Self {
-        IncrementalSlots {
-            sum1: vec![Complex64::ZERO; m],
-            sum2: vec![Complex64::ZERO; m],
-        }
+        IncrementalSlots { sum1: vec![Complex64::ZERO; m], sum2: vec![Complex64::ZERO; m] }
     }
 
     /// Number of slots.

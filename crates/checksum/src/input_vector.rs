@@ -90,7 +90,8 @@ pub fn input_checksum_vector_direct(n: usize, dir: Direction) -> Vec<Complex64> 
         .map(|t| {
             let mut acc = Complex64::ZERO;
             for j in 0..n {
-                let wnjt = cis(dir.sign() * 2.0 * std::f64::consts::PI * ((j * t) % n) as f64 / n as f64);
+                let wnjt =
+                    cis(dir.sign() * 2.0 * std::f64::consts::PI * ((j * t) % n) as f64 / n as f64);
                 acc += omega3_pow(j) * wnjt;
             }
             acc

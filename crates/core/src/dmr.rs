@@ -27,11 +27,8 @@ pub fn dmr_generate_ra(
     report: &mut FtReport,
 ) -> Vec<Complex64> {
     let gen = |pass: u8| {
-        let mut v = if naive {
-            input_checksum_vector_naive(n, dir)
-        } else {
-            input_checksum_vector(n, dir)
-        };
+        let mut v =
+            if naive { input_checksum_vector_naive(n, dir) } else { input_checksum_vector(n, dir) };
         injector.inject(ctx, Site::ChecksumGenPass { pass }, &mut v);
         v
     };
@@ -99,7 +96,14 @@ mod tests {
     #[test]
     fn ra_generation_clean() {
         let mut rep = FtReport::new();
-        let v = dmr_generate_ra(64, Direction::Forward, false, &NoFaults, InjectionCtx::default(), &mut rep);
+        let v = dmr_generate_ra(
+            64,
+            Direction::Forward,
+            false,
+            &NoFaults,
+            InjectionCtx::default(),
+            &mut rep,
+        );
         assert_eq!(v, input_checksum_vector(64, Direction::Forward));
         assert_eq!(rep.dmr_votes, 0);
     }
@@ -112,7 +116,8 @@ mod tests {
             FaultKind::AddDelta { re: 100.0, im: 0.0 },
         )]);
         let mut rep = FtReport::new();
-        let v = dmr_generate_ra(64, Direction::Forward, false, &inj, InjectionCtx::default(), &mut rep);
+        let v =
+            dmr_generate_ra(64, Direction::Forward, false, &inj, InjectionCtx::default(), &mut rep);
         assert_eq!(v, input_checksum_vector(64, Direction::Forward));
         assert_eq!(rep.dmr_votes, 1);
     }
@@ -125,7 +130,8 @@ mod tests {
             FaultKind::SetValue { re: 0.0, im: 0.0 },
         )]);
         let mut rep = FtReport::new();
-        let v = dmr_generate_ra(32, Direction::Forward, true, &inj, InjectionCtx::default(), &mut rep);
+        let v =
+            dmr_generate_ra(32, Direction::Forward, true, &inj, InjectionCtx::default(), &mut rep);
         assert_eq!(v, input_checksum_vector_naive(32, Direction::Forward));
         assert_eq!(rep.dmr_votes, 1);
     }

@@ -69,7 +69,11 @@ pub(crate) fn run(
         loop {
             two.gather_first(x, n1, &mut ws.buf);
             two.inner_fft(&mut ws.buf, &mut ws.fft);
-            injector.inject(ctx, Site::SubFftCompute { part: Part::First, index: n1 }, &mut ws.buf[..m]);
+            injector.inject(
+                ctx,
+                Site::SubFftCompute { part: Part::First, index: n1 },
+                &mut ws.buf[..m],
+            );
             rep.checks += 1;
             let o = ccv(&ws.buf[..m], cx, th.eta1);
             if o.ok {
@@ -151,7 +155,14 @@ pub(crate) fn run(
                 // Twiddle multiplication under DMR (Fig 2 places TM here).
                 {
                     let col = &mut ws.buf[..k];
-                    dmr_twiddle(col, |n1| two.twiddle_weight(n1, j2), injector, ctx, &mut rep, &mut ws.buf2);
+                    dmr_twiddle(
+                        col,
+                        |n1| two.twiddle_weight(n1, j2),
+                        injector,
+                        ctx,
+                        &mut rep,
+                        &mut ws.buf2,
+                    );
                 }
                 expected += combined_sum1(&ws.buf[..k], &ra_k);
                 two.outer_fft(&mut ws.buf, &mut ws.fft);

@@ -19,7 +19,7 @@
 //! This is the paper's headline "Opt-Online" configuration.
 
 use ftfft_checksum::{
-    ccv, combined_checksum, combined_decode, ccv_with_sum, weighted_sum, CombinedChecksum,
+    ccv, ccv_with_sum, combined_checksum, combined_decode, weighted_sum, CombinedChecksum,
     MemVerdict,
 };
 use ftfft_fault::{FaultInjector, InjectionCtx, Part, Site};
@@ -70,7 +70,11 @@ pub(crate) fn run(
         loop {
             two.gather_first(x, n1, &mut ws.buf);
             two.inner_fft(&mut ws.buf, &mut ws.fft);
-            injector.inject(ctx, Site::SubFftCompute { part: Part::First, index: n1 }, &mut ws.buf[..m]);
+            injector.inject(
+                ctx,
+                Site::SubFftCompute { part: Part::First, index: n1 },
+                &mut ws.buf[..m],
+            );
             rep.checks += 1;
             // CCG was free: stored sum1 is the expected checksum.
             let o = ccv(&ws.buf[..m], ws.in_ck[n1].sum1, th.eta1);
@@ -133,7 +137,14 @@ pub(crate) fn run(
         // over the twiddled row (§4.3) and the row store.
         {
             let row = &mut ws.buf[..m];
-            dmr_twiddle(row, |j2| two.twiddle_weight(n1, j2), injector, ctx, &mut rep, &mut ws.buf2);
+            dmr_twiddle(
+                row,
+                |j2| two.twiddle_weight(n1, j2),
+                injector,
+                ctx,
+                &mut rep,
+                &mut ws.buf2,
+            );
         }
         let w1 = ra_k[n1];
         let w2 = w1.scale((n1 + 1) as f64);
@@ -156,7 +167,11 @@ pub(crate) fn run(
         loop {
             two.gather_second(&ws.y, j2, &mut ws.buf);
             two.outer_fft(&mut ws.buf, &mut ws.fft);
-            injector.inject(ctx, Site::SubFftCompute { part: Part::Second, index: j2 }, &mut ws.buf[..k]);
+            injector.inject(
+                ctx,
+                Site::SubFftCompute { part: Part::Second, index: j2 },
+                &mut ws.buf[..k],
+            );
             rep.checks += 1;
             let o = ccv(&ws.buf[..k], stored.sum1, th.eta2);
             if o.ok {

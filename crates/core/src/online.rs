@@ -84,7 +84,14 @@ pub(crate) fn run_comp(
         if optimized {
             // Fused row-wise twiddle under DMR.
             let row = &mut ws.buf[..m];
-            dmr_twiddle(row, |j2| two.twiddle_weight(n1, j2), injector, ctx, &mut rep, &mut ws.buf2);
+            dmr_twiddle(
+                row,
+                |j2| two.twiddle_weight(n1, j2),
+                injector,
+                ctx,
+                &mut rep,
+                &mut ws.buf2,
+            );
         }
         ws.y[n1 * m..(n1 + 1) * m].copy_from_slice(&ws.buf[..m]);
     }
@@ -101,7 +108,14 @@ pub(crate) fn run_comp(
                 // Algorithm 2 order: twiddle multiplication (DMR) applied
                 // to the column right before the second-part FFT.
                 let col = &mut ws.buf[..k];
-                dmr_twiddle(col, |n1| two.twiddle_weight(n1, j2), injector, ctx, &mut rep, &mut ws.buf2);
+                dmr_twiddle(
+                    col,
+                    |n1| two.twiddle_weight(n1, j2),
+                    injector,
+                    ctx,
+                    &mut rep,
+                    &mut ws.buf2,
+                );
             }
             let cx2 = combined_sum1(&ws.buf[..k], &ra_k);
             two.outer_fft(&mut ws.buf, &mut ws.fft);

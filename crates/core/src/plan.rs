@@ -70,10 +70,8 @@ impl FtFftPlan {
             Some(k) => TwoLayerPlan::with_split(&planner, n, k, dir),
             None => TwoLayerPlan::new(&planner, n, dir),
         };
-        let thresholds = scaled(
-            thresholds_for_split(n, two.k(), two.m(), cfg.sigma0),
-            cfg.threshold_scale,
-        );
+        let thresholds =
+            scaled(thresholds_for_split(n, two.k(), two.m(), cfg.sigma0), cfg.threshold_scale);
         FtFftPlan { cfg, n, dir, two, thresholds }
     }
 

@@ -87,8 +87,21 @@ mod tests {
 
     #[test]
     fn merge_adds_counters_and_maxes_residuals() {
-        let mut a = FtReport { comp_detected: 1, checks: 10, max_ok_residual_part1: 1e-12, ..Default::default() };
-        let b = FtReport { comp_detected: 2, mem_corrected: 1, mem_detected: 1, checks: 5, max_ok_residual_part1: 3e-12, max_ok_residual_part2: 1e-9, ..Default::default() };
+        let mut a = FtReport {
+            comp_detected: 1,
+            checks: 10,
+            max_ok_residual_part1: 1e-12,
+            ..Default::default()
+        };
+        let b = FtReport {
+            comp_detected: 2,
+            mem_corrected: 1,
+            mem_detected: 1,
+            checks: 5,
+            max_ok_residual_part1: 3e-12,
+            max_ok_residual_part2: 1e-9,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.comp_detected, 3);
         assert_eq!(a.mem_corrected, 1);

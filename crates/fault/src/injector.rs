@@ -53,7 +53,11 @@ mod tests {
         assert!(!inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
         assert_eq!(data, [c64(1.0, 1.0); 4]);
         let mut v = c64(2.0, 0.0);
-        assert!(!inj.inject_value(InjectionCtx::default(), Site::TwiddleDmrPass { pass: 0 }, &mut v));
+        assert!(!inj.inject_value(
+            InjectionCtx::default(),
+            Site::TwiddleDmrPass { pass: 0 },
+            &mut v
+        ));
         assert_eq!(v, c64(2.0, 0.0));
     }
 }

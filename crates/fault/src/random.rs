@@ -1,5 +1,29 @@
 //! Randomized injection for Monte-Carlo fault-coverage campaigns
 //! (Table 6 and the `fault_campaign` example).
+//!
+//! # Seeding convention (repo-wide)
+//!
+//! Every source of randomness in this workspace is **explicitly seeded**;
+//! nothing derives a seed from time, process ids, or OS entropy. The rules,
+//! which all tests, examples, and harness binaries follow:
+//!
+//! 1. [`RandomInjector::new`] takes its seed as the first argument. Tests
+//!    and campaign loops pass either a fixed literal or the campaign's loop
+//!    index (`for seed in 0..runs`), so run *k* of a campaign is the same
+//!    fault pattern on every machine, every time.
+//! 2. Signal generators (`ftfft_numeric::{uniform_signal, normal_signal}`)
+//!    likewise take an explicit `seed: u64` parameter.
+//! 3. Property tests (`tests/properties.rs`) are driven by the vendored
+//!    `proptest` shim, which seeds each case from a stable hash of the test
+//!    name and the case index — no `PROPTEST_*` env vars, no entropy.
+//! 4. The vendored `rand` shim backing all of the above is a pure
+//!    xoshiro256++ generator: a given seed yields the same stream on every
+//!    platform and build.
+//!
+//! Consequently `cargo test` is bit-for-bit reproducible: a failure seen
+//! once can always be replayed from the seed printed in its assertion
+//! message. New tests must pass an explicit seed rather than reaching for
+//! ambient entropy.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;

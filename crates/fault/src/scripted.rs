@@ -77,13 +77,7 @@ impl ScriptedInjector {
 
     /// Indices of scripted faults that never fired (site never reached).
     pub fn unfired(&self) -> Vec<usize> {
-        self.state
-            .lock()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.fired)
-            .map(|(i, _)| i)
-            .collect()
+        self.state.lock().iter().enumerate().filter(|(_, s)| !s.fired).map(|(i, _)| i).collect()
     }
 
     /// All scripted faults due at this firing of `site` (each fault sees
@@ -221,7 +215,11 @@ mod tests {
             FaultKind::AddDelta { re: 0.0, im: 2.0 },
         )]);
         let mut v = c64(1.0, 0.0);
-        assert!(inj.inject_value(InjectionCtx::default(), Site::TwiddleDmrPass { pass: 0 }, &mut v));
+        assert!(inj.inject_value(
+            InjectionCtx::default(),
+            Site::TwiddleDmrPass { pass: 0 },
+            &mut v
+        ));
         assert_eq!(v, c64(1.0, 2.0));
     }
 }

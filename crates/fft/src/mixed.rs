@@ -111,7 +111,16 @@ impl MixedPlan {
         let p = smallest_factor(n);
         let m = n / p;
         for q in 0..p {
-            self.rec(src, off + q * stride, stride * p, &mut dst[q * m..(q + 1) * m], m, tstride * p, tmp, ws);
+            self.rec(
+                src,
+                off + q * stride,
+                stride * p,
+                &mut dst[q * m..(q + 1) * m],
+                m,
+                tstride * p,
+                tmp,
+                ws,
+            );
         }
         // ω_p^q = ω_n^{q·m}; loop-invariant over columns.
         for (q, w) in ws[..p].iter_mut().enumerate() {
@@ -153,7 +162,10 @@ mod tests {
 
     #[test]
     fn matches_naive_for_assorted_sizes() {
-        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30, 36, 49, 60, 64, 100, 120, 210, 256, 360, 1000] {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30, 36, 49, 60, 64, 100,
+            120, 210, 256, 360, 1000,
+        ] {
             check(n);
         }
     }

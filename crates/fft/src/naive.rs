@@ -64,7 +64,9 @@ mod tests {
         // engineering convention X_j = Σ x_t e^{-2πijt/16}, bin 3.
         let n = 16;
         let x: Vec<_> = (0..n)
-            .map(|t| Complex64::from_polar(1.0, 2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64))
+            .map(|t| {
+                Complex64::from_polar(1.0, 2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64)
+            })
             .collect();
         let y = dft_naive(&x, Direction::Forward);
         assert!(y[3].approx_eq(c64(n as f64, 0.0), 1e-10));

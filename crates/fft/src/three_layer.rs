@@ -162,7 +162,12 @@ impl ThreeLayerPlan {
     /// column with the ω_n twiddle fused, runs the r-point FFT, scatters
     /// back with the ω_P twiddle fused. With `r == 1` this reduces to the
     /// pure ω_n twiddle pass.
-    pub fn middle_layer_chunk(&self, chunk: &mut [Complex64], j2: usize, s: &mut ThreeLayerScratch) {
+    pub fn middle_layer_chunk(
+        &self,
+        chunk: &mut [Complex64],
+        j2: usize,
+        s: &mut ThreeLayerScratch,
+    ) {
         debug_assert_eq!(chunk.len(), self.p);
         if self.r == 1 {
             for (p1, z) in chunk.iter_mut().enumerate() {

@@ -101,10 +101,7 @@ impl TwoLayerPlan {
         TwoLayerScratch {
             y: vec![Complex64::ZERO; self.n],
             buf: vec![Complex64::ZERO; self.k.max(self.m)],
-            fft: vec![
-                Complex64::ZERO;
-                self.inner.scratch_len().max(self.outer.scratch_len())
-            ],
+            fft: vec![Complex64::ZERO; self.inner.scratch_len().max(self.outer.scratch_len())],
         }
     }
 

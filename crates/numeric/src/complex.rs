@@ -84,10 +84,7 @@ impl Complex64 {
     /// Fused multiply-accumulate: `self + a*b`, the butterfly workhorse.
     #[inline(always)]
     pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
-        c64(
-            self.re + a.re * b.re - a.im * b.im,
-            self.im + a.re * b.im + a.im * b.re,
-        )
+        c64(self.re + a.re * b.re - a.im * b.im, self.im + a.re * b.im + a.im * b.re)
     }
 
     /// Returns `true` if either component is NaN.
@@ -129,10 +126,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn mul(self, rhs: Complex64) -> Complex64 {
-        c64(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        c64(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -141,10 +135,7 @@ impl Div for Complex64 {
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         let d = rhs.norm_sqr();
-        c64(
-            (self.re * rhs.re + self.im * rhs.im) / d,
-            (self.im * rhs.re - self.re * rhs.im) / d,
-        )
+        c64((self.re * rhs.re + self.im * rhs.im) / d, (self.im * rhs.re - self.re * rhs.im) / d)
     }
 }
 

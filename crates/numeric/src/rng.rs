@@ -39,9 +39,7 @@ impl SignalDist {
 /// `n` complex samples with both components uniform on (-1, 1).
 pub fn uniform_signal(n: usize, seed: u64) -> Vec<Complex64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-        .collect()
+    (0..n).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
 }
 
 /// `n` complex samples with both components standard normal (Box–Muller).

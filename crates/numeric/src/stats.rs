@@ -32,10 +32,7 @@ pub fn inf_norm(xs: &[Complex64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (*x - *y).norm())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (*x - *y).norm()).fold(0.0, f64::max)
 }
 
 /// The paper's Table 6 metric: `‖x' − x‖_∞ / ‖x‖_∞`.
@@ -69,13 +66,7 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Folds one observation into the accumulator.

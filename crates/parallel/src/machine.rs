@@ -47,9 +47,7 @@ impl Comm {
     /// Nonblocking send (unbounded channel: never blocks) — `Isend` whose
     /// completion is immediate.
     pub fn isend(&self, to: usize, data: Vec<Complex64>) {
-        self.senders[to]
-            .send(Msg { data, sent: Instant::now() })
-            .expect("peer rank hung up");
+        self.senders[to].send(Msg { data, sent: Instant::now() }).expect("peer rank hung up");
     }
 
     /// Posts a nonblocking receive from `from`.
@@ -90,16 +88,16 @@ where
     // Build the full channel mesh: mesh[i][j] carries i → j traffic.
     let mut senders: Vec<Vec<Sender<Msg>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
     let mut receivers: Vec<Vec<Receiver<Msg>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-    for i in 0..p {
-        for j in 0..p {
+    for sender_row in &mut senders {
+        for receiver_row in &mut receivers {
             let (tx, rx) = unbounded();
-            senders[i].push(tx);
-            receivers[j].push(rx);
+            sender_row.push(tx);
+            receiver_row.push(rx);
         }
     }
-    // receivers[j][i] currently holds the endpoint for i → j in send order;
-    // reorder so receivers[j][i] is indexed by source i.
-    // (They already are: inner loop pushes per-source in order for each j.)
+    // receivers[j][i] must be indexed by source i. It already is: the
+    // outer loop walks sources in ascending order, so each receiver row j
+    // gets exactly one push per source, in source order.
     let barrier = Arc::new(Barrier::new(p));
 
     let mut comms: Vec<Option<Comm>> = Vec::with_capacity(p);

@@ -22,10 +22,7 @@ impl NetworkModel {
     /// A model resembling a commodity cluster interconnect, scaled so that
     /// laptop-sized problems see a realistic comm/compute ratio.
     pub fn cluster() -> Self {
-        NetworkModel {
-            latency: Duration::from_micros(20),
-            per_word: Duration::from_nanos(8),
-        }
+        NetworkModel { latency: Duration::from_micros(20), per_word: Duration::from_nanos(8) }
     }
 
     /// Deadline by which a `words`-long message sent at `sent` arrives.
@@ -48,7 +45,10 @@ mod tests {
 
     #[test]
     fn arrival_scales_with_words() {
-        let m = NetworkModel { latency: Duration::from_micros(10), per_word: Duration::from_nanos(100) };
+        let m = NetworkModel {
+            latency: Duration::from_micros(10),
+            per_word: Duration::from_nanos(100),
+        };
         let t0 = Instant::now();
         let small = m.arrival(t0, 10);
         let big = m.arrival(t0, 10_000);

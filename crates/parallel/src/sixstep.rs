@@ -75,7 +75,10 @@ impl ParallelFft {
         max_retries: u32,
     ) -> Self {
         assert!(p >= 1, "need at least one rank");
-        assert!(n_total.is_multiple_of(p * p), "six-step layout needs p² | N (got N={n_total}, p={p})");
+        assert!(
+            n_total.is_multiple_of(p * p),
+            "six-step layout needs p² | N (got N={n_total}, p={p})"
+        );
         let n = n_total / p;
         let dir = Direction::Forward;
         let planner = Planner::new();
@@ -86,8 +89,7 @@ impl ParallelFft {
         let three = Arc::new(ThreeLayerPlan::new(&planner, n, dir));
         let ra_k2 = input_checksum_vector(inplace.three().k(), dir);
         let t = F64_MANTISSA_BITS;
-        let eta_fft1 =
-            (12.0 * (p as f64).sqrt() * checksum_roundoff_std(p, sigma0, t)).max(1e-12);
+        let eta_fft1 = (12.0 * (p as f64).sqrt() * checksum_roundoff_std(p, sigma0, t)).max(1e-12);
         // Block sums over n/p values of magnitude ~√p·σ0 (post-FFT1 they
         // grow); generous but still far below any injected fault.
         let tol_comm = 1e-6;
@@ -124,7 +126,11 @@ impl ParallelFft {
 
     /// Runs the transform on `input` (length `n_total`), returning the
     /// output in natural order and the merged per-rank report.
-    pub fn run(&self, input: &[Complex64], injector: &dyn FaultInjector) -> (Vec<Complex64>, FtReport) {
+    pub fn run(
+        &self,
+        input: &[Complex64],
+        injector: &dyn FaultInjector,
+    ) -> (Vec<Complex64>, FtReport) {
         assert_eq!(input.len(), self.n_total);
         let n = self.n_total / self.p;
         let results = run_ranks(self.p, self.network, |comm| {
@@ -200,11 +206,7 @@ impl ParallelFft {
         let mut fft_scratch = vec![Complex64::ZERO; self.fft_p.scratch_len()];
         for t in 0..b {
             ftfft_fft::strided::gather(&bmat, t, b, &mut backup);
-            let stored = if ft {
-                slots1.column_checksum(t)
-            } else {
-                CombinedChecksum::default()
-            };
+            let stored = if ft { slots1.column_checksum(t) } else { CombinedChecksum::default() };
             let mut attempts = 0u32;
             let mut mem_fixed = false;
             let mut saw_error = false;
@@ -299,13 +301,10 @@ impl ParallelFft {
                         const RESYNC: usize = 64;
                         let mut u = 0usize;
                         while u < b {
-                            let anchor = cis(
-                                -2.0 * std::f64::consts::PI
-                                    * ((c0 + u) as u128 * rank as u128
-                                        % self.n_total as u128)
-                                        as f64
-                                    / self.n_total as f64,
-                            );
+                            let anchor = cis(-2.0
+                                * std::f64::consts::PI
+                                * ((c0 + u) as u128 * rank as u128 % self.n_total as u128) as f64
+                                / self.n_total as f64);
                             let mut w = anchor;
                             let blocklen = RESYNC.min(b - u);
                             for v in tw_buf[u..u + blocklen].iter_mut() {
@@ -460,7 +459,8 @@ mod tests {
     fn fft1_compute_fault_recovered() {
         let n = 1 << 10;
         let p = 4;
-        let plan = ParallelFft::new(n, p, ParallelScheme::OptFtFftw, None, (1.0f64 / 3.0).sqrt(), 3);
+        let plan =
+            ParallelFft::new(n, p, ParallelScheme::OptFtFftw, None, (1.0f64 / 3.0).sqrt(), 3);
         let x = uniform_signal(n, 99);
         let want = dft_naive(&x, Direction::Forward);
         let inj = ScriptedInjector::new(vec![ScriptedFault::new(
@@ -499,14 +499,19 @@ mod tests {
         // Table 2/3 scenario: 2 memory + 2 computational faults per rank.
         let n = 1 << 12;
         let p = 4;
-        let plan = ParallelFft::new(n, p, ParallelScheme::OptFtFftw, None, (1.0f64 / 3.0).sqrt(), 3);
+        let plan =
+            ParallelFft::new(n, p, ParallelScheme::OptFtFftw, None, (1.0f64 / 3.0).sqrt(), 3);
         let x = uniform_signal(n, 99);
         let want = dft_naive(&x, Direction::Forward);
         let mut faults = Vec::new();
         for r in 0..p {
             faults.push(
-                ScriptedFault::new(Site::InputMemory, 7 + r, FaultKind::SetValue { re: 2.0, im: 2.0 })
-                    .on_rank(r),
+                ScriptedFault::new(
+                    Site::InputMemory,
+                    7 + r,
+                    FaultKind::SetValue { re: 2.0, im: 2.0 },
+                )
+                .on_rank(r),
             );
             faults.push(
                 ScriptedFault::new(

@@ -61,7 +61,10 @@ pub fn exchange(
             }
         }
     };
-    let open = |src: usize, mut msg: Vec<Complex64>, rep: &mut FtReport, consume: &mut dyn FnMut(usize, &mut [Complex64])| {
+    let open = |src: usize,
+                mut msg: Vec<Complex64>,
+                rep: &mut FtReport,
+                consume: &mut dyn FnMut(usize, &mut [Complex64])| {
         match protection {
             BlockProtection::None => consume(src, &mut msg),
             BlockProtection::Sealed { .. } => {
@@ -137,12 +140,17 @@ mod tests {
     use ftfft_numeric::complex::c64;
 
     /// Reference all-to-all: rank r block j ends as rank j block r.
-    fn run_transpose(p: usize, pipelined: bool, protection: BlockProtection) -> Vec<Vec<Complex64>> {
+    fn run_transpose(
+        p: usize,
+        pipelined: bool,
+        protection: BlockProtection,
+    ) -> Vec<Vec<Complex64>> {
         run_ranks(p, None, |comm| {
             let rank = comm.rank();
             let b = 4usize;
-            let local: Vec<Complex64> =
-                (0..p * b).map(|i| c64(rank as f64, (i / b) as f64 * 100.0 + (i % b) as f64)).collect();
+            let local: Vec<Complex64> = (0..p * b)
+                .map(|i| c64(rank as f64, (i / b) as f64 * 100.0 + (i % b) as f64))
+                .collect();
             let mut out = vec![Complex64::ZERO; p * b];
             let _ = exchange(
                 &comm,

@@ -38,12 +38,7 @@ pub fn checksum_roundoff_std(m: usize, sigma0: f64, mantissa_bits: u32) -> f64 {
 /// Second-part variant: the k-point FFTs see inputs of std-dev `√m·σ₀`
 /// (the output scale of the first part), giving
 /// `σ_roe2 = k·√(2k·m·σ₀²·σ_ε²·log₂k)`.
-pub fn checksum_roundoff_std_second(
-    k: usize,
-    m: usize,
-    sigma0: f64,
-    mantissa_bits: u32,
-) -> f64 {
+pub fn checksum_roundoff_std_second(k: usize, m: usize, sigma0: f64, mantissa_bits: u32) -> f64 {
     if k < 2 {
         return 0.0;
     }

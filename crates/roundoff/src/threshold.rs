@@ -8,8 +8,7 @@
 //! of the paper's Table 5 detectability gap.
 
 use crate::model::{
-    checksum_roundoff_std, checksum_roundoff_std_second, memory_sum_roundoff_std,
-    F64_MANTISSA_BITS,
+    checksum_roundoff_std, checksum_roundoff_std_second, memory_sum_roundoff_std, F64_MANTISSA_BITS,
 };
 
 /// Thresholds for a two-layer online scheme (and the offline whole-FFT one).

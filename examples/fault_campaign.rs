@@ -32,15 +32,11 @@ fn main() {
     let mut escaped = 0usize;
 
     for run in 0..runs {
-        let inj = RandomInjector::new(
-            run as u64,
-            1.0,
-            RandomKind::BitFlipInRange { lo: 52, hi: 62 },
-            1,
-        )
-        .with_site_filter(|s| {
-            matches!(s, Site::InputMemory | Site::IntermediateMemory | Site::OutputMemory)
-        });
+        let inj =
+            RandomInjector::new(run as u64, 1.0, RandomKind::BitFlipInRange { lo: 52, hi: 62 }, 1)
+                .with_site_filter(|s| {
+                    matches!(s, Site::InputMemory | Site::IntermediateMemory | Site::OutputMemory)
+                });
         let mut x = signal.clone();
         let mut out = vec![Complex64::ZERO; n];
         let report = plan.execute(&mut x, &mut out, &inj, &mut ws);

@@ -23,7 +23,10 @@ fn main() {
     // Reference from the sequential library.
     let reference = fft(&x);
 
-    println!("{:<14}{:>12}{:>10}{:>12}{:>10}", "scheme", "time (ms)", "checks", "corrected", "rel.err");
+    println!(
+        "{:<14}{:>12}{:>10}{:>12}{:>10}",
+        "scheme", "time (ms)", "checks", "corrected", "rel.err"
+    );
     for scheme in ParallelScheme::ALL {
         let plan = ParallelFft::new(n, p, scheme, Some(NetworkModel::cluster()), sigma0, 3);
         let t0 = Instant::now();
@@ -46,12 +49,20 @@ fn main() {
     let mut faults = Vec::new();
     for r in 0..p {
         faults.push(
-            ScriptedFault::new(Site::InputMemory, 13 * (r + 1), FaultKind::BitFlip { bit: 59, component: Component::Re })
-                .on_rank(r),
+            ScriptedFault::new(
+                Site::InputMemory,
+                13 * (r + 1),
+                FaultKind::BitFlip { bit: 59, component: Component::Re },
+            )
+            .on_rank(r),
         );
         faults.push(
-            ScriptedFault::new(Site::IntermediateMemory, 7 * (r + 1), FaultKind::SetValue { re: 4.0, im: -4.0 })
-                .on_rank(r),
+            ScriptedFault::new(
+                Site::IntermediateMemory,
+                7 * (r + 1),
+                FaultKind::SetValue { re: 4.0, im: -4.0 },
+            )
+            .on_rank(r),
         );
         faults.push(
             ScriptedFault::new(
@@ -71,7 +82,8 @@ fn main() {
         );
     }
     let inj = ScriptedInjector::new(faults);
-    let plan = ParallelFft::new(n, p, ParallelScheme::OptFtFftw, Some(NetworkModel::cluster()), sigma0, 3);
+    let plan =
+        ParallelFft::new(n, p, ParallelScheme::OptFtFftw, Some(NetworkModel::cluster()), sigma0, 3);
     let t0 = Instant::now();
     let (out, rep) = plan.run(&x, &inj);
     let dt = t0.elapsed();

@@ -55,7 +55,11 @@ fn main() {
     println!("  computational detected: {}", report.comp_detected);
     println!("  memory detected       : {}", report.mem_detected);
     println!("  memory corrected      : {}", report.mem_corrected);
-    println!("  sub-FFTs recomputed   : {} (out of {})", report.subfft_recomputed, plan.two().k() + plan.two().m());
+    println!(
+        "  sub-FFTs recomputed   : {} (out of {})",
+        report.subfft_recomputed,
+        plan.two().k() + plan.two().m()
+    );
     let err = relative_error_inf(&spectrum, &reference);
     println!("  final relative error  : {err:.3e}");
     assert!(err < 1e-10, "online ABFT must deliver a correct spectrum");

@@ -30,7 +30,8 @@ fn synthesize(n: usize, seed: u64) -> Vec<Complex64> {
 
 /// Returns the `count` strongest bins of a spectrum.
 fn top_peaks(spectrum: &[Complex64], count: usize) -> Vec<(usize, f64)> {
-    let mut mags: Vec<(usize, f64)> = spectrum.iter().enumerate().map(|(i, z)| (i, z.norm())).collect();
+    let mut mags: Vec<(usize, f64)> =
+        spectrum.iter().enumerate().map(|(i, z)| (i, z.norm())).collect();
     mags.sort_by(|a, b| b.1.total_cmp(&a.1));
     mags.truncate(count);
     mags
@@ -102,8 +103,11 @@ fn main() {
     show("plain FFT + bit flip", &corrupted);
     show("online ABFT + bit flip", &protected);
 
-    println!("\nprotected run report: {} detected, {} sub-FFT recomputed",
-        report.total_detected(), report.subfft_recomputed);
+    println!(
+        "\nprotected run report: {} detected, {} sub-FFT recomputed",
+        report.total_detected(),
+        report.subfft_recomputed
+    );
     assert!(relative_error_inf(&protected, &clean) < 1e-10);
     let clean_peaks: Vec<usize> = top_peaks(&clean, 3).iter().map(|p| p.0).collect();
     let prot_peaks: Vec<usize> = top_peaks(&protected, 3).iter().map(|p| p.0).collect();

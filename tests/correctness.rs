@@ -90,7 +90,8 @@ fn normal_distribution_inputs_also_clean() {
     let n = 1024;
     let x = normal_signal(n, 4);
     let want = dft_naive(&x, Direction::Forward);
-    let cfg = FtConfig::new(Scheme::OnlineMemOpt).with_sigma0(SignalDist::Normal.component_std_dev());
+    let cfg =
+        FtConfig::new(Scheme::OnlineMemOpt).with_sigma0(SignalDist::Normal.component_std_dev());
     let plan = FtFftPlan::new(n, Direction::Forward, cfg);
     let mut xin = x.clone();
     let mut out = vec![Complex64::ZERO; n];

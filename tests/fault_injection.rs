@@ -75,7 +75,11 @@ fn online_recovery_is_local_offline_recovery_is_global() {
 
     let (out, want, rep, _) = run(
         Scheme::Offline,
-        vec![ScriptedFault::new(Site::WholeFftCompute, 100, FaultKind::AddDelta { re: 1.0, im: 0.0 })],
+        vec![ScriptedFault::new(
+            Site::WholeFftCompute,
+            100,
+            FaultKind::AddDelta { re: 1.0, im: 0.0 },
+        )],
     );
     assert_eq!(rep.subfft_recomputed, 0);
     assert_eq!(rep.full_recomputed, 1);
@@ -84,7 +88,9 @@ fn online_recovery_is_local_offline_recovery_is_global() {
 
 #[test]
 fn dmr_covers_twiddle_and_checksum_generation_everywhere() {
-    for scheme in [Scheme::OnlineComp, Scheme::OnlineCompOpt, Scheme::OnlineMem, Scheme::OnlineMemOpt] {
+    for scheme in
+        [Scheme::OnlineComp, Scheme::OnlineCompOpt, Scheme::OnlineMem, Scheme::OnlineMemOpt]
+    {
         let (out, want, rep, inj) = run(
             scheme,
             vec![
@@ -152,12 +158,11 @@ fn detection_threshold_gap_offline_vs_online() {
     // with N — the paper's 1e-7 vs 1e-2 gap is at N=2²⁵), so a 1e-10 error
     // sits exactly in the gap.
     let magnitude = 1e-10;
-    let fault = |site| vec![ScriptedFault::new(site, 11, FaultKind::AddDelta { re: magnitude, im: 0.0 })];
+    let fault =
+        |site| vec![ScriptedFault::new(site, 11, FaultKind::AddDelta { re: magnitude, im: 0.0 })];
 
-    let (_, _, rep_online, _) = run(
-        Scheme::OnlineCompOpt,
-        fault(Site::SubFftCompute { part: Part::First, index: 1 }),
-    );
+    let (_, _, rep_online, _) =
+        run(Scheme::OnlineCompOpt, fault(Site::SubFftCompute { part: Part::First, index: 1 }));
     assert!(rep_online.comp_detected >= 1, "online must see 1e-5: {rep_online:?}");
 
     let (_, _, rep_offline, _) = run(Scheme::Offline, fault(Site::WholeFftCompute));

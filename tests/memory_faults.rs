@@ -27,7 +27,11 @@ fn input_region_every_offset_class() {
         for scheme in [Scheme::OnlineMem, Scheme::OnlineMemOpt] {
             let (out, want, rep) = run_mem(
                 scheme,
-                vec![ScriptedFault::new(Site::InputMemory, element, FaultKind::SetValue { re: 6.0, im: -6.0 })],
+                vec![ScriptedFault::new(
+                    Site::InputMemory,
+                    element,
+                    FaultKind::SetValue { re: 6.0, im: -6.0 },
+                )],
             );
             assert_eq!(rep.mem_detected, 1, "{scheme:?} el={element}: {rep:?}");
             assert_eq!(rep.mem_corrected, 1, "{scheme:?} el={element}");
@@ -63,7 +67,11 @@ fn output_region_repair() {
     for scheme in [Scheme::OnlineMem, Scheme::OnlineMemOpt] {
         let (out, want, rep) = run_mem(
             scheme,
-            vec![ScriptedFault::new(Site::OutputMemory, 600, FaultKind::SetValue { re: 0.0, im: 0.0 })],
+            vec![ScriptedFault::new(
+                Site::OutputMemory,
+                600,
+                FaultKind::SetValue { re: 0.0, im: 0.0 },
+            )],
         );
         assert_eq!(rep.mem_corrected, 1, "{scheme:?}: {rep:?}");
         assert!(ftfft::numeric::max_abs_diff(&out, &want) < 1e-8 * N as f64);
@@ -155,11 +163,7 @@ fn tiny_memory_deltas_below_threshold_are_benign() {
     // harmless: the output error it causes is below the accuracy floor.
     let (out, want, rep) = run_mem(
         Scheme::OnlineMemOpt,
-        vec![ScriptedFault::new(
-            Site::InputMemory,
-            10,
-            FaultKind::AddDelta { re: 1e-15, im: 0.0 },
-        )],
+        vec![ScriptedFault::new(Site::InputMemory, 10, FaultKind::AddDelta { re: 1e-15, im: 0.0 })],
     );
     assert_eq!(rep.uncorrectable, 0, "{rep:?}");
     assert!(ftfft::numeric::max_abs_diff(&out, &want) < 1e-8 * N as f64);
@@ -171,7 +175,8 @@ fn in_place_plan_memory_protection() {
     let n = 2048;
     let x = uniform_signal(n, 11);
     let want = dft_naive(&x, Direction::Forward);
-    let plan = InPlaceFtPlan::new(n, Direction::Forward, SignalDist::Uniform.component_std_dev(), 3);
+    let plan =
+        InPlaceFtPlan::new(n, Direction::Forward, SignalDist::Uniform.component_std_dev(), 3);
     let inj = ScriptedInjector::new(vec![
         ScriptedFault::new(Site::IntermediateMemory, 99, FaultKind::SetValue { re: 2.0, im: 2.0 }),
         ScriptedFault::new(Site::OutputMemory, 1500, FaultKind::AddDelta { re: 5.0, im: 0.0 }),

@@ -10,7 +10,8 @@ fn parallel_equals_sequential_all_schemes() {
     let want = fft(&x);
     for scheme in ParallelScheme::ALL {
         for p in [2usize, 4] {
-            let plan = ParallelFft::new(n, p, scheme, None, SignalDist::Uniform.component_std_dev(), 3);
+            let plan =
+                ParallelFft::new(n, p, scheme, None, SignalDist::Uniform.component_std_dev(), 3);
             let (out, rep) = plan.run(&x, &NoFaults);
             assert!(
                 relative_error_inf(&out, &want) < 1e-10,
@@ -39,7 +40,14 @@ fn single_rank_degenerates_to_sequential() {
     let n = 1 << 10;
     let x = uniform_signal(n, 9);
     let want = fft(&x);
-    let plan = ParallelFft::new(n, 1, ParallelScheme::OptFtFftw, None, SignalDist::Uniform.component_std_dev(), 3);
+    let plan = ParallelFft::new(
+        n,
+        1,
+        ParallelScheme::OptFtFftw,
+        None,
+        SignalDist::Uniform.component_std_dev(),
+        3,
+    );
     let (out, rep) = plan.run(&x, &NoFaults);
     assert!(relative_error_inf(&out, &want) < 1e-10);
     assert!(rep.is_clean(), "{rep:?}");
@@ -51,7 +59,8 @@ fn network_model_does_not_change_results() {
     let x = uniform_signal(n, 2);
     let sigma = SignalDist::Uniform.component_std_dev();
     let plain = ParallelFft::new(n, 4, ParallelScheme::OptFtFftw, None, sigma, 3);
-    let modeled = ParallelFft::new(n, 4, ParallelScheme::OptFtFftw, Some(NetworkModel::cluster()), sigma, 3);
+    let modeled =
+        ParallelFft::new(n, 4, ParallelScheme::OptFtFftw, Some(NetworkModel::cluster()), sigma, 3);
     let (a, _) = plain.run(&x, &NoFaults);
     let (b, _) = modeled.run(&x, &NoFaults);
     assert_eq!(a, b);
@@ -120,8 +129,12 @@ fn fault_storm_all_ranks_all_phases() {
     let mut faults = Vec::new();
     for r in 0..p {
         faults.push(
-            ScriptedFault::new(Site::InputMemory, 31 * (r + 1), FaultKind::SetValue { re: 2.0, im: 0.0 })
-                .on_rank(r),
+            ScriptedFault::new(
+                Site::InputMemory,
+                31 * (r + 1),
+                FaultKind::SetValue { re: 2.0, im: 0.0 },
+            )
+            .on_rank(r),
         );
         faults.push(
             ScriptedFault::new(
@@ -131,9 +144,11 @@ fn fault_storm_all_ranks_all_phases() {
             )
             .on_rank(r),
         );
-        faults.push(
-            ScriptedFault::new(Site::CommBlock { from: r, to: (r + 1) % p, phase: 2 }, 3, FaultKind::AddDelta { re: 1.0, im: 1.0 }),
-        );
+        faults.push(ScriptedFault::new(
+            Site::CommBlock { from: r, to: (r + 1) % p, phase: 2 },
+            3,
+            FaultKind::AddDelta { re: 1.0, im: 1.0 },
+        ));
     }
     let inj = ScriptedInjector::new(faults);
     let (out, rep) = plan.run(&x, &inj);

@@ -149,6 +149,78 @@ proptest! {
         prop_assert!(ftfft::numeric::max_abs_diff(&out, &want) < 1e-8 * n as f64);
     }
 
+    /// The planner's FFT agrees with the O(n²) reference DFT for *any*
+    /// size (radix-2, mixed-radix, and Bluestein paths) and for both of
+    /// the paper's input distributions.
+    #[test]
+    fn fft_matches_dft_naive(
+        n in 2usize..=96,
+        dist in prop::sample::select(vec![SignalDist::Uniform, SignalDist::Normal]),
+        seed in 0u64..1024,
+    ) {
+        let x = dist.generate(n, seed);
+        let got = fft(&x);
+        let want = dft_naive(&x, Direction::Forward);
+        let err = ftfft::numeric::max_abs_diff(&got, &want);
+        prop_assert!(err < 1e-9 * (n as f64).powi(2), "n={n} {dist:?} err={err}");
+    }
+
+    /// Round trip holds off the power-of-two fast path too (mixed-radix
+    /// and Bluestein sizes, both distributions).
+    #[test]
+    fn fft_round_trip_any_size(
+        n in 2usize..=257,
+        dist in prop::sample::select(vec![SignalDist::Uniform, SignalDist::Normal]),
+        seed in 0u64..1024,
+    ) {
+        let x = dist.generate(n, seed);
+        let mut z = ifft(&fft(&x));
+        normalize(&mut z);
+        let err = ftfft::numeric::max_abs_diff(&z, &x);
+        prop_assert!(err < 1e-8, "n={n} {dist:?} err={err}");
+    }
+
+    /// A visible scripted fault at *any* site the OnlineMemOpt scheme
+    /// claims to cover (input/intermediate/output memory, sub-FFT compute)
+    /// is detected, and the delivered output still matches the clean
+    /// transform.
+    #[test]
+    fn scripted_fault_at_covered_site_detected(
+        log2n in 6u32..10,
+        site_sel in 0usize..4,
+        idx_frac in 0.0f64..1.0,
+        magnitude in prop::sample::select(vec![0.5f64, 3.0, 50.0]),
+    ) {
+        let n = 1usize << log2n;
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+        let element = ((idx_frac * n as f64) as usize).min(n - 1);
+        let site = match site_sel {
+            0 => Site::InputMemory,
+            1 => Site::IntermediateMemory,
+            2 => Site::OutputMemory,
+            _ => Site::SubFftCompute { part: Part::First, index: element % plan.two().k() },
+        };
+        let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+            site,
+            element,
+            FaultKind::AddDelta { re: magnitude, im: -magnitude },
+        )]);
+        let x = uniform_signal(n, log2n as u64 * 1009 + site_sel as u64);
+        let mut xin = x.clone();
+        let mut out = vec![Complex64::ZERO; n];
+        let rep = plan.execute_alloc(&mut xin, &mut out, &inj);
+        prop_assert!(inj.unfired().is_empty(), "fault never fired: {site:?}");
+        match site {
+            Site::SubFftCompute { .. } => {
+                prop_assert!(rep.comp_detected >= 1, "{site:?} el={element}: {rep:?}")
+            }
+            _ => prop_assert!(rep.mem_detected >= 1, "{site:?} el={element}: {rep:?}"),
+        }
+        let want = fft(&x);
+        let err = ftfft::numeric::max_abs_diff(&out, &want);
+        prop_assert!(err < 1e-8 * n as f64, "{site:?} el={element} err={err}");
+    }
+
     /// Parallel == sequential for random power-of-two sizes and rank counts.
     #[test]
     fn parallel_matches_sequential(log2n in 8u32..12, logp in 0u32..3) {

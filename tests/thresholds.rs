@@ -19,7 +19,8 @@ fn no_false_positives_over_many_seeds() {
 #[test]
 fn no_false_positives_with_normal_inputs() {
     let n = 4096;
-    let cfg = FtConfig::new(Scheme::OnlineMemOpt).with_sigma0(SignalDist::Normal.component_std_dev());
+    let cfg =
+        FtConfig::new(Scheme::OnlineMemOpt).with_sigma0(SignalDist::Normal.component_std_dev());
     let plan = FtFftPlan::new(n, Direction::Forward, cfg);
     let mut ws = plan.make_workspace();
     for seed in 0..20u64 {

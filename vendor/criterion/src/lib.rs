@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`) on top of a plain
+//! wall-clock measurement loop: a warm-up call, then `sample_size` timed
+//! samples, reporting min/mean per sample. No statistics, plots, or saved
+//! baselines — the goal is that bench targets compile, run fast, and print
+//! one honest line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier, like upstream.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once to warm up, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes (the
+    /// `FTFFT_BENCH_SAMPLES` env var, when set, caps this — CI smoke runs
+    /// use it to shorten benches without touching bench sources).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.min(self.criterion.sample_cap);
+        let mut b = Bencher { samples: Vec::new(), sample_size };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we report inline).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+    sample_cap: usize,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `FTFFT_BENCH_SAMPLES` caps every benchmark's sample count
+        // (including explicit `sample_size` calls) so CI can smoke-run
+        // `cargo bench` quickly.
+        let sample_cap = std::env::var("FTFFT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(usize::MAX);
+        Criterion { default_sample_size: 10, sample_cap, ran: 0 }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    /// Defines and runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        self.ran += 1;
+        self
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{label:<48} mean {:>12} min {:>12} ({} samples)",
+        fmt_dur(mean),
+        fmt_dur(min),
+        samples.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles bench functions into one runnable group, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+        assert_eq!(c.ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 1024).to_string(), "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter("plain").to_string(), "plain");
+    }
+}
