@@ -1,0 +1,229 @@
+//! Machine-readable perf harness and CI regression gate.
+//!
+//! Times the power-of-two kernel matrix — radix-2 vs radix-4 vs
+//! split-radix, each as (1) the bare kernel, (2) the unprotected two-layer
+//! scheme ("FFTW" baseline), (3) the paper's Opt-Online(m) protected
+//! scheme — over seeded inputs at `--log2ns` sizes, and writes every case
+//! to `BENCH_PR.json` (per-case seconds, nominal GFLOP/s, and the
+//! checksum-overhead ratio `t(Opt-Online)/t(Plain)`).
+//!
+//! The gate: the worst Opt-Online overhead ratio across the matrix must
+//! not exceed `overhead_optonline · (1 + tolerance)` from the committed
+//! `crates/bench/baseline.json`; a regression exits non-zero, which is
+//! what fails the CI `perf-gate` job.
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin perfgate -- \
+//!     [--smoke] [--log2ns 10,12,...] [--runs N] [--out BENCH_PR.json] \
+//!     [--baseline path/to/baseline.json] [--no-gate]
+//! ```
+//!
+//! `--smoke` shrinks the matrix to 2¹⁰/2¹² (the CI and `bin_smoke`
+//! configuration); kernel selection is forced per column via the
+//! `FTFFT_KERNEL` environment variable, exactly the A/B switch users
+//! have.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use ftfft::prelude::*;
+use ftfft_bench::{gflops, json_number, median_secs, parse_flat_json_numbers, time_scheme, Args};
+
+/// One timed cell of the kernel matrix.
+struct Case {
+    kernel: Pow2Kernel,
+    log2n: u32,
+    /// Bare kernel, out-of-place `FftPlan::execute`.
+    plain_kernel_secs: f64,
+    /// Unprotected two-layer scheme (the "FFTW" bar of Fig 7).
+    plain_scheme_secs: f64,
+    /// Opt-Online(m): computational + memory FT, all §4 optimizations.
+    opt_online_secs: f64,
+}
+
+impl Case {
+    fn overhead_ratio(&self) -> f64 {
+        self.opt_online_secs / self.plain_scheme_secs
+    }
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let smoke = args.has_flag("smoke");
+    let default_sizes = if smoke { vec![10, 12] } else { vec![10, 12, 14, 16, 18, 20] };
+    let log2ns: Vec<u32> = args.get_list("log2ns").unwrap_or(default_sizes);
+    let runs: usize = args.get("runs").unwrap_or(3);
+    let out_path: String = args.get("out").unwrap_or_else(|| "BENCH_PR.json".to_string());
+    let baseline_path: String = args
+        .get("baseline")
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/baseline.json").to_string());
+    let gate = !args.has_flag("no-gate");
+
+    let mut cases = Vec::new();
+    for kernel in Pow2Kernel::ALL {
+        for &log2n in &log2ns {
+            cases.push(time_case(kernel, log2n, runs));
+        }
+    }
+    // Leave no override behind for anything running in-process after us.
+    std::env::remove_var(KERNEL_ENV);
+
+    print_table(&cases, runs, smoke);
+
+    let verdict = if gate { check_gate(&cases, &baseline_path) } else { None };
+    let json = render_json(&cases, runs, smoke, verdict.as_ref());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} cases)", cases.len());
+
+    match verdict {
+        Some(v) if !v.pass => {
+            eprintln!(
+                "PERF GATE FAILED: worst Opt-Online overhead {:.2}x ({}) exceeds limit {:.2}x \
+                 (baseline {:.2}x, tolerance {:.0}%)",
+                v.worst,
+                v.worst_case,
+                v.limit,
+                v.baseline,
+                v.tolerance * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Some(v) => {
+            println!(
+                "perf gate OK: worst Opt-Online overhead {:.2}x ({}) within limit {:.2}x",
+                v.worst, v.worst_case, v.limit
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("perf gate skipped (--no-gate)");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Times one (kernel, size) cell. The bare kernel is timed through the
+/// explicit-kernel plan API; the scheme rows force the same kernel onto
+/// every power-of-two sub-FFT via `FTFFT_KERNEL`.
+fn time_case(kernel: Pow2Kernel, log2n: u32, runs: usize) -> Case {
+    let n = 1usize << log2n;
+
+    let plain_kernel_secs = {
+        let plan = FftPlan::new_with_kernel(n, Direction::Forward, kernel);
+        let x = uniform_signal(n, 42);
+        let mut dst = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        median_secs(runs, || plan.execute(&x, &mut dst, &mut scratch))
+    };
+
+    // time_scheme builds its plans after this override is in force, so
+    // every power-of-two sub-FFT inside the scheme uses `kernel`.
+    std::env::set_var(KERNEL_ENV, kernel.name());
+    let plain_scheme_secs = time_scheme(n, Scheme::Plain, runs);
+    let opt_online_secs = time_scheme(n, Scheme::OnlineMemOpt, runs);
+
+    Case { kernel, log2n, plain_kernel_secs, plain_scheme_secs, opt_online_secs }
+}
+
+fn print_table(cases: &[Case], runs: usize, smoke: bool) {
+    println!(
+        "perfgate: kernel matrix, median of {runs} run(s){}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:<13}{:>7}{:>14}{:>10}{:>14}{:>14}{:>10}",
+        "kernel", "n", "kernel(s)", "GFLOP/s", "plain(s)", "opt-online(s)", "overhead"
+    );
+    for c in cases {
+        println!(
+            "{:<13}{:>7}{:>14.6}{:>10.3}{:>14.6}{:>14.6}{:>9.2}x",
+            c.kernel.name(),
+            format!("2^{}", c.log2n),
+            c.plain_kernel_secs,
+            gflops(1 << c.log2n, c.plain_kernel_secs),
+            c.plain_scheme_secs,
+            c.opt_online_secs,
+            c.overhead_ratio()
+        );
+    }
+}
+
+struct GateVerdict {
+    baseline: f64,
+    tolerance: f64,
+    limit: f64,
+    worst: f64,
+    worst_case: String,
+    pass: bool,
+}
+
+fn check_gate(cases: &[Case], baseline_path: &str) -> Option<GateVerdict> {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let fields = parse_flat_json_numbers(&text)
+        .unwrap_or_else(|| panic!("malformed baseline {baseline_path}"));
+    let baseline = json_number(&fields, "overhead_optonline")
+        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks overhead_optonline"));
+    let tolerance = json_number(&fields, "tolerance")
+        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks tolerance"));
+    let limit = baseline * (1.0 + tolerance);
+    let worst = cases
+        .iter()
+        .max_by(|a, b| a.overhead_ratio().total_cmp(&b.overhead_ratio()))
+        .expect("no cases timed");
+    Some(GateVerdict {
+        baseline,
+        tolerance,
+        limit,
+        worst: worst.overhead_ratio(),
+        worst_case: format!("{}@2^{}", worst.kernel.name(), worst.log2n),
+        pass: worst.overhead_ratio() <= limit,
+    })
+}
+
+/// Renders `BENCH_PR.json`. Schema v1: field names and nesting are stable
+/// — CI artifacts from different commits must stay diffable.
+fn render_json(cases: &[Case], runs: usize, smoke: bool, verdict: Option<&GateVerdict>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(s, "  \"runs\": {runs},");
+    let _ = writeln!(s, "  \"flop_convention\": \"5 n log2 n\",");
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let n = 1usize << c.log2n;
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"kernel\": \"{}\", \"log2n\": {}, \
+             \"plain_kernel_secs\": {:.9}, \"plain_kernel_gflops\": {:.6}, \
+             \"plain_scheme_secs\": {:.9}, \"opt_online_secs\": {:.9}, \
+             \"overhead_ratio\": {:.6}",
+            c.kernel.name(),
+            c.log2n,
+            c.plain_kernel_secs,
+            gflops(n, c.plain_kernel_secs),
+            c.plain_scheme_secs,
+            c.opt_online_secs,
+            c.overhead_ratio()
+        );
+        s.push_str(if i + 1 < cases.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    match verdict {
+        Some(v) => {
+            s.push_str("  \"gate\": {");
+            let _ = write!(
+                s,
+                "\"baseline_overhead\": {:.6}, \"tolerance\": {:.6}, \"limit\": {:.6}, \
+                 \"worst_overhead\": {:.6}, \"worst_case\": \"{}\", \"pass\": {}",
+                v.baseline, v.tolerance, v.limit, v.worst, v.worst_case, v.pass
+            );
+            s.push_str("}\n");
+        }
+        None => s.push_str("  \"gate\": null\n"),
+    }
+    s.push_str("}\n");
+    s
+}

@@ -18,16 +18,43 @@ pub struct Args {
 impl Args {
     /// Parses the process arguments.
     pub fn parse() -> Self {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args::from_vec(std::env::args().skip(1).collect())
     }
 
-    /// Positional argument `idx` (after stripping `--flag value` pairs).
+    /// Builds from an explicit token list (testing and embedding).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Args { raw }
+    }
+
+    /// `true` when the bare flag `--name` is present (with or without a
+    /// following value).
+    pub fn has_flag(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+
+    /// Positional argument `idx` after stripping `--flag value` pairs.
+    ///
+    /// A token opening with `--` consumes the following token as its value
+    /// unless that token is itself a flag, so positionals may appear
+    /// before, between, or after flag pairs. A trailing bare flag
+    /// (`--smoke`) consumes nothing.
     pub fn positional(&self, idx: usize) -> Option<&str> {
-        self.raw
-            .split(|a| a.starts_with("--"))
-            .next()
-            .and_then(|head| head.get(idx))
-            .map(|s| s.as_str())
+        let mut remaining = idx;
+        let mut i = 0;
+        while i < self.raw.len() {
+            if self.raw[i].starts_with("--") {
+                // Skip the flag and its value (if any).
+                i += if self.raw.get(i + 1).is_some_and(|v| !v.starts_with("--")) { 2 } else { 1 };
+                continue;
+            }
+            if remaining == 0 {
+                return Some(self.raw[i].as_str());
+            }
+            remaining -= 1;
+            i += 1;
+        }
+        None
     }
 
     /// Value of `--name` parsed as `T`.
@@ -68,6 +95,17 @@ pub fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
 /// Percentage overhead of `t` over baseline `t0`.
 pub fn overhead_pct(t: f64, t0: f64) -> f64 {
     (t / t0 - 1.0) * 100.0
+}
+
+/// Nominal GFLOP/s of an `n`-point complex transform in `secs` seconds,
+/// using the standard `5·n·log₂n` flop convention (what FFTW's own
+/// benchmarks report), so rates are comparable across kernels even though
+/// split-radix performs fewer actual operations.
+pub fn gflops(n: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2() / secs / 1e9
 }
 
 /// Times one sequential scheme at size `n` (median of `runs`).
@@ -122,6 +160,80 @@ pub fn time_parallel(
     })
 }
 
+/// Parses a *flat* JSON object of numeric and string fields
+/// (`{"a": 1, "note": "…", "b": 2.5}`) into key → number pairs — enough
+/// for `baseline.json` without a JSON dependency (the container is
+/// offline; see `vendor/`). String fields are skipped (escapes are not
+/// interpreted); nested objects/arrays are rejected.
+pub fn parse_flat_json_numbers(s: &str) -> Option<Vec<(String, f64)>> {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    /// Consumes a `"…"` literal starting at the opening quote, returning
+    /// (contents, index past the closing quote). `\"` stays escaped.
+    fn take_string<'a>(s: &'a str, b: &[u8], start: usize) -> Option<(&'a str, usize)> {
+        if b.get(start) != Some(&b'"') {
+            return None;
+        }
+        let mut i = start + 1;
+        while i < b.len() {
+            match b[i] {
+                b'\\' => i += 2,
+                b'"' => return Some((&s[start + 1..i], i + 1)),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    let b = s.as_bytes();
+    let mut i = skip_ws(b, 0);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i = skip_ws(b, i + 1);
+    let mut out = Vec::new();
+    if b.get(i) == Some(&b'}') {
+        return Some(out);
+    }
+    loop {
+        let (key, next) = take_string(s, b, i)?;
+        i = skip_ws(b, next);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(b, i + 1);
+        match b.get(i)? {
+            b'"' => {
+                let (_, next) = take_string(s, b, i)?;
+                i = next;
+            }
+            b'{' | b'[' => return None,
+            _ => {
+                let end = s[i..]
+                    .find(|c: char| c == ',' || c == '}' || c.is_ascii_whitespace())
+                    .map_or(s.len(), |off| i + off);
+                out.push((key.to_string(), s[i..end].parse().ok()?));
+                i = end;
+            }
+        }
+        i = skip_ws(b, i);
+        match b.get(i)? {
+            b',' => i = skip_ws(b, i + 1),
+            b'}' => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+/// Looks up a key parsed by [`parse_flat_json_numbers`].
+pub fn json_number(fields: &[(String, f64)], key: &str) -> Option<f64> {
+    fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+}
+
 /// One experiment binary of the harness, with its argument sets for both
 /// run modes.
 pub struct HarnessBin {
@@ -171,6 +283,7 @@ pub const HARNESS_BINS: &[HarnessBin] = &[
         smoke_args: &["--log2n", "10", "--runs", "5"],
     },
     HarnessBin { name: "opcount", full_args: &[], smoke_args: &["--log2n", "10", "--runs", "1"] },
+    HarnessBin { name: "perfgate", full_args: &[], smoke_args: &["--smoke"] },
 ];
 
 /// Smoke arguments for one binary (panics on an unknown name so a
@@ -243,5 +356,77 @@ mod tests {
     fn scheme_timer_smoke() {
         let t = time_scheme(1 << 10, Scheme::OnlineMemOpt, 1);
         assert!(t > 0.0);
+    }
+
+    fn args_of(tokens: &[&str]) -> Args {
+        Args::from_vec(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn positional_skips_leading_flag_value_pair() {
+        // The regression: a leading `--flag value` made `value` count as
+        // the first positional.
+        let a = args_of(&["--runs", "3", "both"]);
+        assert_eq!(a.positional(0), Some("both"));
+        assert_eq!(a.positional(1), None);
+        assert_eq!(a.get::<usize>("runs"), Some(3));
+    }
+
+    #[test]
+    fn positional_collects_across_interleaved_flags() {
+        let a = args_of(&["seq", "--log2n", "10", "par", "--runs", "2", "tail"]);
+        assert_eq!(a.positional(0), Some("seq"));
+        assert_eq!(a.positional(1), Some("par"));
+        assert_eq!(a.positional(2), Some("tail"));
+        assert_eq!(a.positional(3), None);
+    }
+
+    #[test]
+    fn bare_trailing_flag_consumes_nothing() {
+        let a = args_of(&["--smoke"]);
+        assert_eq!(a.positional(0), None);
+        assert!(a.has_flag("smoke"));
+        assert!(!a.has_flag("runs"));
+    }
+
+    #[test]
+    fn adjacent_flags_do_not_swallow_each_other() {
+        let a = args_of(&["--smoke", "--runs", "5", "x"]);
+        assert_eq!(a.positional(0), Some("x"));
+        assert_eq!(a.get::<usize>("runs"), Some(5));
+    }
+
+    #[test]
+    fn flat_json_parser_reads_baseline_shape() {
+        let fields = parse_flat_json_numbers(
+            r#"{
+                "schema_version": 1,
+                "comment": "ratios, measured: on the CI runner {braces}, commas",
+                "overhead_optonline": 3.25,
+                "tolerance": 0.6
+            }"#,
+        )
+        .expect("parse");
+        assert_eq!(json_number(&fields, "schema_version"), Some(1.0));
+        assert_eq!(json_number(&fields, "overhead_optonline"), Some(3.25));
+        assert_eq!(json_number(&fields, "tolerance"), Some(0.6));
+        assert_eq!(json_number(&fields, "comment"), None);
+        assert_eq!(json_number(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn flat_json_parser_rejects_malformed_input() {
+        assert!(parse_flat_json_numbers("not json").is_none());
+        assert!(parse_flat_json_numbers(r#"{"nested": {"a": 1}}"#).is_none());
+        assert!(parse_flat_json_numbers(r#"{"a": what}"#).is_none());
+        assert_eq!(parse_flat_json_numbers("{}"), Some(vec![]));
+    }
+
+    #[test]
+    fn gflops_scale() {
+        // 2^20 points in 1 second = 5·2^20·20 flops ≈ 0.105 GFLOP/s.
+        let g = gflops(1 << 20, 1.0);
+        assert!((g - 5.0 * (1u64 << 20) as f64 * 20.0 / 1e9).abs() < 1e-12);
+        assert_eq!(gflops(1 << 10, 0.0), 0.0);
     }
 }

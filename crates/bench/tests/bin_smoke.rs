@@ -77,6 +77,23 @@ fn opcount_smoke() {
 }
 
 #[test]
+fn perfgate_smoke() {
+    // Write BENCH_PR.json into the test temp dir; assert the gate verdict
+    // and the stable schema header are present.
+    let out = std::env::temp_dir().join(format!("BENCH_PR_smoke_{}.json", std::process::id()));
+    let out_str = out.to_str().expect("utf-8 temp path").to_string();
+    let mut args: Vec<&str> = smoke_args("perfgate").to_vec();
+    args.extend_from_slice(&["--out", &out_str]);
+    let stdout = run_ok("perfgate", env!("CARGO_BIN_EXE_perfgate"), &args);
+    assert!(stdout.contains("perf gate OK"), "unexpected output:\n{stdout}");
+    let json = std::fs::read_to_string(&out).expect("perfgate wrote BENCH_PR.json");
+    let _ = std::fs::remove_file(&out);
+    assert!(json.contains("\"schema_version\": 1"), "schema header missing:\n{json}");
+    assert!(json.contains("\"overhead_ratio\""), "cases missing:\n{json}");
+    assert!(json.contains("\"pass\": true"), "gate block missing:\n{json}");
+}
+
+#[test]
 fn smoke_tests_cover_every_orchestrated_binary() {
     // reproduce_all drives exactly HARNESS_BINS (both modes); the literal
     // list below mirrors the per-binary `#[test]`s above, which must name
@@ -85,7 +102,10 @@ fn smoke_tests_cover_every_orchestrated_binary() {
     let names: Vec<&str> = ftfft_bench::HARNESS_BINS.iter().map(|b| b.name).collect();
     assert_eq!(
         names,
-        ["fig7", "table1", "fig8", "table2", "table3", "table4", "table5", "table6", "opcount"]
+        [
+            "fig7", "table1", "fig8", "table2", "table3", "table4", "table5", "table6", "opcount",
+            "perfgate"
+        ]
     );
 }
 

@@ -159,6 +159,43 @@ impl FtFftPlan {
         }
     }
 
+    /// Batched protected transform: `xs` and `outs` hold `xs.len() / n`
+    /// back-to-back signals; each is transformed with [`execute`]
+    /// semantics against the *same* workspace — the throughput API for
+    /// streaming workloads, avoiding the per-transform checksum-buffer
+    /// and scratch allocations of [`execute_alloc`](FtFftPlan::execute_alloc).
+    ///
+    /// Returns the merged report across the batch. The `injector` sees
+    /// the batch as consecutive executions, so a scripted fault hits the
+    /// same site visit whether the batch is run through this method or a
+    /// hand-written loop over [`execute`].
+    ///
+    /// [`execute`]: FtFftPlan::execute
+    ///
+    /// # Panics
+    /// Panics if `xs.len() != outs.len()` or the length is not a multiple
+    /// of the plan size.
+    pub fn execute_batch(
+        &self,
+        xs: &mut [Complex64],
+        outs: &mut [Complex64],
+        injector: &dyn FaultInjector,
+        ws: &mut Workspace,
+    ) -> FtReport {
+        assert_eq!(xs.len(), outs.len(), "batch input/output length mismatch");
+        assert!(
+            xs.len().is_multiple_of(self.n),
+            "batch length {} is not a multiple of plan size {}",
+            xs.len(),
+            self.n
+        );
+        let mut rep = FtReport::new();
+        for (x, out) in xs.chunks_exact_mut(self.n).zip(outs.chunks_exact_mut(self.n)) {
+            rep.merge(&self.execute(x, out, injector, ws));
+        }
+        rep
+    }
+
     /// Convenience wrapper allocating a workspace per call.
     pub fn execute_alloc(
         &self,

@@ -11,9 +11,13 @@
 //! Kernels:
 //! * [`naive::dft_naive`] — `O(n²)` oracle;
 //! * [`radix2`] — iterative power-of-two kernel;
+//! * [`radix4`] — iterative fused-stage radix-4 kernel;
+//! * [`split_radix`] — recursive conjugate-pair split-radix kernel;
 //! * [`mixed::MixedPlan`] — recursive mixed-radix for smooth sizes;
 //! * [`bluestein::BluesteinPlan`] — chirp-z for large prime factors;
-//! * [`planner::FftPlan`]/[`planner::Planner`] — dispatch and caching;
+//! * [`planner::FftPlan`]/[`planner::Planner`] — dispatch and caching
+//!   (power-of-two kernel chosen by [`planner::Pow2Kernel`]'s heuristic,
+//!   overridable via the `FTFFT_KERNEL` environment variable);
 //! * [`two_layer::TwoLayerPlan`] — `N = k·m` out-of-place decomposition
 //!   (Fig 1 of the paper);
 //! * [`three_layer::ThreeLayerPlan`] — `n = k·r·k` in-place decomposition
@@ -31,7 +35,9 @@ pub mod mixed;
 pub mod naive;
 pub mod planner;
 pub mod radix2;
+pub mod radix4;
 pub mod real;
+pub mod split_radix;
 pub mod strided;
 pub mod three_layer;
 pub mod twiddle_table;
@@ -42,7 +48,7 @@ pub use direction::{normalize, Direction};
 pub use factor::{factorize, is_power_of_two, split_balanced, split_three};
 pub use mixed::MixedPlan;
 pub use naive::dft_naive;
-pub use planner::{fft, ifft, FftPlan, Planner};
+pub use planner::{fft, ifft, FftPlan, Planner, Pow2Kernel, KERNEL_ENV};
 pub use three_layer::{ThreeLayerPlan, ThreeLayerScratch};
 pub use twiddle_table::TwiddleTable;
 pub use two_layer::{TwoLayerPlan, TwoLayerScratch};

@@ -1,10 +1,12 @@
 //! Single-size FFT plans and the caching planner.
 //!
-//! [`FftPlan`] dispatches to the fastest kernel for a size: iterative
-//! radix-2 for powers of two, recursive mixed-radix for smooth composites,
-//! Bluestein otherwise. [`Planner`] memoizes plans per `(n, direction)` the
-//! way FFTW caches wisdom, so repeated sub-FFT sizes (the k- and m-point
-//! transforms of the decomposition) are planned exactly once.
+//! [`FftPlan`] dispatches to the fastest kernel for a size: one of the
+//! power-of-two family ([`Pow2Kernel`]: radix-2, radix-4, split-radix,
+//! chosen by a size heuristic overridable via `FTFFT_KERNEL`), recursive
+//! mixed-radix for smooth composites, Bluestein otherwise. [`Planner`]
+//! memoizes plans per `(n, direction)` the way FFTW caches wisdom, so
+//! repeated sub-FFT sizes (the k- and m-point transforms of the
+//! decomposition) are planned exactly once.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,6 +18,8 @@ use crate::direction::Direction;
 use crate::factor::{is_power_of_two, is_smooth};
 use crate::mixed::MixedPlan;
 use crate::radix2::fft_radix2_inplace;
+use crate::radix4::fft_radix4_inplace;
+use crate::split_radix::{fft_split_radix, fft_split_radix_inplace};
 use crate::twiddle_table::TwiddleTable;
 use ftfft_numeric::Complex64;
 
@@ -23,9 +27,85 @@ use ftfft_numeric::Complex64;
 /// planner switches to Bluestein.
 pub const SMOOTH_LIMIT: usize = 61;
 
+/// Environment variable overriding the power-of-two kernel heuristic
+/// (`radix2` | `radix4` | `split-radix`) — the A/B switch the perf harness
+/// uses to time one kernel against another.
+pub const KERNEL_ENV: &str = "FTFFT_KERNEL";
+
+/// The power-of-two kernel family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pow2Kernel {
+    /// Iterative radix-2 ([`crate::radix2`]) — lowest fixed overhead.
+    Radix2,
+    /// Iterative radix-4 ([`crate::radix4`]) — half the passes of radix-2.
+    Radix4,
+    /// Recursive conjugate-pair split-radix ([`crate::split_radix`]) —
+    /// fewest multiplications, cache-blocked recursion.
+    SplitRadix,
+}
+
+impl Pow2Kernel {
+    /// All kernels, in the order the perf harness reports them.
+    pub const ALL: [Pow2Kernel; 3] =
+        [Pow2Kernel::Radix2, Pow2Kernel::Radix4, Pow2Kernel::SplitRadix];
+
+    /// Stable lowercase name (accepted back by [`Pow2Kernel::parse`] and
+    /// the `FTFFT_KERNEL` variable, emitted into `BENCH_PR.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pow2Kernel::Radix2 => "radix2",
+            Pow2Kernel::Radix4 => "radix4",
+            Pow2Kernel::SplitRadix => "split-radix",
+        }
+    }
+
+    /// Parses a kernel name (accepts `split-radix`/`split_radix`/`splitradix`).
+    pub fn parse(name: &str) -> Option<Pow2Kernel> {
+        match name.to_ascii_lowercase().as_str() {
+            "radix2" => Some(Pow2Kernel::Radix2),
+            "radix4" => Some(Pow2Kernel::Radix4),
+            "split-radix" | "split_radix" | "splitradix" => Some(Pow2Kernel::SplitRadix),
+            _ => None,
+        }
+    }
+
+    /// The planner's cost heuristic for an `n`-point transform.
+    ///
+    /// Cutoffs from the perfgate matrix (see `EXPERIMENTS.md`): at n ≤ 8
+    /// every kernel is a handful of butterflies and radix-2 has the least
+    /// bookkeeping; through the cache-resident sizes radix-4's fused
+    /// stages win (~1.4–1.5× radix-2); for large out-of-cache transforms
+    /// the split-radix recursion's lower multiplication count and
+    /// depth-first locality take over (radix-4 stays within noise of it,
+    /// both well ahead of radix-2).
+    pub fn heuristic(n: usize) -> Pow2Kernel {
+        debug_assert!(is_power_of_two(n));
+        if n <= 8 {
+            Pow2Kernel::Radix2
+        } else if n <= 1 << 13 {
+            Pow2Kernel::Radix4
+        } else {
+            Pow2Kernel::SplitRadix
+        }
+    }
+
+    /// The kernel the planner will use for size `n`: the `FTFFT_KERNEL`
+    /// override when set (panicking on an unknown name — a silent typo
+    /// would invalidate an A/B run), the heuristic otherwise.
+    pub fn choose(n: usize) -> Pow2Kernel {
+        match std::env::var(KERNEL_ENV) {
+            Ok(v) => Pow2Kernel::parse(&v)
+                .unwrap_or_else(|| panic!("{KERNEL_ENV}={v:?} is not radix2|radix4|split-radix")),
+            Err(_) => Pow2Kernel::heuristic(n),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 enum Kernel {
     Radix2(TwiddleTable),
+    Radix4(TwiddleTable),
+    SplitRadix(TwiddleTable),
     Mixed(MixedPlan),
     Bluestein(BluesteinPlan),
 }
@@ -39,15 +119,31 @@ pub struct FftPlan {
 }
 
 impl FftPlan {
-    /// Plans a transform of size `n ≥ 1`.
+    /// Plans a transform of size `n ≥ 1`, picking the power-of-two kernel
+    /// via [`Pow2Kernel::choose`] (heuristic + `FTFFT_KERNEL` override).
     pub fn new(n: usize, dir: Direction) -> Self {
         assert!(n > 0, "cannot plan a 0-point FFT");
-        let kernel = if is_power_of_two(n) {
-            Kernel::Radix2(TwiddleTable::new(n, dir))
+        if is_power_of_two(n) {
+            Self::new_with_kernel(n, dir, Pow2Kernel::choose(n))
         } else if is_smooth(n, SMOOTH_LIMIT) {
-            Kernel::Mixed(MixedPlan::new(n, dir))
+            FftPlan { n, dir, kernel: Kernel::Mixed(MixedPlan::new(n, dir)) }
         } else {
-            Kernel::Bluestein(BluesteinPlan::new(n, dir))
+            FftPlan { n, dir, kernel: Kernel::Bluestein(BluesteinPlan::new(n, dir)) }
+        }
+    }
+
+    /// Plans a power-of-two transform with an explicit kernel (bypassing
+    /// both the heuristic and the environment override).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new_with_kernel(n: usize, dir: Direction, kernel: Pow2Kernel) -> Self {
+        assert!(is_power_of_two(n), "explicit kernel {kernel:?} needs a power of two, got {n}");
+        let table = TwiddleTable::new(n, dir);
+        let kernel = match kernel {
+            Pow2Kernel::Radix2 => Kernel::Radix2(table),
+            Pow2Kernel::Radix4 => Kernel::Radix4(table),
+            Pow2Kernel::SplitRadix => Kernel::SplitRadix(table),
         };
         FftPlan { n, dir, kernel }
     }
@@ -69,10 +165,24 @@ impl FftPlan {
         self.dir
     }
 
+    /// The kernel this plan dispatches to (`"radix2"`, `"radix4"`,
+    /// `"split-radix"`, `"mixed"`, or `"bluestein"`).
+    pub fn kernel_name(&self) -> &'static str {
+        match &self.kernel {
+            Kernel::Radix2(_) => Pow2Kernel::Radix2.name(),
+            Kernel::Radix4(_) => Pow2Kernel::Radix4.name(),
+            Kernel::SplitRadix(_) => Pow2Kernel::SplitRadix.name(),
+            Kernel::Mixed(_) => "mixed",
+            Kernel::Bluestein(_) => "bluestein",
+        }
+    }
+
     /// Scratch length required by the execute methods.
     pub fn scratch_len(&self) -> usize {
         match &self.kernel {
-            Kernel::Radix2(_) => 0,
+            Kernel::Radix2(_) | Kernel::Radix4(_) => 0,
+            // Split-radix is out-of-place; in-place runs stage a copy.
+            Kernel::SplitRadix(_) => self.n,
             // Mixed and Bluestein stage an input copy for in-place runs.
             Kernel::Mixed(p) => self.n + p.scratch_len(),
             Kernel::Bluestein(p) => self.n + p.scratch_len(),
@@ -84,6 +194,8 @@ impl FftPlan {
         assert_eq!(data.len(), self.n);
         match &self.kernel {
             Kernel::Radix2(t) => fft_radix2_inplace(data, t),
+            Kernel::Radix4(t) => fft_radix4_inplace(data, t),
+            Kernel::SplitRadix(t) => fft_split_radix_inplace(data, t, scratch),
             Kernel::Mixed(p) => {
                 let (copy, rest) = scratch.split_at_mut(self.n);
                 copy.copy_from_slice(data);
@@ -106,8 +218,55 @@ impl FftPlan {
                 dst.copy_from_slice(src);
                 fft_radix2_inplace(dst, t);
             }
+            Kernel::Radix4(t) => {
+                dst.copy_from_slice(src);
+                fft_radix4_inplace(dst, t);
+            }
+            Kernel::SplitRadix(t) => fft_split_radix(src, dst, t),
             Kernel::Mixed(p) => p.execute(src, dst, &mut scratch[..p.scratch_len()]),
             Kernel::Bluestein(p) => p.execute(src, dst, scratch),
+        }
+    }
+
+    /// Batched out-of-place transform: `src` and `dst` hold `src.len()/n`
+    /// back-to-back signals; each is transformed independently with the
+    /// single `scratch` buffer reused across the batch (the throughput
+    /// API — one plan, one scratch, many transforms).
+    ///
+    /// # Panics
+    /// Panics if `src.len() != dst.len()` or the length is not a multiple
+    /// of the plan size.
+    pub fn execute_batch(
+        &self,
+        src: &[Complex64],
+        dst: &mut [Complex64],
+        scratch: &mut [Complex64],
+    ) {
+        assert_eq!(src.len(), dst.len(), "batch src/dst length mismatch");
+        assert!(
+            src.len().is_multiple_of(self.n),
+            "batch length {} is not a multiple of plan size {}",
+            src.len(),
+            self.n
+        );
+        for (s, d) in src.chunks_exact(self.n).zip(dst.chunks_exact_mut(self.n)) {
+            self.execute(s, d, scratch);
+        }
+    }
+
+    /// Batched in-place transform over `data.len()/n` back-to-back signals.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the plan size.
+    pub fn execute_batch_inplace(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        assert!(
+            data.len().is_multiple_of(self.n),
+            "batch length {} is not a multiple of plan size {}",
+            data.len(),
+            self.n
+        );
+        for chunk in data.chunks_exact_mut(self.n) {
+            self.execute_inplace(chunk, scratch);
         }
     }
 }
@@ -200,6 +359,88 @@ mod tests {
         let _ = p.plan(256, Direction::Inverse);
         let _ = p.plan(128, Direction::Forward);
         assert_eq!(p.cached_plans(), 3);
+    }
+
+    #[test]
+    fn explicit_kernels_all_match_naive() {
+        for kernel in Pow2Kernel::ALL {
+            for n in [2usize, 16, 128, 1024] {
+                let x = uniform_signal(n, n as u64);
+                let plan = FftPlan::new_with_kernel(n, Direction::Forward, kernel);
+                assert_eq!(plan.kernel_name(), kernel.name());
+                let mut dst = vec![Complex64::ZERO; n];
+                let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+                plan.execute(&x, &mut dst, &mut s);
+                let want = dft_naive(&x, Direction::Forward);
+                assert!(max_abs_diff(&dst, &want) < 1e-9 * n as f64, "{} n={n}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_covers_every_size_class() {
+        assert_eq!(Pow2Kernel::heuristic(2), Pow2Kernel::Radix2);
+        assert_eq!(Pow2Kernel::heuristic(8), Pow2Kernel::Radix2);
+        assert_eq!(Pow2Kernel::heuristic(16), Pow2Kernel::Radix4);
+        assert_eq!(Pow2Kernel::heuristic(1 << 13), Pow2Kernel::Radix4);
+        assert_eq!(Pow2Kernel::heuristic(1 << 16), Pow2Kernel::SplitRadix);
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in Pow2Kernel::ALL {
+            assert_eq!(Pow2Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Pow2Kernel::parse("split_radix"), Some(Pow2Kernel::SplitRadix));
+        assert_eq!(Pow2Kernel::parse("SPLITRADIX"), Some(Pow2Kernel::SplitRadix));
+        assert_eq!(Pow2Kernel::parse("radix8"), None);
+    }
+
+    #[test]
+    fn batch_equals_looped_execute() {
+        for kernel in Pow2Kernel::ALL {
+            let n = 256;
+            let batch = 5;
+            let plan = FftPlan::new_with_kernel(n, Direction::Forward, kernel);
+            let src = uniform_signal(n * batch, 11);
+            let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+
+            let mut batched = vec![Complex64::ZERO; n * batch];
+            plan.execute_batch(&src, &mut batched, &mut s);
+
+            let mut looped = vec![Complex64::ZERO; n * batch];
+            for (xs, ys) in src.chunks_exact(n).zip(looped.chunks_exact_mut(n)) {
+                plan.execute(xs, ys, &mut s);
+            }
+            assert_eq!(batched, looped, "{}", kernel.name());
+
+            let mut inplace = src.clone();
+            plan.execute_batch_inplace(&mut inplace, &mut s);
+            assert_eq!(inplace, looped, "{} in-place", kernel.name());
+        }
+    }
+
+    #[test]
+    fn batch_handles_non_power_of_two_plans() {
+        let n = 60; // mixed-radix path
+        let plan = FftPlan::new(n, Direction::Forward);
+        let src = uniform_signal(n * 3, 2);
+        let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+        let mut dst = vec![Complex64::ZERO; n * 3];
+        plan.execute_batch(&src, &mut dst, &mut s);
+        for (xs, ys) in src.chunks_exact(n).zip(dst.chunks_exact(n)) {
+            let want = dft_naive(xs, Direction::Forward);
+            assert!(max_abs_diff(ys, &want) < 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn batch_rejects_ragged_length() {
+        let plan = FftPlan::new(16, Direction::Forward);
+        let src = vec![Complex64::ZERO; 24];
+        let mut dst = vec![Complex64::ZERO; 24];
+        plan.execute_batch(&src, &mut dst, &mut []);
     }
 
     #[test]

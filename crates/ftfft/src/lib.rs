@@ -50,7 +50,9 @@ pub mod prelude {
         Component, FaultInjector, FaultKind, InjectionCtx, NoFaults, Part, RandomInjector,
         RandomKind, ScriptedFault, ScriptedInjector, Site,
     };
-    pub use ftfft_fft::{dft_naive, fft, ifft, normalize, Direction, FftPlan, Planner};
+    pub use ftfft_fft::{
+        dft_naive, fft, ifft, normalize, Direction, FftPlan, Planner, Pow2Kernel, KERNEL_ENV,
+    };
     pub use ftfft_numeric::{
         inf_norm, normal_signal, relative_error_inf, uniform_signal, Complex64, SignalDist,
     };

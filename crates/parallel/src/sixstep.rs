@@ -201,19 +201,31 @@ impl ParallelFft {
         injector.inject(ctx, Site::InputMemory, &mut bmat);
 
         // ---- FFT1: n/p p-point FFTs (stride n/p) ------------------------
-        let mut buf = vec![Complex64::ZERO; p];
-        let mut backup = vec![Complex64::ZERO; p];
-        let mut fft_scratch = vec![Complex64::ZERO; self.fft_p.scratch_len()];
-        for t in 0..b {
-            ftfft_fft::strided::gather(&bmat, t, b, &mut backup);
-            let stored = if ft { slots1.column_checksum(t) } else { CombinedChecksum::default() };
-            let mut attempts = 0u32;
-            let mut mem_fixed = false;
-            let mut saw_error = false;
-            loop {
-                buf.copy_from_slice(&backup);
-                self.fft_p.execute_inplace(&mut buf, &mut fft_scratch);
-                if ft {
+        if !ft {
+            // Unprotected path: the b stride-b column transforms are one
+            // batched call — transpose the p×b block matrix so each
+            // p-point input is contiguous, run the batch against a single
+            // scratch, transpose back. Same transform values as the
+            // per-column gather/FFT/scatter loop of the FT path, but two
+            // linear passes replace b strided gather/scatter pairs.
+            let mut cols = vec![Complex64::ZERO; n];
+            ftfft_fft::strided::transpose_out_of_place(&bmat, &mut cols, p, b);
+            let mut fft_scratch = vec![Complex64::ZERO; self.fft_p.scratch_len()];
+            self.fft_p.execute_batch_inplace(&mut cols, &mut fft_scratch);
+            ftfft_fft::strided::transpose_out_of_place(&cols, &mut bmat, b, p);
+        } else {
+            let mut buf = vec![Complex64::ZERO; p];
+            let mut backup = vec![Complex64::ZERO; p];
+            let mut fft_scratch = vec![Complex64::ZERO; self.fft_p.scratch_len()];
+            for t in 0..b {
+                ftfft_fft::strided::gather(&bmat, t, b, &mut backup);
+                let stored = slots1.column_checksum(t);
+                let mut attempts = 0u32;
+                let mut mem_fixed = false;
+                let mut saw_error = false;
+                loop {
+                    buf.copy_from_slice(&backup);
+                    self.fft_p.execute_inplace(&mut buf, &mut fft_scratch);
                     injector.inject(
                         ctx,
                         Site::SubFftCompute { part: Part::First, index: t },
@@ -266,11 +278,9 @@ impl ParallelFft {
                         rep.uncorrectable += 1;
                         break;
                     }
-                } else {
-                    break;
                 }
+                ftfft_fft::strided::scatter(&mut bmat, t, b, &buf);
             }
-            ftfft_fft::strided::scatter(&mut bmat, t, b, &buf);
         }
 
         // ---- Tran2 + twiddle + FFT2 input CMCG ---------------------------

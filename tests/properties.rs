@@ -233,4 +233,126 @@ proptest! {
         prop_assert!(rep.is_clean(), "{:?}", rep);
         prop_assert!(relative_error_inf(&out, &want) < 1e-9);
     }
+
+    /// Every power-of-two kernel (radix-2, radix-4, split-radix) agrees
+    /// with the O(n²) reference DFT at sizes 2¹–2¹² on seeded signals.
+    #[test]
+    fn pow2_kernels_match_dft_naive(
+        log2n in 1u32..=12,
+        dist in prop::sample::select(vec![SignalDist::Uniform, SignalDist::Normal]),
+        seed in 0u64..1024,
+    ) {
+        let n = 1usize << log2n;
+        let x = dist.generate(n, seed);
+        let want = dft_naive(&x, Direction::Forward);
+        for kernel in Pow2Kernel::ALL {
+            let plan = FftPlan::new_with_kernel(n, Direction::Forward, kernel);
+            let mut got = vec![Complex64::ZERO; n];
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.execute(&x, &mut got, &mut scratch);
+            let err = ftfft::numeric::max_abs_diff(&got, &want);
+            prop_assert!(err < 1e-9 * n as f64, "{} n={n} err={err}", kernel.name());
+        }
+    }
+
+    /// Radix-4 and split-radix agree with the radix-2 kernel on the same
+    /// seeded input at sizes 2¹–2¹² (tight tolerance: all three compute
+    /// the same decimation, only the operation grouping differs).
+    #[test]
+    fn pow2_kernels_agree_with_radix2(log2n in 1u32..=12, seed in 0u64..1024) {
+        let n = 1usize << log2n;
+        let x = uniform_signal(n, seed);
+        let r2 = FftPlan::new_with_kernel(n, Direction::Forward, Pow2Kernel::Radix2);
+        let mut want = vec![Complex64::ZERO; n];
+        r2.execute(&x, &mut want, &mut []);
+        for kernel in [Pow2Kernel::Radix4, Pow2Kernel::SplitRadix] {
+            let plan = FftPlan::new_with_kernel(n, Direction::Forward, kernel);
+            let mut got = vec![Complex64::ZERO; n];
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.execute(&x, &mut got, &mut scratch);
+            let err = ftfft::numeric::max_abs_diff(&got, &want);
+            prop_assert!(err < 1e-11 * n as f64, "{} n={n} err={err}", kernel.name());
+        }
+    }
+
+    /// `FtFftPlan::execute_batch` produces exactly the outputs and report
+    /// of a hand-written loop over `execute` — fault-free.
+    #[test]
+    fn ft_batch_equals_looped_execute_clean(
+        log2n in 4u32..9,
+        batch in 1usize..5,
+        seed in 0u64..512,
+    ) {
+        let n = 1usize << log2n;
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+        let src = uniform_signal(n * batch, seed);
+
+        let mut xs = src.clone();
+        let mut outs = vec![Complex64::ZERO; n * batch];
+        let mut ws = plan.make_workspace();
+        let rep_batch = plan.execute_batch(&mut xs, &mut outs, &NoFaults, &mut ws);
+
+        let mut looped = vec![Complex64::ZERO; n * batch];
+        let mut rep_loop = FtReport::new();
+        let mut ws2 = plan.make_workspace();
+        let mut xs2 = src.clone();
+        for (x, out) in xs2.chunks_exact_mut(n).zip(looped.chunks_exact_mut(n)) {
+            rep_loop.merge(&plan.execute(x, out, &NoFaults, &mut ws2));
+        }
+        prop_assert!(rep_batch.is_clean(), "{:?}", rep_batch);
+        prop_assert_eq!(rep_batch, rep_loop);
+        prop_assert_eq!(outs, looped);
+    }
+
+    /// Batch ≡ loop also under scripted faults: identical injectors see
+    /// identical site-visit sequences, so detection counters, corrections,
+    /// and outputs all line up, and every transform is still correct.
+    #[test]
+    fn ft_batch_equals_looped_execute_under_faults(
+        log2n in 6u32..9,
+        batch in 2usize..4,
+        element in 0usize..64,
+        magnitude in prop::sample::select(vec![0.5f64, 3.0, 50.0]),
+    ) {
+        let n = 1usize << log2n;
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+        let faults = vec![
+            ScriptedFault::new(
+                Site::InputMemory,
+                element % n,
+                FaultKind::AddDelta { re: magnitude, im: -magnitude },
+            ),
+            ScriptedFault::new(
+                Site::SubFftCompute { part: Part::First, index: element % plan.two().k() },
+                element,
+                FaultKind::AddDelta { re: magnitude, im: 0.0 },
+            ),
+        ];
+        let src = uniform_signal(n * batch, 77 + element as u64);
+
+        let mut xs = src.clone();
+        let mut outs = vec![Complex64::ZERO; n * batch];
+        let mut ws = plan.make_workspace();
+        let inj_batch = ScriptedInjector::new(faults.clone());
+        let rep_batch = plan.execute_batch(&mut xs, &mut outs, &inj_batch, &mut ws);
+
+        let mut looped = vec![Complex64::ZERO; n * batch];
+        let mut rep_loop = FtReport::new();
+        let mut ws2 = plan.make_workspace();
+        let mut xs2 = src.clone();
+        let inj_loop = ScriptedInjector::new(faults);
+        for (x, out) in xs2.chunks_exact_mut(n).zip(looped.chunks_exact_mut(n)) {
+            rep_loop.merge(&plan.execute(x, out, &inj_loop, &mut ws2));
+        }
+        prop_assert_eq!(rep_batch, rep_loop);
+        prop_assert_eq!(&outs, &looped);
+        prop_assert_eq!(rep_batch.uncorrectable, 0, "{:?}", rep_batch);
+        // Both faults fired and were repaired: every chunk matches the
+        // clean transform.
+        for (x, out) in src.chunks_exact(n).zip(outs.chunks_exact(n)) {
+            let want = fft(x);
+            let err = ftfft::numeric::max_abs_diff(out, &want);
+            prop_assert!(err < 1e-8 * n as f64, "err={err}");
+        }
+    }
 }

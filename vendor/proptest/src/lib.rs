@@ -172,7 +172,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Sizes accepted by [`vec`]: an exact length or a range of lengths.
+        /// Sizes accepted by [`vec()`]: an exact length or a range of lengths.
         #[derive(Clone, Copy, Debug)]
         pub struct SizeRange {
             lo: usize,
@@ -203,7 +203,7 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
