@@ -1,16 +1,28 @@
 //! Machine-readable perf harness and CI regression gate.
 //!
-//! Times the power-of-two kernel matrix — radix-2 vs radix-4 vs
-//! split-radix, each as (1) the bare kernel, (2) the unprotected two-layer
-//! scheme ("FFTW" baseline), (3) the paper's Opt-Online(m) protected
-//! scheme — over seeded inputs at `--log2ns` sizes, and writes every case
-//! to `BENCH_PR.json` (per-case seconds, nominal GFLOP/s, and the
-//! checksum-overhead ratio `t(Opt-Online)/t(Plain)`).
+//! Times three matrices over seeded inputs at `--log2ns` sizes and writes
+//! everything to `BENCH_PR.json`:
 //!
-//! The gate: the worst Opt-Online overhead ratio across the matrix must
-//! not exceed `overhead_optonline · (1 + tolerance)` from the committed
-//! `crates/bench/baseline.json`; a regression exits non-zero, which is
-//! what fails the CI `perf-gate` job.
+//! 1. **Kernel matrix** — radix-2 vs radix-4 vs split-radix, each as (a)
+//!    the bare kernel, (b) the unprotected two-layer scheme ("FFTW"
+//!    baseline), (c) the paper's Opt-Online(m) protected scheme with the
+//!    fused SIMD checksum path, and (d) the same scheme with
+//!    `FtConfig::fused = false` (the PR-2-era separate gather-then-checksum
+//!    passes) — so the fusion gain is a measured column, not a claim.
+//! 2. **CCG kernel bench** — the fused SIMD gather+checksum
+//!    ([`gather_sum1`]) against the PR-2 scalar path (strided gather, then
+//!    [`combined_sum1_ref`]) over one part-1's worth of strided traffic.
+//! 3. **Thread matrix** — the pooled batched executor
+//!    ([`PooledFtFft::execute_batch`]) at `threads = 1` vs `threads = N`
+//!    (`N` from `FTFFT_THREADS` / available parallelism).
+//!
+//! The gate (against the committed `crates/bench/baseline.json`):
+//!
+//! * the worst Opt-Online overhead ratio must not exceed
+//!   `overhead_optonline · (1 + tolerance)` — any mode;
+//! * in **full** (non-smoke) mode, if the baseline carries
+//!   `min_ccg_speedup`, the fused CCG speedup at every size `≥ 2^16` must
+//!   meet it (smoke sizes are too small/noisy to gate kernels on).
 //!
 //! ```text
 //! cargo run -p ftfft-bench --release --bin perfgate -- \
@@ -20,14 +32,18 @@
 //!
 //! `--smoke` shrinks the matrix to 2¹⁰/2¹² (the CI and `bin_smoke`
 //! configuration); kernel selection is forced per column via the
-//! `FTFFT_KERNEL` environment variable, exactly the A/B switch users
-//! have.
+//! `FTFFT_KERNEL` environment variable, exactly the A/B switch users have.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use ftfft::checksum::{combined_sum1_ref, gather_sum1, input_checksum_vector};
+use ftfft::fft::strided::gather;
 use ftfft::prelude::*;
-use ftfft_bench::{gflops, json_number, median_secs, parse_flat_json_numbers, time_scheme, Args};
+use ftfft_bench::{
+    gflops, json_number, median_secs, parse_flat_json_numbers, time_pooled_batch, time_scheme,
+    time_scheme_cfg, Args,
+};
 
 /// One timed cell of the kernel matrix.
 struct Case {
@@ -37,15 +53,56 @@ struct Case {
     plain_kernel_secs: f64,
     /// Unprotected two-layer scheme (the "FFTW" bar of Fig 7).
     plain_scheme_secs: f64,
-    /// Opt-Online(m): computational + memory FT, all §4 optimizations.
+    /// Opt-Online(m): computational + memory FT, all §4 optimizations,
+    /// fused SIMD checksum path.
     opt_online_secs: f64,
+    /// Opt-Online(m) with `fused = false` (PR-2-era separate passes).
+    opt_online_unfused_secs: f64,
 }
 
 impl Case {
     fn overhead_ratio(&self) -> f64 {
         self.opt_online_secs / self.plain_scheme_secs
     }
+
+    fn fused_gain(&self) -> f64 {
+        self.opt_online_unfused_secs / self.opt_online_secs
+    }
 }
+
+/// One timed CCG kernel comparison (per size, kernel-independent).
+struct CcgCase {
+    log2n: u32,
+    /// Fused SIMD gather+checksum over one part-1's worth of columns.
+    fused_secs: f64,
+    /// PR-2 scalar path: strided gather, then scalar fold.
+    scalar_secs: f64,
+}
+
+impl CcgCase {
+    fn speedup(&self) -> f64 {
+        self.scalar_secs / self.fused_secs
+    }
+}
+
+/// One timed pooled-batch comparison (per size).
+struct BatchCase {
+    log2n: u32,
+    threads: usize,
+    /// `batch` transforms on 1 worker.
+    t1_secs: f64,
+    /// Same batch on `threads` workers.
+    tn_secs: f64,
+}
+
+impl BatchCase {
+    fn speedup(&self) -> f64 {
+        self.t1_secs / self.tn_secs
+    }
+}
+
+/// Batch items used by the thread matrix.
+const BATCH: usize = 4;
 
 fn main() -> ExitCode {
     let args = Args::parse();
@@ -68,30 +125,31 @@ fn main() -> ExitCode {
     // Leave no override behind for anything running in-process after us.
     std::env::remove_var(KERNEL_ENV);
 
-    print_table(&cases, runs, smoke);
+    let ccg: Vec<CcgCase> = log2ns.iter().map(|&l| time_ccg(l, runs)).collect();
+    let threads_n = resolve_threads(None);
+    let batches: Vec<BatchCase> = log2ns.iter().map(|&l| time_batch(l, threads_n, runs)).collect();
 
-    let verdict = if gate { check_gate(&cases, &baseline_path) } else { None };
-    let json = render_json(&cases, runs, smoke, verdict.as_ref());
+    print_tables(&cases, &ccg, &batches, runs, smoke);
+
+    let verdict = if gate { Some(check_gate(&cases, &ccg, smoke, &baseline_path)) } else { None };
+    let json = render_json(&cases, &ccg, &batches, runs, smoke, verdict.as_ref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path} ({} cases)", cases.len());
 
     match verdict {
         Some(v) if !v.pass => {
-            eprintln!(
-                "PERF GATE FAILED: worst Opt-Online overhead {:.2}x ({}) exceeds limit {:.2}x \
-                 (baseline {:.2}x, tolerance {:.0}%)",
-                v.worst,
-                v.worst_case,
-                v.limit,
-                v.baseline,
-                v.tolerance * 100.0
-            );
+            for line in &v.failures {
+                eprintln!("PERF GATE FAILED: {line}");
+            }
             ExitCode::FAILURE
         }
         Some(v) => {
             println!(
-                "perf gate OK: worst Opt-Online overhead {:.2}x ({}) within limit {:.2}x",
-                v.worst, v.worst_case, v.limit
+                "perf gate OK: worst Opt-Online overhead {:.2}x ({}) within limit {:.2}x{}",
+                v.worst,
+                v.worst_case,
+                v.limit,
+                v.ccg_note.as_deref().unwrap_or("")
             );
             ExitCode::SUCCESS
         }
@@ -121,29 +179,107 @@ fn time_case(kernel: Pow2Kernel, log2n: u32, runs: usize) -> Case {
     std::env::set_var(KERNEL_ENV, kernel.name());
     let plain_scheme_secs = time_scheme(n, Scheme::Plain, runs);
     let opt_online_secs = time_scheme(n, Scheme::OnlineMemOpt, runs);
+    let opt_online_unfused_secs =
+        time_scheme_cfg(n, FtConfig::new(Scheme::OnlineMemOpt).with_fused(false), runs);
 
-    Case { kernel, log2n, plain_kernel_secs, plain_scheme_secs, opt_online_secs }
+    Case {
+        kernel,
+        log2n,
+        plain_kernel_secs,
+        plain_scheme_secs,
+        opt_online_secs,
+        opt_online_unfused_secs,
+    }
 }
 
-fn print_table(cases: &[Case], runs: usize, smoke: bool) {
+/// Times the CCG kernels over one part-1's worth of gathers: `k` columns
+/// of `m = n/k` stride-`k` elements each (the balanced split the plans
+/// use), checksum per column — the exact traffic pattern of the hot path.
+fn time_ccg(log2n: u32, runs: usize) -> CcgCase {
+    let n = 1usize << log2n;
+    let k = 1usize << (log2n / 2);
+    let m = n / k;
+    let src = uniform_signal(n, 42);
+    let ra = input_checksum_vector(m, Direction::Forward);
+    let mut buf = vec![Complex64::ZERO; m];
+    let mut sink = Complex64::ZERO;
+
+    let fused_secs = median_secs(runs, || {
+        for n1 in 0..k {
+            sink += gather_sum1(&src, n1, k, &ra, &mut buf);
+        }
+    });
+    let scalar_secs = median_secs(runs, || {
+        for n1 in 0..k {
+            gather(&src, n1, k, &mut buf);
+            sink += combined_sum1_ref(&buf, &ra);
+        }
+    });
+    assert!(sink.is_finite());
+    CcgCase { log2n, fused_secs, scalar_secs }
+}
+
+/// Times the pooled batched executor at 1 vs `threads` workers.
+fn time_batch(log2n: u32, threads: usize, runs: usize) -> BatchCase {
+    let n = 1usize << log2n;
+    let t1_secs = time_pooled_batch(n, 1, BATCH, runs);
+    let tn_secs = if threads > 1 { time_pooled_batch(n, threads, BATCH, runs) } else { t1_secs };
+    BatchCase { log2n, threads, t1_secs, tn_secs }
+}
+
+fn print_tables(cases: &[Case], ccg: &[CcgCase], batches: &[BatchCase], runs: usize, smoke: bool) {
     println!(
-        "perfgate: kernel matrix, median of {runs} run(s){}",
-        if smoke { " [smoke]" } else { "" }
+        "perfgate: kernel matrix, median of {runs} run(s){}, simd={}",
+        if smoke { " [smoke]" } else { "" },
+        simd_level().name()
     );
     println!(
-        "{:<13}{:>7}{:>14}{:>10}{:>14}{:>14}{:>10}",
-        "kernel", "n", "kernel(s)", "GFLOP/s", "plain(s)", "opt-online(s)", "overhead"
+        "{:<13}{:>7}{:>12}{:>9}{:>12}{:>14}{:>10}{:>13}{:>8}",
+        "kernel",
+        "n",
+        "kernel(s)",
+        "GFLOP/s",
+        "plain(s)",
+        "opt-online(s)",
+        "overhead",
+        "unfused(s)",
+        "fused+"
     );
     for c in cases {
         println!(
-            "{:<13}{:>7}{:>14.6}{:>10.3}{:>14.6}{:>14.6}{:>9.2}x",
+            "{:<13}{:>7}{:>12.6}{:>9.3}{:>12.6}{:>14.6}{:>9.2}x{:>12.6}{:>7.2}x",
             c.kernel.name(),
             format!("2^{}", c.log2n),
             c.plain_kernel_secs,
             gflops(1 << c.log2n, c.plain_kernel_secs),
             c.plain_scheme_secs,
             c.opt_online_secs,
-            c.overhead_ratio()
+            c.overhead_ratio(),
+            c.opt_online_unfused_secs,
+            c.fused_gain()
+        );
+    }
+    println!("\nccg kernels (fused SIMD gather+checksum vs PR-2 scalar two-pass):");
+    println!("{:>7}{:>14}{:>14}{:>10}", "n", "fused(s)", "scalar(s)", "speedup");
+    for c in ccg {
+        println!(
+            "{:>7}{:>14.6}{:>14.6}{:>9.2}x",
+            format!("2^{}", c.log2n),
+            c.fused_secs,
+            c.scalar_secs,
+            c.speedup()
+        );
+    }
+    println!("\npooled batch ({BATCH}x Opt-Online(m)), threads=1 vs threads=N:");
+    println!("{:>7}{:>9}{:>14}{:>14}{:>10}", "n", "threads", "t1(s)", "tN(s)", "speedup");
+    for b in batches {
+        println!(
+            "{:>7}{:>9}{:>14.6}{:>14.6}{:>9.2}x",
+            format!("2^{}", b.log2n),
+            b.threads,
+            b.t1_secs,
+            b.tn_secs,
+            b.speedup()
         );
     }
 }
@@ -155,9 +291,11 @@ struct GateVerdict {
     worst: f64,
     worst_case: String,
     pass: bool,
+    failures: Vec<String>,
+    ccg_note: Option<String>,
 }
 
-fn check_gate(cases: &[Case], baseline_path: &str) -> Option<GateVerdict> {
+fn check_gate(cases: &[Case], ccg: &[CcgCase], smoke: bool, baseline_path: &str) -> GateVerdict {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
     let fields = parse_flat_json_numbers(&text)
@@ -171,24 +309,69 @@ fn check_gate(cases: &[Case], baseline_path: &str) -> Option<GateVerdict> {
         .iter()
         .max_by(|a, b| a.overhead_ratio().total_cmp(&b.overhead_ratio()))
         .expect("no cases timed");
-    Some(GateVerdict {
+
+    let mut failures = Vec::new();
+    if worst.overhead_ratio() > limit {
+        failures.push(format!(
+            "worst Opt-Online overhead {:.2}x ({}@2^{}) exceeds limit {:.2}x (baseline {:.2}x, \
+             tolerance {:.0}%)",
+            worst.overhead_ratio(),
+            worst.kernel.name(),
+            worst.log2n,
+            limit,
+            baseline,
+            tolerance * 100.0
+        ));
+    }
+    // CCG kernel gate: full mode only, sizes ≥ 2^16 (smoke sizes fit in
+    // L1/L2 where the two-pass penalty is noise-sized).
+    let mut ccg_note = None;
+    if !smoke {
+        if let Some(min_speedup) = json_number(&fields, "min_ccg_speedup") {
+            for c in ccg.iter().filter(|c| c.log2n >= 16) {
+                if c.speedup() < min_speedup {
+                    failures.push(format!(
+                        "fused CCG speedup {:.2}x at 2^{} below required {min_speedup:.2}x",
+                        c.speedup(),
+                        c.log2n
+                    ));
+                }
+            }
+            if failures.is_empty() {
+                ccg_note = Some(format!("; ccg speedups ≥ {min_speedup:.2}x at 2^16+"));
+            }
+        }
+    }
+    GateVerdict {
         baseline,
         tolerance,
         limit,
         worst: worst.overhead_ratio(),
         worst_case: format!("{}@2^{}", worst.kernel.name(), worst.log2n),
-        pass: worst.overhead_ratio() <= limit,
-    })
+        pass: failures.is_empty(),
+        failures,
+        ccg_note,
+    }
 }
 
-/// Renders `BENCH_PR.json`. Schema v1: field names and nesting are stable
-/// — CI artifacts from different commits must stay diffable.
-fn render_json(cases: &[Case], runs: usize, smoke: bool, verdict: Option<&GateVerdict>) -> String {
+/// Renders `BENCH_PR.json`. Schema v2: v1 fields are unchanged; v2 adds
+/// `simd`, the per-case `opt_online_unfused_secs`/`fused_gain`, and the
+/// `ccg_kernels` / `pooled_batch` sections — CI artifacts from different
+/// commits must stay diffable.
+fn render_json(
+    cases: &[Case],
+    ccg: &[CcgCase],
+    batches: &[BatchCase],
+    runs: usize,
+    smoke: bool,
+    verdict: Option<&GateVerdict>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 1,");
+    let _ = writeln!(s, "  \"schema_version\": 2,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
+    let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
     let _ = writeln!(s, "  \"flop_convention\": \"5 n log2 n\",");
     s.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -199,16 +382,49 @@ fn render_json(cases: &[Case], runs: usize, smoke: bool, verdict: Option<&GateVe
             "\"kernel\": \"{}\", \"log2n\": {}, \
              \"plain_kernel_secs\": {:.9}, \"plain_kernel_gflops\": {:.6}, \
              \"plain_scheme_secs\": {:.9}, \"opt_online_secs\": {:.9}, \
-             \"overhead_ratio\": {:.6}",
+             \"overhead_ratio\": {:.6}, \"opt_online_unfused_secs\": {:.9}, \
+             \"fused_gain\": {:.6}",
             c.kernel.name(),
             c.log2n,
             c.plain_kernel_secs,
             gflops(n, c.plain_kernel_secs),
             c.plain_scheme_secs,
             c.opt_online_secs,
-            c.overhead_ratio()
+            c.overhead_ratio(),
+            c.opt_online_unfused_secs,
+            c.fused_gain()
         );
         s.push_str(if i + 1 < cases.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ccg_kernels\": [\n");
+    for (i, c) in ccg.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"log2n\": {}, \"fused_secs\": {:.9}, \"scalar_secs\": {:.9}, \"speedup\": {:.6}",
+            c.log2n,
+            c.fused_secs,
+            c.scalar_secs,
+            c.speedup()
+        );
+        s.push_str(if i + 1 < ccg.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"pooled_batch\": [\n");
+    for (i, b) in batches.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"log2n\": {}, \"batch\": {BATCH}, \"threads\": {}, \"t1_secs\": {:.9}, \
+             \"tn_secs\": {:.9}, \"speedup\": {:.6}",
+            b.log2n,
+            b.threads,
+            b.t1_secs,
+            b.tn_secs,
+            b.speedup()
+        );
+        s.push_str(if i + 1 < batches.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ],\n");
     match verdict {

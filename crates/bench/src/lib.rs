@@ -110,7 +110,13 @@ pub fn gflops(n: usize, secs: f64) -> f64 {
 
 /// Times one sequential scheme at size `n` (median of `runs`).
 pub fn time_scheme(n: usize, scheme: Scheme, runs: usize) -> f64 {
-    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(scheme));
+    time_scheme_cfg(n, FtConfig::new(scheme), runs)
+}
+
+/// Times one sequential scheme with an explicit config (median of `runs`)
+/// — the hook the perf harness uses to A/B `FtConfig::fused`.
+pub fn time_scheme_cfg(n: usize, cfg: FtConfig, runs: usize) -> f64 {
+    let plan = FtFftPlan::new(n, Direction::Forward, cfg);
     let mut ws = plan.make_workspace();
     let x = uniform_signal(n, 42);
     let mut xin = x.clone();
@@ -118,6 +124,22 @@ pub fn time_scheme(n: usize, scheme: Scheme, runs: usize) -> f64 {
     median_secs(runs, || {
         xin.copy_from_slice(&x);
         let rep = plan.execute(&mut xin, &mut out, &NoFaults, &mut ws);
+        assert_eq!(rep.uncorrectable, 0);
+    })
+}
+
+/// Times the pooled batched executor: `batch` back-to-back `n`-point
+/// Opt-Online(m) transforms on `threads` workers (median of `runs`).
+pub fn time_pooled_batch(n: usize, threads: usize, batch: usize, runs: usize) -> f64 {
+    let cfg = FtConfig::new(Scheme::OnlineMemOpt).with_threads(threads);
+    let pooled = PooledFtFft::new(FtFftPlan::new(n, Direction::Forward, cfg));
+    let mut ws = pooled.make_batch_workspace();
+    let src = uniform_signal(n * batch, 42);
+    let mut xs = src.clone();
+    let mut outs = vec![Complex64::ZERO; n * batch];
+    median_secs(runs, || {
+        xs.copy_from_slice(&src);
+        let rep = pooled.execute_batch(&mut xs, &mut outs, &NoFaults, &mut ws);
         assert_eq!(rep.uncorrectable, 0);
     })
 }

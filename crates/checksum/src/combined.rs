@@ -21,7 +21,16 @@ pub struct CombinedChecksum {
 }
 
 /// Generates the combined pair for `x` under weights `ra` (`ra.len() ≥ x.len()`).
+/// Vectorized one-pass dual dot-product ([`ftfft_numeric::simd::dot_pair`]).
 pub fn combined_checksum(x: &[Complex64], ra: &[Complex64]) -> CombinedChecksum {
+    debug_assert!(ra.len() >= x.len());
+    let (sum1, sum2) = ftfft_numeric::simd::dot_pair(x, ra);
+    CombinedChecksum { sum1, sum2 }
+}
+
+/// Scalar PR-2-era reference for [`combined_checksum`] (kept for the perf
+/// harness' fused-vs-scalar A/B and as a test oracle).
+pub fn combined_checksum_ref(x: &[Complex64], ra: &[Complex64]) -> CombinedChecksum {
     debug_assert!(ra.len() >= x.len());
     let mut sum1 = Complex64::ZERO;
     let mut sum2 = Complex64::ZERO;
@@ -35,7 +44,15 @@ pub fn combined_checksum(x: &[Complex64], ra: &[Complex64]) -> CombinedChecksum 
 
 /// The `sum1` part only — the plain CCG (`(rA)·x`) when `sum2` is postponed
 /// (§4.2: the `r′₂x` computation can be deferred until an error appears).
+/// Vectorized ([`ftfft_numeric::simd::dot`]).
 pub fn combined_sum1(x: &[Complex64], ra: &[Complex64]) -> Complex64 {
+    debug_assert!(ra.len() >= x.len());
+    ftfft_numeric::simd::dot(x, ra)
+}
+
+/// Scalar PR-2-era reference for [`combined_sum1`] (perf-harness baseline
+/// and test oracle).
+pub fn combined_sum1_ref(x: &[Complex64], ra: &[Complex64]) -> Complex64 {
     debug_assert!(ra.len() >= x.len());
     x.iter().zip(ra).fold(Complex64::ZERO, |acc, (&v, &w)| acc.mul_add(v, w))
 }

@@ -41,22 +41,22 @@ impl IncrementalSlots {
     }
 
     /// Folds a produced row into the slots with weights `w1` (= `ck[n1]`)
-    /// and `w2` (= `(n1+1)·ck[n1]`).
+    /// and `w2` (= `(n1+1)·ck[n1]`). Vectorized dual AXPY
+    /// ([`ftfft_numeric::simd::axpy2`]).
     pub fn accumulate_row(&mut self, w1: Complex64, w2: Complex64, row: &[Complex64]) {
         debug_assert_eq!(row.len(), self.sum1.len());
-        for ((s1, s2), &v) in self.sum1.iter_mut().zip(self.sum2.iter_mut()).zip(row) {
-            *s1 = s1.mul_add(w1, v);
-            *s2 = s2.mul_add(w2, v);
-        }
+        ftfft_numeric::simd::axpy2(&mut self.sum1, &mut self.sum2, row, w1, w2);
     }
 
     /// Subtracts a row's contribution (used when a first-part FFT is
     /// recomputed after a detected fault and its old row must be retracted).
+    /// Uses the same product kernel as [`accumulate_row`](Self::accumulate_row)
+    /// so a retraction cancels an accumulation exactly.
     pub fn retract_row(&mut self, w1: Complex64, w2: Complex64, row: &[Complex64]) {
         debug_assert_eq!(row.len(), self.sum1.len());
         for ((s1, s2), &v) in self.sum1.iter_mut().zip(self.sum2.iter_mut()).zip(row) {
-            *s1 -= w1 * v;
-            *s2 -= w2 * v;
+            *s1 -= ftfft_numeric::simd::cmul(v, w1);
+            *s2 -= ftfft_numeric::simd::cmul(v, w2);
         }
     }
 

@@ -37,7 +37,20 @@ fn degenerate_index(n: usize, dir: Direction) -> Option<usize> {
 /// Optimized closed-form generator (incremental `ω_n^t`, re-anchored every
 /// 64 steps). This is the paper's 27N-operation path.
 pub fn input_checksum_vector(n: usize, dir: Direction) -> Vec<Complex64> {
+    let mut out = vec![Complex64::ZERO; n];
+    input_checksum_vector_into(n, dir, &mut out);
+    out
+}
+
+/// Allocation-free form of [`input_checksum_vector`]: fills `out[..n]`.
+/// The hot-path executors call this against plan-workspace buffers so
+/// repeated executions allocate nothing.
+///
+/// # Panics
+/// Panics if `n == 0` or `out.len() < n`.
+pub fn input_checksum_vector_into(n: usize, dir: Direction, out: &mut [Complex64]) {
     assert!(n > 0);
+    assert!(out.len() >= n, "rA buffer too small: {} < {n}", out.len());
     let numer = Complex64::ONE - omega3_to_n(n);
     let degen = degenerate_index(n, dir);
     let w3 = omega3();
@@ -45,42 +58,47 @@ pub fn input_checksum_vector(n: usize, dir: Direction) -> Vec<Complex64> {
     let step = cis(step_angle);
 
     const RESYNC: usize = 64;
-    let mut out = Vec::with_capacity(n);
-    let mut t = 0usize;
-    while t < n {
+    for (chunk_i, chunk) in out[..n].chunks_mut(RESYNC).enumerate() {
         // Re-anchor the phase to keep incremental drift bounded.
-        let mut wt = w3 * cis(step_angle * t as f64);
-        let block = RESYNC.min(n - t);
-        for b in 0..block {
-            let idx = t + b;
-            if Some(idx) == degen {
-                out.push(Complex64::new(n as f64, 0.0));
+        let t0 = chunk_i * RESYNC;
+        let mut wt = w3 * cis(step_angle * t0 as f64);
+        for (b, slot) in chunk.iter_mut().enumerate() {
+            *slot = if Some(t0 + b) == degen {
+                Complex64::new(n as f64, 0.0)
             } else {
-                out.push(numer / (Complex64::ONE - wt));
-            }
+                numer / (Complex64::ONE - wt)
+            };
             wt *= step;
         }
-        t += block;
     }
-    out
 }
 
 /// Naive generator: one `sin`/`cos` pair per element. Kept as the baseline
 /// the paper's "Offline" (un-optimized) scheme pays for — Fig 7's first bar.
 pub fn input_checksum_vector_naive(n: usize, dir: Direction) -> Vec<Complex64> {
+    let mut out = vec![Complex64::ZERO; n];
+    input_checksum_vector_naive_into(n, dir, &mut out);
+    out
+}
+
+/// Allocation-free form of [`input_checksum_vector_naive`]: fills `out[..n]`.
+///
+/// # Panics
+/// Panics if `n == 0` or `out.len() < n`.
+pub fn input_checksum_vector_naive_into(n: usize, dir: Direction, out: &mut [Complex64]) {
     assert!(n > 0);
+    assert!(out.len() >= n, "rA buffer too small: {} < {n}", out.len());
     let numer = Complex64::ONE - omega3_to_n(n);
     let degen = degenerate_index(n, dir);
     let w3 = omega3();
-    (0..n)
-        .map(|t| {
-            if Some(t) == degen {
-                return Complex64::new(n as f64, 0.0);
-            }
+    for (t, slot) in out[..n].iter_mut().enumerate() {
+        *slot = if Some(t) == degen {
+            Complex64::new(n as f64, 0.0)
+        } else {
             let wnt = cis(dir.sign() * 2.0 * std::f64::consts::PI * t as f64 / n as f64);
             numer / (Complex64::ONE - w3 * wnt)
-        })
-        .collect()
+        };
+    }
 }
 
 /// Reference generator summing the definition column by column — `O(n²)`,

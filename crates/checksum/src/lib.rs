@@ -12,12 +12,19 @@
 //! * [`mod@ccv`] — computational checksum verification;
 //! * [`memory`] — classic `r₁/r₂` memory checksums with locate+repair;
 //! * [`combined`] — §4.1 combined weights `r′₁ = rA`, `r′₂ = j·(rA)_j`;
+//! * [`fused`] — gather+CCG in one pass over the strided source (the
+//!   vectorized §4.4 hot path);
 //! * [`incremental`] — §4.3 per-column slot accumulation;
 //! * [`block`] — sealed communication blocks for the parallel scheme.
+//!
+//! The dot-product and weighted-sum cores dispatch through
+//! [`ftfft_numeric::simd`] (AVX+FMA with a bitwise-identical scalar
+//! fallback, `FTFFT_SIMD` override).
 
 pub mod block;
 pub mod ccv;
 pub mod combined;
+pub mod fused;
 pub mod incremental;
 pub mod input_vector;
 pub mod memory;
@@ -26,12 +33,14 @@ pub mod weights;
 pub use block::{open_block, seal_block, sealed_message, BLOCK_CHECKSUM_WORDS};
 pub use ccv::{ccv, ccv_with_sum, CcvOutcome};
 pub use combined::{
-    combined_checksum, combined_decode, combined_sum1, combined_sum1_strided, combined_verify,
-    CombinedChecksum,
+    combined_checksum, combined_checksum_ref, combined_decode, combined_sum1, combined_sum1_ref,
+    combined_sum1_strided, combined_verify, CombinedChecksum,
 };
+pub use fused::{gather_combined, gather_sum1};
 pub use incremental::IncrementalSlots;
 pub use input_vector::{
-    input_checksum_vector, input_checksum_vector_direct, input_checksum_vector_naive,
+    input_checksum_vector, input_checksum_vector_direct, input_checksum_vector_into,
+    input_checksum_vector_naive, input_checksum_vector_naive_into,
 };
 pub use memory::{
     decode, mem_checksum, mem_checksum_strided, mem_correct, mem_verify, verify_and_correct,

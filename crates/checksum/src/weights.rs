@@ -15,19 +15,10 @@ pub fn comp_weight(j: usize) -> Complex64 {
 
 /// Weighted sum `r·x = Σ_j ω₃^j x_j` via the 3-group trick: terms are
 /// bucketed by `j mod 3` and only the two non-trivial group sums are
-/// multiplied by a weight.
+/// multiplied by a weight. Vectorized through [`ftfft_numeric::simd`]
+/// (identical results at every dispatch level).
 pub fn weighted_sum(x: &[Complex64]) -> Complex64 {
-    let mut s = [Complex64::ZERO; 3];
-    for chunk in x.chunks_exact(3) {
-        s[0] += chunk[0];
-        s[1] += chunk[1];
-        s[2] += chunk[2];
-    }
-    let rem = x.chunks_exact(3).remainder();
-    for (c, &v) in rem.iter().enumerate() {
-        s[c] += v;
-    }
-    s[0] + omega3_pow(1) * s[1] + omega3_pow(2) * s[2]
+    ftfft_numeric::simd::weighted_sum3(x, omega3_pow(1), omega3_pow(2))
 }
 
 /// Weighted sum over a strided view `x[offset + t·stride]`, `count`

@@ -93,6 +93,15 @@ pub struct FtConfig {
     /// Second-part batch size `s` (k-point FFTs per verification group in
     /// the memory hierarchies).
     pub batch_s: usize,
+    /// Use the fused gather+checksum hot path (§4.4 single-pass buffering,
+    /// SIMD-accumulated). `false` re-enables the PR-2-era separate
+    /// gather-then-checksum passes — the perf harness' A/B switch.
+    pub fused: bool,
+    /// Worker count for the pooled executors (`ftfft_parallel::PooledFtFft`):
+    /// `None` defers to the `FTFFT_THREADS` environment variable, falling
+    /// back to the machine's available parallelism. Plain `execute` ignores
+    /// this and stays single-threaded.
+    pub threads: Option<usize>,
 }
 
 impl FtConfig {
@@ -106,6 +115,8 @@ impl FtConfig {
             threshold_scale: 1.0,
             split_k: None,
             batch_s: 8,
+            fused: true,
+            threads: None,
         }
     }
 
@@ -132,6 +143,18 @@ impl FtConfig {
         self.max_retries = r;
         self
     }
+
+    /// Enables/disables the fused gather+checksum hot path.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Pins the pooled-executor worker count (overrides `FTFFT_THREADS`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -154,10 +177,16 @@ mod tests {
             .with_sigma0(1.0)
             .with_threshold_scale(2.0)
             .with_split_k(64)
-            .with_max_retries(5);
+            .with_max_retries(5)
+            .with_fused(false)
+            .with_threads(4);
         assert_eq!(c.sigma0, 1.0);
         assert_eq!(c.threshold_scale, 2.0);
         assert_eq!(c.split_k, Some(64));
         assert_eq!(c.max_retries, 5);
+        assert!(!c.fused);
+        assert_eq!(c.threads, Some(4));
+        assert!(FtConfig::new(Scheme::Plain).fused);
+        assert_eq!(FtConfig::new(Scheme::Plain).with_threads(0).threads, Some(1));
     }
 }

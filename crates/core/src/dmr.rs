@@ -7,7 +7,7 @@
 //! majority vote (TMR tie-break), which corrects any single transient
 //! error "in no time" (§7.1.2).
 
-use ftfft_checksum::{input_checksum_vector, input_checksum_vector_naive};
+use ftfft_checksum::{input_checksum_vector_into, input_checksum_vector_naive_into};
 use ftfft_fault::{FaultInjector, InjectionCtx, Site};
 use ftfft_fft::Direction;
 use ftfft_numeric::Complex64;
@@ -16,8 +16,7 @@ use crate::report::FtReport;
 
 /// DMR-protected generation of the input checksum vector `rA`.
 ///
-/// Both passes run the same generator; the injector may corrupt either
-/// pass. On mismatch a third pass votes. Returns the trusted vector.
+/// Allocating convenience wrapper over [`dmr_generate_ra_into`].
 pub fn dmr_generate_ra(
     n: usize,
     dir: Direction,
@@ -26,18 +25,45 @@ pub fn dmr_generate_ra(
     ctx: InjectionCtx,
     report: &mut FtReport,
 ) -> Vec<Complex64> {
-    let gen = |pass: u8| {
-        let mut v =
-            if naive { input_checksum_vector_naive(n, dir) } else { input_checksum_vector(n, dir) };
-        injector.inject(ctx, Site::ChecksumGenPass { pass }, &mut v);
-        v
+    let mut out = vec![Complex64::ZERO; n];
+    let mut tmp = vec![Complex64::ZERO; n];
+    dmr_generate_ra_into(n, dir, naive, injector, ctx, report, &mut out, &mut tmp);
+    out
+}
+
+/// DMR-protected generation of `rA` into `out[..n]`, using `tmp[..n]` for
+/// the second pass — allocation-free on the clean path, so the hot-path
+/// executors can run it against plan-workspace buffers every execute.
+///
+/// Both passes run the same generator; the injector may corrupt either
+/// pass. On mismatch a third pass votes (this rare recovery path allocates
+/// the tie-break vector). On return `out[..n]` holds the trusted vector.
+#[allow(clippy::too_many_arguments)]
+pub fn dmr_generate_ra_into(
+    n: usize,
+    dir: Direction,
+    naive: bool,
+    injector: &dyn FaultInjector,
+    ctx: InjectionCtx,
+    report: &mut FtReport,
+    out: &mut [Complex64],
+    tmp: &mut [Complex64],
+) {
+    let gen = |pass: u8, buf: &mut [Complex64]| {
+        if naive {
+            input_checksum_vector_naive_into(n, dir, buf);
+        } else {
+            input_checksum_vector_into(n, dir, buf);
+        }
+        injector.inject(ctx, Site::ChecksumGenPass { pass }, &mut buf[..n]);
     };
-    let mut a = gen(0);
-    let b = gen(1);
-    if a != b {
+    gen(0, out);
+    gen(1, tmp);
+    if out[..n] != tmp[..n] {
         report.dmr_votes += 1;
-        let c = gen(2);
-        for ((va, &vb), &vc) in a.iter_mut().zip(&b).zip(&c) {
+        let mut c = vec![Complex64::ZERO; n];
+        gen(2, &mut c);
+        for ((va, &vb), &vc) in out[..n].iter_mut().zip(&tmp[..n]).zip(&c) {
             // Majority vote per element; with a single transient fault two
             // of the three passes agree.
             if *va != vb {
@@ -45,7 +71,6 @@ pub fn dmr_generate_ra(
             }
         }
     }
-    a
 }
 
 /// DMR-protected pointwise multiply: `out[j] = data[j] · weight(j)`.
@@ -89,6 +114,7 @@ pub fn dmr_twiddle(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftfft_checksum::{input_checksum_vector, input_checksum_vector_naive};
     use ftfft_fault::{FaultKind, NoFaults, ScriptedFault, ScriptedInjector};
     use ftfft_numeric::complex::c64;
     use ftfft_numeric::uniform_signal;

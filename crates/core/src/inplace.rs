@@ -24,7 +24,7 @@ use ftfft_numeric::complex::c64;
 use ftfft_numeric::Complex64;
 use ftfft_roundoff::{checksum_roundoff_std, checksum_roundoff_std_second, F64_MANTISSA_BITS};
 
-use crate::dmr::dmr_generate_ra;
+use crate::dmr::dmr_generate_ra_into;
 use crate::report::FtReport;
 
 /// Plan for a protected in-place transform of size `n = k·r·k`.
@@ -58,6 +58,8 @@ pub struct InPlaceWorkspace {
     /// Checksum vector for the k-point layers (generated per execute under
     /// DMR; cached here between retries).
     pub ra_k: Vec<Complex64>,
+    /// Second DMR pass scratch for `rA` generation.
+    pub ra_tmp: Vec<Complex64>,
 }
 
 impl InPlaceFtPlan {
@@ -118,7 +120,8 @@ impl InPlaceFtPlan {
                 self.three.k_plan().scratch_len().max(self.three.r_plan().scratch_len())
             ],
             chunk_ck: IncrementalSlots::new(k),
-            ra_k: Vec::new(),
+            ra_k: vec![Complex64::ZERO; k],
+            ra_tmp: vec![Complex64::ZERO; k],
         }
     }
 
@@ -155,7 +158,16 @@ impl InPlaceFtPlan {
             assert_eq!(cks.len(), p, "need one input pair per layer-A sub-FFT");
         }
 
-        ws.ra_k = dmr_generate_ra(k, self.dir, false, injector, ctx, &mut rep);
+        dmr_generate_ra_into(
+            k,
+            self.dir,
+            false,
+            injector,
+            ctx,
+            &mut rep,
+            &mut ws.ra_k,
+            &mut ws.ra_tmp,
+        );
         ws.chunk_ck.reset();
 
         injector.inject(ctx, Site::InputMemory, data);

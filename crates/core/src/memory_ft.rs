@@ -19,7 +19,7 @@ use ftfft_checksum::{
 use ftfft_fault::{FaultInjector, InjectionCtx, Part, Site};
 use ftfft_numeric::Complex64;
 
-use crate::dmr::{dmr_generate_ra, dmr_twiddle};
+use crate::dmr::{dmr_generate_ra_into, dmr_twiddle};
 use crate::plan::{FtFftPlan, Workspace};
 use crate::report::FtReport;
 
@@ -36,8 +36,27 @@ pub(crate) fn run(
     let (k, m) = (two.k(), two.m());
     let th = *plan.thresholds();
 
-    let ra_m = dmr_generate_ra(m, plan.dir(), false, injector, ctx, &mut rep);
-    let ra_k = dmr_generate_ra(k, plan.dir(), false, injector, ctx, &mut rep);
+    dmr_generate_ra_into(
+        m,
+        plan.dir(),
+        false,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_m,
+        &mut ws.ra_tmp,
+    );
+    dmr_generate_ra_into(
+        k,
+        plan.dir(),
+        false,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_k,
+        &mut ws.ra_tmp,
+    );
+    let (ra_m, ra_k) = (&ws.ra_m[..m], &ws.ra_k[..k]);
 
     // MCG: classic checksum pair per m-point FFT input, strided scans.
     for n1 in 0..k {
@@ -64,7 +83,7 @@ pub(crate) fn run(
             }
         }
 
-        let cx = combined_sum1_strided(x, n1, k, &ra_m);
+        let cx = combined_sum1_strided(x, n1, k, ra_m);
         let mut attempts = 0u32;
         loop {
             two.gather_first(x, n1, &mut ws.buf);
@@ -123,13 +142,13 @@ pub(crate) fn run(
     // the recalculation of the whole group — the paper's "one error only
     // leads to a recalculation of … s k-point FFTs".
     let s = plan.cfg().batch_s.max(1);
-    let mut group_out = vec![Complex64::ZERO; s * k];
+    debug_assert!(ws.group_out.len() >= s * k);
     let eta_group = th.eta2 * (s as f64).sqrt();
     let mut j2_start = 0usize;
     while j2_start < m {
-        let group: Vec<usize> = (j2_start..(j2_start + s).min(m)).collect();
+        let group = j2_start..(j2_start + s).min(m);
         // MCV of each column in the group before use.
-        for &j2 in &group {
+        for j2 in group.clone() {
             rep.checks += 1;
             let observed = mem_checksum_strided(&ws.y, j2, m, k);
             match decode(observed, ws.col_ck[j2], k, th.eta_mem_mid) {
@@ -150,7 +169,7 @@ pub(crate) fn run(
         loop {
             let mut expected = Complex64::ZERO;
             let mut observed = Complex64::ZERO;
-            for (gi, &j2) in group.iter().enumerate() {
+            for (gi, j2) in group.clone().enumerate() {
                 two.gather_second(&ws.y, j2, &mut ws.buf);
                 // Twiddle multiplication under DMR (Fig 2 places TM here).
                 {
@@ -164,7 +183,7 @@ pub(crate) fn run(
                         &mut ws.buf2,
                     );
                 }
-                expected += combined_sum1(&ws.buf[..k], &ra_k);
+                expected += combined_sum1(&ws.buf[..k], ra_k);
                 two.outer_fft(&mut ws.buf, &mut ws.fft);
                 injector.inject(
                     ctx,
@@ -172,7 +191,7 @@ pub(crate) fn run(
                     &mut ws.buf[..k],
                 );
                 observed += ftfft_checksum::weighted_sum(&ws.buf[..k]);
-                group_out[gi * k..(gi + 1) * k].copy_from_slice(&ws.buf[..k]);
+                ws.group_out[gi * k..(gi + 1) * k].copy_from_slice(&ws.buf[..k]);
             }
             rep.checks += 1;
             let o = ftfft_checksum::ccv_with_sum(observed, expected, eta_group);
@@ -188,8 +207,8 @@ pub(crate) fn run(
                 break;
             }
         }
-        for (gi, &j2) in group.iter().enumerate() {
-            let seg = &group_out[gi * k..(gi + 1) * k];
+        for (gi, j2) in group.clone().enumerate() {
+            let seg = &ws.group_out[gi * k..(gi + 1) * k];
             ws.out_ck[j2] = mem_checksum(seg);
             two.scatter_output(out, j2, seg);
         }

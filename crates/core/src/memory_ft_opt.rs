@@ -19,13 +19,13 @@
 //! This is the paper's headline "Opt-Online" configuration.
 
 use ftfft_checksum::{
-    ccv, ccv_with_sum, combined_checksum, combined_decode, weighted_sum, CombinedChecksum,
-    MemVerdict,
+    ccv, ccv_with_sum, combined_checksum, combined_decode, gather_combined, weighted_sum,
+    CombinedChecksum, MemVerdict,
 };
 use ftfft_fault::{FaultInjector, InjectionCtx, Part, Site};
-use ftfft_numeric::{omega3_pow, Complex64};
+use ftfft_numeric::{omega3_pow, simd, Complex64};
 
-use crate::dmr::{dmr_generate_ra, dmr_twiddle};
+use crate::dmr::{dmr_generate_ra_into, dmr_twiddle};
 use crate::plan::{FtFftPlan, Workspace};
 use crate::report::FtReport;
 
@@ -42,21 +42,73 @@ pub(crate) fn run(
     let (k, m) = (two.k(), two.m());
     let n = plan.n();
     let th = *plan.thresholds();
+    let fused = plan.cfg().fused;
 
-    let ra_m = dmr_generate_ra(m, plan.dir(), false, injector, ctx, &mut rep);
-    let ra_k = dmr_generate_ra(k, plan.dir(), false, injector, ctx, &mut rep);
+    dmr_generate_ra_into(
+        m,
+        plan.dir(),
+        false,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_m,
+        &mut ws.ra_tmp,
+    );
+    dmr_generate_ra_into(
+        k,
+        plan.dir(),
+        false,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_k,
+        &mut ws.ra_tmp,
+    );
+    let (ra_m, ra_k) = (&ws.ra_m[..m], &ws.ra_k[..k]);
 
     // ---- CMCG: one contiguous pass, k combined pairs (§4.1 + §4.4) ------
-    for p in ws.in_ck.iter_mut() {
-        *p = CombinedChecksum::default();
-    }
-    for (g, &v) in x.iter().enumerate() {
-        let n1 = g % k;
-        let t = g / k;
-        let w = ra_m[t];
-        let term = v * w;
-        ws.in_ck[n1].sum1 += term;
-        ws.in_ck[n1].sum2 += term.scale((t + 1) as f64);
+    if fused {
+        // Row-wise over the m×k view of x: the inner accumulation runs
+        // over contiguous accumulators with a constant weight — the
+        // vectorized dual-AXPY kernel. Accumulators are processed in
+        // column blocks small enough that both ck arrays stay L1-resident
+        // across all m row passes (at k = 1024 an unblocked sweep streams
+        // 3×16 KB per row and thrashes a 32 KB L1d).
+        const CMCG_BLOCK: usize = 256;
+        ws.ck1[..k].fill(Complex64::ZERO);
+        ws.ck2[..k].fill(Complex64::ZERO);
+        let mut b0 = 0usize;
+        while b0 < k {
+            let b = CMCG_BLOCK.min(k - b0);
+            for (t, row) in x.chunks_exact(k).enumerate() {
+                let w1 = ra_m[t];
+                let w2 = w1.scale((t + 1) as f64);
+                simd::axpy2(
+                    &mut ws.ck1[b0..b0 + b],
+                    &mut ws.ck2[b0..b0 + b],
+                    &row[b0..b0 + b],
+                    w1,
+                    w2,
+                );
+            }
+            b0 += b;
+        }
+        for (p, (&s1, &s2)) in ws.in_ck.iter_mut().zip(ws.ck1.iter().zip(&ws.ck2)) {
+            *p = CombinedChecksum { sum1: s1, sum2: s2 };
+        }
+    } else {
+        // PR-2-era element-wise pass (perf-harness A/B baseline).
+        for p in ws.in_ck.iter_mut() {
+            *p = CombinedChecksum::default();
+        }
+        for (g, &v) in x.iter().enumerate() {
+            let n1 = g % k;
+            let t = g / k;
+            let w = ra_m[t];
+            let term = v * w;
+            ws.in_ck[n1].sum1 += term;
+            ws.in_ck[n1].sum2 += term.scale((t + 1) as f64);
+        }
     }
     ws.slots.reset();
 
@@ -101,10 +153,14 @@ pub(crate) fn run(
                 // reconstructed delta, whose relative error is O(ε), so
                 // huge corruptions (high exponent-bit flips) converge
                 // geometrically instead of stalling after one repair.
-                two.gather_first(x, n1, &mut ws.buf2);
-                let observed = combined_checksum(&ws.buf2[..m], &ra_m);
+                let observed = if fused {
+                    gather_combined(x, n1, k, ra_m, &mut ws.buf2[..m])
+                } else {
+                    two.gather_first(x, n1, &mut ws.buf2);
+                    combined_checksum(&ws.buf2[..m], ra_m)
+                };
                 rep.checks += 1;
-                match combined_decode(observed, ws.in_ck[n1], &ra_m, m, th.eta1) {
+                match combined_decode(observed, ws.in_ck[n1], ra_m, m, th.eta1) {
                     MemVerdict::Located { index, delta } => {
                         if !mem_fixed {
                             rep.mem_detected += 1;
@@ -188,10 +244,14 @@ pub(crate) fn run(
                 continue;
             }
             {
-                two.gather_second(&ws.y, j2, &mut ws.buf2);
-                let observed = combined_checksum(&ws.buf2[..k], &ra_k);
+                let observed = if fused {
+                    gather_combined(&ws.y, j2, m, ra_k, &mut ws.buf2[..k])
+                } else {
+                    two.gather_second(&ws.y, j2, &mut ws.buf2);
+                    combined_checksum(&ws.buf2[..k], ra_k)
+                };
                 rep.checks += 1;
-                match combined_decode(observed, stored, &ra_k, k, th.eta2) {
+                match combined_decode(observed, stored, ra_k, k, th.eta2) {
                     MemVerdict::Located { index, delta } => {
                         if !mem_fixed {
                             rep.mem_detected += 1;
@@ -220,6 +280,14 @@ pub(crate) fn run(
                 break;
             }
         }
+        // Output-pair accumulation stays a separate pass from the scatter,
+        // deliberately: each stride-m store opens a fresh cache line, and
+        // interleaving those misses into the dependent g1/g2 add chain
+        // stalls both (measured ~10% whole-scheme regression at 2^20 when
+        // fused). A pure store loop lets the line-fill buffers stream.
+        // The accumulation must read the column *before* it reaches memory
+        // — that ordering is what lets the final CMCV catch output-memory
+        // corruption — so it cannot be folded into the final verify either.
         for (j1, &v) in ws.buf[..k].iter().enumerate() {
             let pos = j1 * m + j2;
             let term = v * omega3_pow(pos);

@@ -13,7 +13,7 @@ use ftfft_fault::{FaultInjector, InjectionCtx, Site};
 use ftfft_fft::TwoLayerScratch;
 use ftfft_numeric::Complex64;
 
-use crate::dmr::dmr_generate_ra;
+use crate::dmr::dmr_generate_ra_into;
 use crate::plan::{FtFftPlan, Workspace};
 use crate::report::FtReport;
 
@@ -31,15 +31,26 @@ pub(crate) fn run(
     let n = plan.n();
     let eta = plan.thresholds().eta_offline;
 
-    // Input checksum vector rA (size N!) under DMR.
-    let ra = dmr_generate_ra(n, plan.dir(), naive, injector, ctx, &mut rep);
+    // Input checksum vector rA (size N!) under DMR, generated into the
+    // workspace (no per-call allocation).
+    dmr_generate_ra_into(
+        n,
+        plan.dir(),
+        naive,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_full,
+        &mut ws.ra_tmp,
+    );
+    let ra = &ws.ra_full[..n];
 
     // CCG — with memory protection the full combined pair, else sum1 only
     // (§4.2: the r′₂x pass is what the memory variant pays extra).
     let stored = if memory {
-        combined_checksum(x, &ra)
+        combined_checksum(x, ra)
     } else {
-        CombinedChecksum { sum1: combined_sum1(x, &ra), sum2: Complex64::ZERO }
+        CombinedChecksum { sum1: combined_sum1(x, ra), sum2: Complex64::ZERO }
     };
 
     // Memory-fault window: input sits between checksum generation and use.
@@ -68,7 +79,7 @@ pub(crate) fn run(
         // Error detected only now — after the whole N-point transform.
         if memory {
             rep.checks += 1;
-            match combined_verify(x, &ra, stored, plan.thresholds().eta_mem_in) {
+            match combined_verify(x, ra, stored, plan.thresholds().eta_mem_in) {
                 MemVerdict::Located { index, delta } => {
                     rep.mem_detected += 1;
                     rep.mem_corrected += 1;

@@ -16,13 +16,134 @@
 //!   computed on the contiguous gather buffer) and the twiddle DMR is fused
 //!   row-wise at the end of each first-part FFT.
 
-use ftfft_checksum::{ccv, combined_sum1, combined_sum1_strided};
+use ftfft_checksum::{ccv, combined_sum1, combined_sum1_strided, gather_sum1};
 use ftfft_fault::{FaultInjector, InjectionCtx, Part, Site};
 use ftfft_numeric::Complex64;
 
-use crate::dmr::{dmr_generate_ra, dmr_twiddle};
+use crate::dmr::{dmr_generate_ra_into, dmr_twiddle};
 use crate::plan::{FtFftPlan, Workspace};
 use crate::report::FtReport;
+
+/// Executes one protected first-part (m-point) sub-FFT: CCG over the
+/// gathered stride-`k` input (fused with the gather when
+/// `plan.cfg().fused`), the transform, the CCV retry loop, and — in the
+/// optimized variant — the fused row-wise twiddle under DMR. The finished
+/// row is left in `buf[..m]` for the caller to store.
+///
+/// This is the unit of work the pooled executor
+/// (`ftfft_parallel::PooledFtFft`) fans out across workers: it only reads
+/// `x`, and all of its sites (`SubFftCompute`/`TwiddleDmrPass`) are visited
+/// in a deterministic per-row order, so scripted faults at per-index sites
+/// strike identically however rows are scheduled.
+#[allow(clippy::too_many_arguments)]
+pub fn part1_row(
+    plan: &FtFftPlan,
+    x: &[Complex64],
+    ra_m: &[Complex64],
+    n1: usize,
+    optimized: bool,
+    buf: &mut [Complex64],
+    buf2: &mut [Complex64],
+    fft: &mut [Complex64],
+    injector: &dyn FaultInjector,
+    ctx: InjectionCtx,
+    rep: &mut FtReport,
+) {
+    let two = plan.two();
+    let (k, m) = (two.k(), two.m());
+    let eta1 = plan.thresholds().eta1;
+    let mut attempts = 0u32;
+    loop {
+        let cx = if optimized {
+            if plan.cfg().fused {
+                // One pass: fill the gather buffer and accumulate the CCG.
+                gather_sum1(x, n1, k, ra_m, &mut buf[..m])
+            } else {
+                two.gather_first(x, n1, buf);
+                combined_sum1(&buf[..m], ra_m)
+            }
+        } else {
+            // Unoptimized: checksum over the strided source, then a
+            // separate gather for the transform (two strided reads).
+            let cx = combined_sum1_strided(x, n1, k, ra_m);
+            two.gather_first(x, n1, buf);
+            cx
+        };
+        two.inner_fft(buf, fft);
+        injector.inject(ctx, Site::SubFftCompute { part: Part::First, index: n1 }, &mut buf[..m]);
+        rep.checks += 1;
+        let o = ccv(&buf[..m], cx, eta1);
+        if o.ok {
+            rep.note_ok_residual_part1(o.residual);
+            break;
+        }
+        rep.comp_detected += 1;
+        rep.subfft_recomputed += 1;
+        attempts += 1;
+        if attempts > plan.cfg().max_retries {
+            rep.uncorrectable += 1;
+            break;
+        }
+    }
+    if optimized {
+        // Fused row-wise twiddle under DMR.
+        let row = &mut buf[..m];
+        dmr_twiddle(row, |j2| two.twiddle_weight(n1, j2), injector, ctx, rep, buf2);
+    }
+}
+
+/// Executes one protected second-part (k-point) sub-FFT over column `j2`
+/// of the intermediate matrix `y`: gather (+ twiddle DMR in the
+/// unoptimized variant), CCG, transform, CCV retry loop. The finished
+/// column is left in `buf[..k]` for the caller to scatter.
+#[allow(clippy::too_many_arguments)]
+pub fn part2_col(
+    plan: &FtFftPlan,
+    y: &[Complex64],
+    ra_k: &[Complex64],
+    j2: usize,
+    optimized: bool,
+    buf: &mut [Complex64],
+    buf2: &mut [Complex64],
+    fft: &mut [Complex64],
+    injector: &dyn FaultInjector,
+    ctx: InjectionCtx,
+    rep: &mut FtReport,
+) {
+    let two = plan.two();
+    let (k, m) = (two.k(), two.m());
+    let eta2 = plan.thresholds().eta2;
+    let mut attempts = 0u32;
+    loop {
+        let cx2 = if optimized && plan.cfg().fused {
+            gather_sum1(y, j2, m, ra_k, &mut buf[..k])
+        } else {
+            two.gather_second(y, j2, buf);
+            if !optimized {
+                // Algorithm 2 order: twiddle multiplication (DMR) applied
+                // to the column right before the second-part FFT.
+                let col = &mut buf[..k];
+                dmr_twiddle(col, |n1| two.twiddle_weight(n1, j2), injector, ctx, rep, buf2);
+            }
+            combined_sum1(&buf[..k], ra_k)
+        };
+        two.outer_fft(buf, fft);
+        injector.inject(ctx, Site::SubFftCompute { part: Part::Second, index: j2 }, &mut buf[..k]);
+        rep.checks += 1;
+        let o = ccv(&buf[..k], cx2, eta2);
+        if o.ok {
+            rep.note_ok_residual_part2(o.residual);
+            break;
+        }
+        rep.comp_detected += 1;
+        rep.subfft_recomputed += 1;
+        attempts += 1;
+        if attempts > plan.cfg().max_retries {
+            rep.uncorrectable += 1;
+            break;
+        }
+    }
+}
 
 pub(crate) fn run_comp(
     plan: &FtFftPlan,
@@ -36,12 +157,29 @@ pub(crate) fn run_comp(
     let mut rep = FtReport::new();
     let two = plan.two();
     let (k, m) = (two.k(), two.m());
-    let eta1 = plan.thresholds().eta1;
-    let eta2 = plan.thresholds().eta2;
 
-    // Input checksum vectors of size m and k — O(√N) work, DMR-protected.
-    let ra_m = dmr_generate_ra(m, plan.dir(), false, injector, ctx, &mut rep);
-    let ra_k = dmr_generate_ra(k, plan.dir(), false, injector, ctx, &mut rep);
+    // Input checksum vectors of size m and k — O(√N) work, DMR-protected,
+    // generated into workspace buffers (no per-call allocation).
+    dmr_generate_ra_into(
+        m,
+        plan.dir(),
+        false,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_m,
+        &mut ws.ra_tmp,
+    );
+    dmr_generate_ra_into(
+        k,
+        plan.dir(),
+        false,
+        injector,
+        ctx,
+        &mut rep,
+        &mut ws.ra_k,
+        &mut ws.ra_tmp,
+    );
 
     // Memory window on the input (computational-only schemes cannot detect
     // this — §3.2 motivates the memory hierarchy; site kept for parity).
@@ -49,50 +187,19 @@ pub(crate) fn run_comp(
 
     // ---- part 1: k m-point FFTs ----------------------------------------
     for n1 in 0..k {
-        let mut attempts = 0u32;
-        loop {
-            let cx = if optimized {
-                two.gather_first(x, n1, &mut ws.buf);
-                combined_sum1(&ws.buf[..m], &ra_m)
-            } else {
-                // Unoptimized: checksum over the strided source, then a
-                // separate gather for the transform (two strided reads).
-                let cx = combined_sum1_strided(x, n1, k, &ra_m);
-                two.gather_first(x, n1, &mut ws.buf);
-                cx
-            };
-            two.inner_fft(&mut ws.buf, &mut ws.fft);
-            injector.inject(
-                ctx,
-                Site::SubFftCompute { part: Part::First, index: n1 },
-                &mut ws.buf[..m],
-            );
-            rep.checks += 1;
-            let o = ccv(&ws.buf[..m], cx, eta1);
-            if o.ok {
-                rep.note_ok_residual_part1(o.residual);
-                break;
-            }
-            rep.comp_detected += 1;
-            rep.subfft_recomputed += 1;
-            attempts += 1;
-            if attempts > plan.cfg().max_retries {
-                rep.uncorrectable += 1;
-                break;
-            }
-        }
-        if optimized {
-            // Fused row-wise twiddle under DMR.
-            let row = &mut ws.buf[..m];
-            dmr_twiddle(
-                row,
-                |j2| two.twiddle_weight(n1, j2),
-                injector,
-                ctx,
-                &mut rep,
-                &mut ws.buf2,
-            );
-        }
+        part1_row(
+            plan,
+            x,
+            &ws.ra_m[..m],
+            n1,
+            optimized,
+            &mut ws.buf,
+            &mut ws.buf2,
+            &mut ws.fft,
+            injector,
+            ctx,
+            &mut rep,
+        );
         ws.y[n1 * m..(n1 + 1) * m].copy_from_slice(&ws.buf[..m]);
     }
 
@@ -101,43 +208,19 @@ pub(crate) fn run_comp(
 
     // ---- part 2: m k-point FFTs ----------------------------------------
     for j2 in 0..m {
-        let mut attempts = 0u32;
-        loop {
-            two.gather_second(&ws.y, j2, &mut ws.buf);
-            if !optimized {
-                // Algorithm 2 order: twiddle multiplication (DMR) applied
-                // to the column right before the second-part FFT.
-                let col = &mut ws.buf[..k];
-                dmr_twiddle(
-                    col,
-                    |n1| two.twiddle_weight(n1, j2),
-                    injector,
-                    ctx,
-                    &mut rep,
-                    &mut ws.buf2,
-                );
-            }
-            let cx2 = combined_sum1(&ws.buf[..k], &ra_k);
-            two.outer_fft(&mut ws.buf, &mut ws.fft);
-            injector.inject(
-                ctx,
-                Site::SubFftCompute { part: Part::Second, index: j2 },
-                &mut ws.buf[..k],
-            );
-            rep.checks += 1;
-            let o = ccv(&ws.buf[..k], cx2, eta2);
-            if o.ok {
-                rep.note_ok_residual_part2(o.residual);
-                break;
-            }
-            rep.comp_detected += 1;
-            rep.subfft_recomputed += 1;
-            attempts += 1;
-            if attempts > plan.cfg().max_retries {
-                rep.uncorrectable += 1;
-                break;
-            }
-        }
+        part2_col(
+            plan,
+            &ws.y,
+            &ws.ra_k[..k],
+            j2,
+            optimized,
+            &mut ws.buf,
+            &mut ws.buf2,
+            &mut ws.fft,
+            injector,
+            ctx,
+            &mut rep,
+        );
         two.scatter_output(out, j2, &ws.buf);
     }
 

@@ -57,6 +57,21 @@ pub struct Workspace {
     pub out_ck: Vec<MemChecksum>,
     /// Incremental slots for second-part input checksums (Fig 3, §4.3).
     pub slots: IncrementalSlots,
+    /// DMR-generated `rA` for the m-point first-part FFTs (`m` long).
+    pub ra_m: Vec<Complex64>,
+    /// DMR-generated `rA` for the k-point second-part FFTs (`k` long).
+    pub ra_k: Vec<Complex64>,
+    /// Full-size `rA` for the offline schemes (`n` long there, else empty).
+    pub ra_full: Vec<Complex64>,
+    /// Second DMR pass scratch for `rA` generation.
+    pub ra_tmp: Vec<Complex64>,
+    /// CMCG `sum1` accumulators, one per first-part FFT (`k` long).
+    pub ck1: Vec<Complex64>,
+    /// CMCG `sum2` accumulators (`k` long).
+    pub ck2: Vec<Complex64>,
+    /// Group output staging for the Fig 2 batched second part
+    /// (`batch_s·k` long for `OnlineMem`, else empty).
+    pub group_out: Vec<Complex64>,
 }
 
 impl FtFftPlan {
@@ -100,10 +115,17 @@ impl FtFftPlan {
         &self.thresholds
     }
 
-    /// Allocates a workspace sized for this plan.
+    /// Allocates a workspace sized for this plan (and scheme): every buffer
+    /// any execute path touches is allocated here, so repeated
+    /// [`execute`](FtFftPlan::execute) calls allocate nothing on the clean
+    /// path (asserted by `tests/no_alloc.rs`).
     pub fn make_workspace(&self) -> Workspace {
         let (k, m) = (self.two.k(), self.two.m());
         let lane = k.max(m);
+        let offline =
+            matches!(self.cfg.scheme, Scheme::OfflineNaive | Scheme::Offline | Scheme::OfflineMem);
+        let group =
+            if self.cfg.scheme == Scheme::OnlineMem { self.cfg.batch_s.max(1) * k } else { 0 };
         Workspace {
             y: vec![Complex64::ZERO; self.n],
             buf: vec![Complex64::ZERO; lane],
@@ -118,6 +140,13 @@ impl FtFftPlan {
             col_ck: vec![MemChecksum { sum: Complex64::ZERO, wsum: Complex64::ZERO }; m],
             out_ck: vec![MemChecksum { sum: Complex64::ZERO, wsum: Complex64::ZERO }; m],
             slots: IncrementalSlots::new(m),
+            ra_m: vec![Complex64::ZERO; m],
+            ra_k: vec![Complex64::ZERO; k],
+            ra_full: vec![Complex64::ZERO; if offline { self.n } else { 0 }],
+            ra_tmp: vec![Complex64::ZERO; if offline { self.n } else { lane }],
+            ck1: vec![Complex64::ZERO; k],
+            ck2: vec![Complex64::ZERO; k],
+            group_out: vec![Complex64::ZERO; group],
         }
     }
 

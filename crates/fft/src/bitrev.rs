@@ -13,17 +13,32 @@ pub fn reverse_bits(x: usize, bits: u32) -> usize {
 
 /// Applies the bit-reversal permutation in place.
 ///
+/// The reversed companion index is maintained *incrementally* (add-with-
+/// reversed-carry) instead of calling [`reverse_bits`] per element — x86
+/// has no bit-reverse instruction, so the per-element reversal sequence
+/// used to dominate this pass at small `n` (see `EXPERIMENTS.md`,
+/// perfgate at 2¹⁰).
+///
 /// # Panics
 /// Panics if `data.len()` is not a power of two.
 pub fn bit_reverse_permute(data: &mut [Complex64]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "bit_reverse_permute: n={n} not a power of two");
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = reverse_bits(i, bits);
-        if j > i {
+    if n <= 2 {
+        return; // 1- and 2-point reversals are the identity.
+    }
+    let mut j = 0usize;
+    for i in 0..n - 1 {
+        if i < j {
             data.swap(i, j);
         }
+        // Reversed-carry increment: propagate from the top bit down.
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
     }
 }
 

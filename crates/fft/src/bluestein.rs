@@ -81,9 +81,8 @@ impl BluesteinPlan {
             *slot = if j < self.n { src[j] * self.chirp[j] } else { Complex64::ZERO };
         }
         fft_radix2_inplace(a, &self.fwd);
-        for (z, b) in a.iter_mut().zip(&self.b_hat) {
-            *z *= *b;
-        }
+        // Pointwise convolution product — SIMD complex multiply.
+        ftfft_numeric::simd::cmul_inplace(a, &self.b_hat);
         fft_radix2_inplace(a, &self.inv);
         for (k, d) in dst.iter_mut().enumerate() {
             *d = a[k] * self.chirp[k];

@@ -36,6 +36,14 @@ pub fn fft_radix2_strided_table(data: &mut [Complex64], table: &TwiddleTable, ta
         let half = len / 2;
         // ω_len^j = ω_n^{j·(n/len)}; include the external table stride.
         let tw_step = (n / len) * table_stride;
+        if tw_step == 1 {
+            // Final stage with a matching table: contiguous twiddles —
+            // hand the whole half-split to the SIMD butterfly kernel.
+            let (lo, hi) = data.split_at_mut(half);
+            ftfft_numeric::simd::butterfly(lo, hi, &table.as_slice()[..half]);
+            len <<= 1;
+            continue;
+        }
         let mut base = 0usize;
         while base < n {
             let (lo, hi) = data[base..base + len].split_at_mut(half);

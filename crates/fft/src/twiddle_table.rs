@@ -26,19 +26,15 @@ impl TwiddleTable {
     pub fn new(n: usize, dir: Direction) -> Self {
         assert!(n > 0, "twiddle table of size 0");
         const RESYNC: usize = 64;
-        let mut w = Vec::with_capacity(n);
         let step_angle = dir.sign() * 2.0 * std::f64::consts::PI / n as f64;
-        let mut t = 0usize;
-        while t < n {
-            let anchor = cis(step_angle * t as f64);
-            let step = cis(step_angle);
-            let mut cur = anchor;
-            let block = RESYNC.min(n - t);
-            for _ in 0..block {
-                w.push(cur);
+        let step = cis(step_angle);
+        let mut w = vec![Complex64::ZERO; n];
+        for (block, chunk) in w.chunks_mut(RESYNC).enumerate() {
+            let mut cur = cis(step_angle * (block * RESYNC) as f64);
+            for slot in chunk.iter_mut() {
+                *slot = cur;
                 cur *= step;
             }
-            t += block;
         }
         TwiddleTable { n, dir, w }
     }

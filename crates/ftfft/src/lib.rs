@@ -27,13 +27,13 @@
 //!
 //! | Sub-crate | Contents |
 //! |---|---|
-//! | [`numeric`] | complex arithmetic, statistics, `erf`/Φ, signal generators |
+//! | [`numeric`] | complex arithmetic, SIMD micro-kernels, statistics, `erf`/Φ, signal generators |
 //! | [`fft`] | the FFT library (planner, kernels, two-/three-layer plans) |
 //! | [`checksum`] | ABFT encodings (computational, memory, combined, blocks) |
 //! | [`fault`] | soft-error injection framework |
 //! | [`roundoff`] | §8 threshold model and throughput analysis |
 //! | [`core`] | the protected sequential schemes (offline/online × comp/mem) |
-//! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap |
+//! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap; thread pool + pooled executors |
 
 pub use ftfft_checksum as checksum;
 pub use ftfft_core as core;
@@ -54,9 +54,13 @@ pub mod prelude {
         dft_naive, fft, ifft, normalize, Direction, FftPlan, Planner, Pow2Kernel, KERNEL_ENV,
     };
     pub use ftfft_numeric::{
-        inf_norm, normal_signal, relative_error_inf, uniform_signal, Complex64, SignalDist,
+        inf_norm, normal_signal, relative_error_inf, simd_level, uniform_signal, Complex64,
+        SignalDist, SimdLevel, SIMD_ENV,
     };
-    pub use ftfft_parallel::{NetworkModel, ParallelFft, ParallelScheme};
+    pub use ftfft_parallel::{
+        resolve_threads, NetworkModel, ParallelFft, ParallelScheme, PooledFtFft, PooledWorkspace,
+        ThreadPool, THREADS_ENV,
+    };
     pub use ftfft_roundoff::{thresholds_for_split, throughput, Calibrator, Thresholds};
 }
 

@@ -12,16 +12,20 @@
 //! * `erf`/`Φ` rational approximations for the §8 round-off throughput model
 //!   ([`mod@erf`]);
 //! * seedable random signal generators for the paper's `U(-1,1)` and
-//!   `N(0,1)` workloads ([`rng`]).
+//!   `N(0,1)` workloads ([`rng`]);
+//! * runtime-dispatched SIMD micro-kernels (AVX+FMA with a bitwise-identical
+//!   scalar fallback) for the checksum and butterfly hot paths ([`simd`]).
 
 pub mod complex;
 pub mod erf;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod twiddle;
 
 pub use complex::Complex64;
 pub use erf::{erf, normal_cdf};
 pub use rng::{normal_signal, uniform_signal, SignalDist};
+pub use simd::{force_level, simd_level, SimdLevel, SIMD_ENV};
 pub use stats::{inf_norm, max_abs_diff, mean, relative_error_inf, variance, RunningStats};
 pub use twiddle::{cis, omega, omega3, omega3_pow, OMEGA3_IM, OMEGA3_RE};

@@ -15,12 +15,16 @@
 
 pub mod machine;
 pub mod network;
+pub mod pool;
+pub mod pooled;
 pub mod scheme;
 pub mod sixstep;
 pub mod transpose;
 
 pub use machine::{run_ranks, Comm, RecvHandle};
 pub use network::NetworkModel;
+pub use pool::{resolve_threads, ThreadPool, THREADS_ENV};
+pub use pooled::{LaneScratch, PooledFtFft, PooledWorkspace};
 pub use scheme::ParallelScheme;
 pub use sixstep::ParallelFft;
 pub use transpose::{exchange, BlockProtection};

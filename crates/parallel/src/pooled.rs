@@ -1,0 +1,437 @@
+//! Pooled (multi-threaded) protected executors.
+//!
+//! [`PooledFtFft`] wraps an [`FtFftPlan`] and uses the persistent
+//! [`ThreadPool`] to exploit the independence the online scheme already
+//! has:
+//!
+//! * **Part 1 across workers** — the `k` first-part m-point sub-FFTs of
+//!   the computational online schemes (`OnlineComp`/`OnlineCompOpt`) only
+//!   *read* the shared input and write disjoint rows of the intermediate
+//!   matrix, so [`execute`](PooledFtFft::execute) fans them out with one
+//!   workspace per worker and runs part 2 (whose slot order matters)
+//!   serially. Outputs are **bitwise identical** to the single-threaded
+//!   executor, and so is the [`FtReport`] (counts are sums, residual
+//!   maxima are maxima — both order-free).
+//! * **Batch items across workers** —
+//!   [`execute_batch`](PooledFtFft::execute_batch) runs whole independent
+//!   transforms of a batch concurrently under any scheme.
+//!
+//! Fault-injection determinism: sites that carry their own index
+//! (`SubFftCompute { index, .. }`) are visited in a deterministic per-row
+//! order, so scripted faults strike identically however rows are scheduled
+//! across workers. Sites shared between rows (`TwiddleDmrPass`) or between
+//! batch items (`InputMemory`, …) have *global occurrence counters*: under
+//! threading, which row/item a given occurrence lands on depends on
+//! scheduling, though every scripted fault still fires exactly once and
+//! the merged report totals are unchanged.
+
+use ftfft_core::dmr::dmr_generate_ra_into;
+use ftfft_core::online::{part1_row, part2_col};
+use ftfft_core::{FtFftPlan, FtReport, Scheme, Workspace};
+use ftfft_fault::{FaultInjector, InjectionCtx, Site};
+use ftfft_numeric::Complex64;
+use parking_lot::Mutex;
+
+use crate::pool::{chunk_range, resolve_threads, ThreadPool};
+
+/// A protected FFT plan bound to a persistent worker pool.
+///
+/// Worker count: `FtConfig::threads` if set, else the `FTFFT_THREADS`
+/// environment variable, else the machine's available parallelism
+/// (see [`resolve_threads`]).
+pub struct PooledFtFft {
+    plan: FtFftPlan,
+    pool: ThreadPool,
+}
+
+/// Per-worker scratch for the part-1 fan-out — just the three lane-sized
+/// buffers [`part1_row`] touches, not a full (n-sized) [`Workspace`].
+pub struct LaneScratch {
+    /// Gather/result buffer (`max(k, m)` long).
+    pub buf: Vec<Complex64>,
+    /// DMR scratch (`max(k, m)` long).
+    pub buf2: Vec<Complex64>,
+    /// Sub-plan FFT scratch.
+    pub fft: Vec<Complex64>,
+}
+
+/// Workspaces for [`PooledFtFft::execute`]: the main (serial-phase)
+/// workspace plus lane-sized scratch per worker. The batched executor
+/// needs full per-worker workspaces instead — see
+/// [`PooledFtFft::make_batch_workspace`].
+pub struct PooledWorkspace {
+    /// Workspace for the serial phases (and the single-threaded fallback).
+    pub main: Workspace,
+    /// Per-worker lane scratch, indexed by pool worker id.
+    pub lanes: Vec<LaneScratch>,
+}
+
+impl PooledFtFft {
+    /// Wraps `plan`, spawning the plan's worker pool.
+    pub fn new(plan: FtFftPlan) -> Self {
+        let pool = ThreadPool::new(resolve_threads(plan.cfg().threads));
+        PooledFtFft { plan, pool }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FtFftPlan {
+        &self.plan
+    }
+
+    /// Worker count in force (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// Allocates the workspace for [`execute`](Self::execute): one full
+    /// main workspace plus lane-sized scratch per worker (workers never
+    /// need the n-sized buffers).
+    pub fn make_workspace(&self) -> PooledWorkspace {
+        let two = self.plan.two();
+        let lane = two.k().max(two.m());
+        let fft_len = two.inner_plan().scratch_len().max(two.outer_plan().scratch_len());
+        PooledWorkspace {
+            main: self.plan.make_workspace(),
+            lanes: (0..self.pool.size())
+                .map(|_| LaneScratch {
+                    buf: vec![Complex64::ZERO; lane],
+                    buf2: vec![Complex64::ZERO; lane],
+                    fft: vec![Complex64::ZERO; fft_len],
+                })
+                .collect(),
+        }
+    }
+
+    /// Allocates one full workspace per worker for
+    /// [`execute_batch`](Self::execute_batch), where every worker runs
+    /// whole transforms.
+    pub fn make_batch_workspace(&self) -> Vec<Workspace> {
+        (0..self.pool.size()).map(|_| self.plan.make_workspace()).collect()
+    }
+
+    /// Executes the protected transform with part 1 fanned across the
+    /// pool. Supported for the computational online schemes
+    /// (`OnlineComp`, `OnlineCompOpt`), whose part 1 never mutates shared
+    /// state; every other scheme (and a pool of size 1) falls back to the
+    /// serial [`FtFftPlan::execute`].
+    pub fn execute(
+        &self,
+        x: &mut [Complex64],
+        out: &mut [Complex64],
+        injector: &dyn FaultInjector,
+        ws: &mut PooledWorkspace,
+    ) -> FtReport {
+        let plan = &self.plan;
+        let optimized = match plan.cfg().scheme {
+            Scheme::OnlineCompOpt => true,
+            Scheme::OnlineComp => false,
+            _ => return plan.execute(x, out, injector, &mut ws.main),
+        };
+        if self.pool.size() == 1 {
+            return plan.execute(x, out, injector, &mut ws.main);
+        }
+        assert_eq!(x.len(), plan.n(), "input length mismatch");
+        assert_eq!(out.len(), plan.n(), "output length mismatch");
+
+        let ctx = InjectionCtx::default();
+        let mut rep = FtReport::new();
+        let two = plan.two();
+        let (k, m) = (two.k(), two.m());
+
+        dmr_generate_ra_into(
+            m,
+            plan.dir(),
+            false,
+            injector,
+            ctx,
+            &mut rep,
+            &mut ws.main.ra_m,
+            &mut ws.main.ra_tmp,
+        );
+        dmr_generate_ra_into(
+            k,
+            plan.dir(),
+            false,
+            injector,
+            ctx,
+            &mut rep,
+            &mut ws.main.ra_k,
+            &mut ws.main.ra_tmp,
+        );
+
+        injector.inject(ctx, Site::InputMemory, x);
+
+        // ---- part 1: k m-point FFTs across the pool ---------------------
+        {
+            let t = self.pool.size().min(k).max(1);
+            let ra_m = &ws.main.ra_m[..m];
+            let x_shared: &[Complex64] = x;
+            // Pre-split the intermediate matrix into each worker's rows
+            // (the same contiguous chunks run_chunks hands out).
+            let mut slots = Vec::with_capacity(t);
+            let mut rest = &mut ws.main.y[..k * m];
+            for (w, lane) in ws.lanes.iter_mut().take(t).enumerate() {
+                let rows = chunk_range(k, t, w);
+                let (chunk, tail) = rest.split_at_mut(rows.len() * m);
+                rest = tail;
+                slots.push(Mutex::new((chunk, lane, FtReport::new())));
+            }
+            self.pool.run_chunks(k, |w, rows| {
+                let mut slot = slots[w].lock();
+                let (y_rows, lane, local_rep) = &mut *slot;
+                for n1 in rows.clone() {
+                    part1_row(
+                        plan,
+                        x_shared,
+                        ra_m,
+                        n1,
+                        optimized,
+                        &mut lane.buf,
+                        &mut lane.buf2,
+                        &mut lane.fft,
+                        injector,
+                        ctx,
+                        local_rep,
+                    );
+                    let off = (n1 - rows.start) * m;
+                    y_rows[off..off + m].copy_from_slice(&lane.buf[..m]);
+                }
+            });
+            for slot in slots {
+                rep.merge(&slot.into_inner().2);
+            }
+        }
+
+        injector.inject(ctx, Site::IntermediateMemory, &mut ws.main.y);
+
+        // ---- part 2: m k-point FFTs, serial (slot order matters) --------
+        for j2 in 0..m {
+            part2_col(
+                plan,
+                &ws.main.y,
+                &ws.main.ra_k[..k],
+                j2,
+                optimized,
+                &mut ws.main.buf,
+                &mut ws.main.buf2,
+                &mut ws.main.fft,
+                injector,
+                ctx,
+                &mut rep,
+            );
+            two.scatter_output(out, j2, &ws.main.buf);
+        }
+
+        injector.inject(ctx, Site::OutputMemory, out);
+        rep
+    }
+
+    /// Batched protected transform with whole batch items fanned across
+    /// the pool — any scheme. `xs`/`outs` hold `xs.len() / n` back-to-back
+    /// signals; each worker transforms its contiguous chunk of items
+    /// against its own workspace from `workers` (allocate with
+    /// [`make_batch_workspace`](Self::make_batch_workspace)). Returns the
+    /// merged report (worker order), identical in totals to the serial
+    /// [`FtFftPlan::execute_batch`].
+    ///
+    /// # Panics
+    /// Panics if `xs.len() != outs.len()`, the length is not a multiple
+    /// of the plan size, or `workers` has fewer workspaces than the pool
+    /// has workers.
+    pub fn execute_batch(
+        &self,
+        xs: &mut [Complex64],
+        outs: &mut [Complex64],
+        injector: &dyn FaultInjector,
+        workers: &mut [Workspace],
+    ) -> FtReport {
+        let plan = &self.plan;
+        let n = plan.n();
+        assert_eq!(xs.len(), outs.len(), "batch input/output length mismatch");
+        assert!(
+            xs.len().is_multiple_of(n),
+            "batch length {} is not a multiple of plan size {n}",
+            xs.len()
+        );
+        let items = xs.len() / n;
+        let t = self.pool.size().min(items).max(1);
+        assert!(workers.len() >= t, "need {t} worker workspaces, got {}", workers.len());
+        if t == 1 {
+            return plan.execute_batch(xs, outs, injector, &mut workers[0]);
+        }
+
+        let mut slots = Vec::with_capacity(t);
+        let mut xs_rest = &mut xs[..];
+        let mut outs_rest = &mut outs[..];
+        for (w, wws) in workers.iter_mut().take(t).enumerate() {
+            let chunk_items = chunk_range(items, t, w).len();
+            let (x_chunk, x_tail) = xs_rest.split_at_mut(chunk_items * n);
+            let (o_chunk, o_tail) = outs_rest.split_at_mut(chunk_items * n);
+            xs_rest = x_tail;
+            outs_rest = o_tail;
+            slots.push(Mutex::new((x_chunk, o_chunk, wws, FtReport::new())));
+        }
+        self.pool.run_chunks(items, |w, _range| {
+            let mut slot = slots[w].lock();
+            let (x_chunk, o_chunk, wws, local_rep) = &mut *slot;
+            for (x, out) in x_chunk.chunks_exact_mut(n).zip(o_chunk.chunks_exact_mut(n)) {
+                local_rep.merge(&plan.execute(x, out, injector, wws));
+            }
+        });
+        let mut rep = FtReport::new();
+        for slot in slots {
+            rep.merge(&slot.into_inner().3);
+        }
+        rep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_core::FtConfig;
+    use ftfft_fault::{FaultKind, NoFaults, Part, ScriptedFault, ScriptedInjector};
+    use ftfft_fft::Direction;
+    use ftfft_numeric::uniform_signal;
+
+    fn serial_run(scheme: Scheme, n: usize, inj: &dyn FaultInjector) -> (Vec<Complex64>, FtReport) {
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(scheme));
+        let mut x = uniform_signal(n, 5);
+        let mut out = vec![Complex64::ZERO; n];
+        let mut ws = plan.make_workspace();
+        let rep = plan.execute(&mut x, &mut out, inj, &mut ws);
+        (out, rep)
+    }
+
+    fn pooled_run(
+        scheme: Scheme,
+        n: usize,
+        threads: usize,
+        inj: &dyn FaultInjector,
+    ) -> (Vec<Complex64>, FtReport) {
+        let plan =
+            FtFftPlan::new(n, Direction::Forward, FtConfig::new(scheme).with_threads(threads));
+        let pooled = PooledFtFft::new(plan);
+        assert_eq!(pooled.threads(), threads);
+        let mut x = uniform_signal(n, 5);
+        let mut out = vec![Complex64::ZERO; n];
+        let mut ws = pooled.make_workspace();
+        let rep = pooled.execute(&mut x, &mut out, inj, &mut ws);
+        (out, rep)
+    }
+
+    #[test]
+    fn pooled_matches_serial_bitwise_clean() {
+        for scheme in [Scheme::OnlineComp, Scheme::OnlineCompOpt] {
+            for threads in [1usize, 2, 3, 7] {
+                let (want, want_rep) = serial_run(scheme, 1 << 10, &NoFaults);
+                let (got, got_rep) = pooled_run(scheme, 1 << 10, threads, &NoFaults);
+                assert_eq!(got, want, "{scheme:?} threads={threads}");
+                assert_eq!(got_rep, want_rep, "{scheme:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_part1_faults_detected_identically() {
+        // Per-index sites strike the same row at any worker count.
+        let faults = || {
+            vec![
+                ScriptedFault::new(
+                    Site::SubFftCompute { part: Part::First, index: 3 },
+                    7,
+                    FaultKind::AddDelta { re: 1e-3, im: 0.0 },
+                ),
+                ScriptedFault::new(
+                    Site::SubFftCompute { part: Part::First, index: 30 },
+                    1,
+                    FaultKind::AddDelta { re: 0.0, im: -2.0 },
+                ),
+                ScriptedFault::new(
+                    Site::SubFftCompute { part: Part::Second, index: 5 },
+                    2,
+                    FaultKind::AddDelta { re: 2.0, im: 2.0 },
+                ),
+            ]
+        };
+        let serial_inj = ScriptedInjector::new(faults());
+        let (want, want_rep) = serial_run(Scheme::OnlineCompOpt, 1 << 10, &serial_inj);
+        for threads in [2usize, 4] {
+            let inj = ScriptedInjector::new(faults());
+            let (got, got_rep) = pooled_run(Scheme::OnlineCompOpt, 1 << 10, threads, &inj);
+            assert!(inj.exhausted(), "threads={threads}");
+            assert_eq!(got_rep, want_rep, "threads={threads}");
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn non_comp_schemes_fall_back_to_serial() {
+        let (want, want_rep) = serial_run(Scheme::OnlineMemOpt, 1 << 9, &NoFaults);
+        let (got, got_rep) = pooled_run(Scheme::OnlineMemOpt, 1 << 9, 4, &NoFaults);
+        assert_eq!(got, want);
+        assert_eq!(got_rep, want_rep);
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_clean() {
+        let n = 1 << 8;
+        let batch = 5;
+        let src = uniform_signal(n * batch, 9);
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+        let mut ws = plan.make_workspace();
+        let mut xs = src.clone();
+        let mut want = vec![Complex64::ZERO; n * batch];
+        let want_rep = plan.execute_batch(&mut xs, &mut want, &NoFaults, &mut ws);
+
+        for threads in [2usize, 3, 8] {
+            let plan = FtFftPlan::new(
+                n,
+                Direction::Forward,
+                FtConfig::new(Scheme::OnlineMemOpt).with_threads(threads),
+            );
+            let pooled = PooledFtFft::new(plan);
+            let mut pws = pooled.make_batch_workspace();
+            let mut xs = src.clone();
+            let mut got = vec![Complex64::ZERO; n * batch];
+            let got_rep = pooled.execute_batch(&mut xs, &mut got, &NoFaults, &mut pws);
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(got_rep, want_rep, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_batch_corrects_faults_with_identical_totals() {
+        let n = 1 << 8;
+        let batch = 4;
+        let src = uniform_signal(n * batch, 11);
+        let faults = || {
+            vec![ScriptedFault::new(
+                Site::SubFftCompute { part: Part::First, index: 2 },
+                3,
+                FaultKind::AddDelta { re: 5e-2, im: 0.0 },
+            )]
+        };
+        let plan = FtFftPlan::new(
+            n,
+            Direction::Forward,
+            FtConfig::new(Scheme::OnlineMemOpt).with_threads(3),
+        );
+        let pooled = PooledFtFft::new(plan);
+        let mut pws = pooled.make_batch_workspace();
+        let mut xs = src.clone();
+        let mut got = vec![Complex64::ZERO; n * batch];
+        let inj = ScriptedInjector::new(faults());
+        let rep = pooled.execute_batch(&mut xs, &mut got, &inj, &mut pws);
+        assert!(inj.exhausted());
+        assert_eq!(rep.comp_detected, 1, "{rep:?}");
+        assert_eq!(rep.uncorrectable, 0);
+        // Every item matches the clean transform — whichever item took the
+        // fault, it was corrected.
+        for (x, out) in src.chunks_exact(n).zip(got.chunks_exact(n)) {
+            let want = ftfft_fft::fft(x);
+            let err = ftfft_numeric::max_abs_diff(out, &want);
+            assert!(err < 1e-8 * n as f64, "err={err}");
+        }
+    }
+}

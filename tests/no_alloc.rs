@@ -1,0 +1,128 @@
+//! No-allocation assertion for the hot path.
+//!
+//! A counting global allocator verifies that, once a plan and its
+//! workspace exist, repeated clean `execute` calls allocate **nothing** —
+//! across every scheme and across sub-plan kinds (power-of-two, mixed-
+//! radix, and Bluestein sub-FFTs), and for the plain `FftPlan` paths.
+//! Recovery paths (a detected fault's tie-break vote) may allocate; the
+//! clean path must not.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ftfft::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates everything to `System`, only adding a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so the tests in this binary must not
+/// overlap at all (the harness runs tests concurrently on multi-core
+/// machines, and even a sibling test's *setup* allocations would pollute
+/// a measurement window): every test body below holds this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` several times and returns the *minimum* allocation count of
+/// any run — a deterministic zero for a truly allocation-free `f`, while
+/// immune to one-off pollution from harness-internal threads.
+fn alloc_count(mut f: impl FnMut()) -> usize {
+    (0..5)
+        .map(|_| {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            f();
+            ALLOCS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .unwrap()
+}
+
+/// Sizes covering every sub-plan kind the two-layer split produces:
+/// 1024 = 32×32 (power-of-two kernels), 100 = 10×10 (mixed-radix),
+/// 202 = 2×101 (Bluestein inner sub-plan).
+const SIZES: [usize; 3] = [1024, 100, 202];
+
+#[test]
+fn protected_execute_is_allocation_free_after_warmup() {
+    let _serial = serialized();
+    for scheme in Scheme::ALL {
+        for n in SIZES {
+            let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(scheme));
+            let mut ws = plan.make_workspace();
+            let x = uniform_signal(n, 7);
+            let mut xin = x.clone();
+            let mut out = vec![Complex64::ZERO; n];
+            // Warm-up: first call may lazily initialize (SIMD dispatch
+            // decision reads the environment, etc.).
+            plan.execute(&mut xin, &mut out, &NoFaults, &mut ws);
+            let count = alloc_count(|| {
+                for _ in 0..3 {
+                    xin.copy_from_slice(&x);
+                    let rep = plan.execute(&mut xin, &mut out, &NoFaults, &mut ws);
+                    assert_eq!(rep.uncorrectable, 0);
+                }
+            });
+            assert_eq!(count, 0, "{scheme:?} n={n}: {count} allocations in hot path");
+        }
+    }
+}
+
+#[test]
+fn plain_fft_plan_execute_is_allocation_free() {
+    let _serial = serialized();
+    // 97 is prime → Bluestein; 360 → mixed-radix; 4096 → pow2.
+    for n in [97usize, 360, 4096] {
+        let plan = FftPlan::new(n, Direction::Forward);
+        let x = uniform_signal(n, 3);
+        let mut dst = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute(&x, &mut dst, &mut scratch);
+        let count = alloc_count(|| {
+            for _ in 0..3 {
+                plan.execute(&x, &mut dst, &mut scratch);
+            }
+        });
+        assert_eq!(count, 0, "FftPlan n={n} ({}): {count} allocations", plan.kernel_name());
+    }
+}
+
+#[test]
+fn batched_execute_is_allocation_free() {
+    let _serial = serialized();
+    let n = 256;
+    let batch = 4;
+    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+    let mut ws = plan.make_workspace();
+    let src = uniform_signal(n * batch, 5);
+    let mut xs = src.clone();
+    let mut outs = vec![Complex64::ZERO; n * batch];
+    plan.execute_batch(&mut xs, &mut outs, &NoFaults, &mut ws);
+    let count = alloc_count(|| {
+        xs.copy_from_slice(&src);
+        let rep = plan.execute_batch(&mut xs, &mut outs, &NoFaults, &mut ws);
+        assert_eq!(rep.uncorrectable, 0);
+    });
+    assert_eq!(count, 0, "execute_batch: {count} allocations in hot path");
+}

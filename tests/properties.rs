@@ -1,9 +1,11 @@
 //! Property-based tests (proptest) on the core invariants.
 
 use ftfft::checksum::{
-    combined_checksum, combined_sum1, combined_verify, input_checksum_vector, mem_checksum,
-    verify_and_correct, weighted_sum, MemVerdict,
+    combined_checksum, combined_sum1, combined_verify, gather_combined, gather_sum1,
+    input_checksum_vector, mem_checksum, verify_and_correct, weighted_sum, MemVerdict,
 };
+use ftfft::fft::strided::gather;
+use ftfft::numeric::simd;
 use ftfft::prelude::*;
 use proptest::prelude::*;
 
@@ -253,6 +255,124 @@ proptest! {
             let err = ftfft::numeric::max_abs_diff(&got, &want);
             prop_assert!(err < 1e-9 * n as f64, "{} n={n} err={err}", kernel.name());
         }
+    }
+
+    /// Fused gather+checksum equals the separate gather-then-checksum
+    /// passes **bitwise**, for any count/stride/offset — both the sum1
+    /// and the full combined-pair routines, clean and corrupted inputs.
+    #[test]
+    fn fused_gather_checksum_bitwise_equals_separate(
+        count in 1usize..300,
+        stride in 1usize..20,
+        offset_frac in 0.0f64..1.0,
+        corrupt in 0usize..2,
+    ) {
+        let offset = ((offset_frac * stride as f64) as usize).min(stride - 1);
+        let mut src = uniform_signal(offset + count * stride, count as u64 * 31 + stride as u64);
+        if corrupt == 1 {
+            // A corrupted source must flow through both paths identically.
+            let idx = (count / 2) * stride + offset;
+            src[idx] = Complex64::new(1e9, -1e9);
+        }
+        let ra = input_checksum_vector(count, Direction::Forward);
+
+        let mut fused_buf = vec![Complex64::ZERO; count];
+        let fused1 = gather_sum1(&src, offset, stride, &ra, &mut fused_buf);
+        let mut sep_buf = vec![Complex64::ZERO; count];
+        gather(&src, offset, stride, &mut sep_buf);
+        prop_assert_eq!(&fused_buf, &sep_buf);
+        prop_assert_eq!(fused1, combined_sum1(&sep_buf, &ra));
+
+        let pair = gather_combined(&src, offset, stride, &ra, &mut fused_buf);
+        prop_assert_eq!(&fused_buf, &sep_buf);
+        prop_assert_eq!(pair, combined_checksum(&sep_buf, &ra));
+    }
+
+    /// The SIMD micro-kernels equal the scalar fallback **bitwise** at
+    /// every size and alignment (slices starting at odd offsets force
+    /// unaligned vector loads). This is the dispatch-level reproducibility
+    /// contract the checksum thresholds rely on.
+    #[test]
+    fn simd_kernels_bitwise_equal_scalar_fallback(
+        n in 1usize..260,
+        off in 0usize..4,
+        seed in 0u64..512,
+    ) {
+        let x = uniform_signal(n + off, seed);
+        let w = uniform_signal(n + off, seed + 7);
+        let xs = &x[off..];
+        let ws_ = &w[off..];
+        let at = |level: SimdLevel| {
+            ftfft::numeric::force_level(Some(level));
+            let d = simd::dot(xs, ws_);
+            let p = simd::dot_pair(xs, ws_);
+            let s = simd::weighted_sum3(xs, Complex64::I, -Complex64::ONE);
+            let mut a = xs.to_vec();
+            simd::cmul_inplace(&mut a, ws_);
+            let mut acc1 = ws_.to_vec();
+            let mut acc2 = xs.to_vec();
+            simd::axpy2(&mut acc1, &mut acc2, xs, Complex64::I, Complex64::ONE);
+            (d, p, s, a, acc1, acc2)
+        };
+        let scalar = at(SimdLevel::Scalar);
+        let hw = {
+            ftfft::numeric::force_level(None);
+            simd_level()
+        };
+        if hw == SimdLevel::Avx {
+            let avx = at(SimdLevel::Avx);
+            ftfft::numeric::force_level(None);
+            prop_assert_eq!(scalar, avx);
+        }
+    }
+
+    /// Threaded part-1 (PooledFtFft) detects and corrects scripted faults
+    /// identically to the single-threaded executor: same outputs bitwise,
+    /// same report, at any worker count.
+    #[test]
+    fn pooled_part1_equals_serial_under_faults(
+        log2n in 6u32..10,
+        threads in 2usize..6,
+        element in 0usize..64,
+        magnitude in prop::sample::select(vec![1e-3f64, 0.5, 10.0]),
+    ) {
+        let n = 1usize << log2n;
+        let mk_faults = |k: usize| vec![
+            ScriptedFault::new(
+                Site::SubFftCompute { part: Part::First, index: element % k },
+                element,
+                FaultKind::AddDelta { re: magnitude, im: -magnitude },
+            ),
+            ScriptedFault::new(
+                Site::SubFftCompute { part: Part::Second, index: (element / 2) % k },
+                element / 3,
+                FaultKind::AddDelta { re: 0.0, im: magnitude },
+            ),
+        ];
+        let x0 = uniform_signal(n, 5);
+
+        let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineCompOpt));
+        let k = plan.two().k();
+        let inj = ScriptedInjector::new(mk_faults(k));
+        let mut xs = x0.clone();
+        let mut want = vec![Complex64::ZERO; n];
+        let mut ws = plan.make_workspace();
+        let want_rep = plan.execute(&mut xs, &mut want, &inj, &mut ws);
+
+        let pooled = PooledFtFft::new(FtFftPlan::new(
+            n,
+            Direction::Forward,
+            FtConfig::new(Scheme::OnlineCompOpt).with_threads(threads),
+        ));
+        let inj2 = ScriptedInjector::new(mk_faults(k));
+        let mut xp = x0.clone();
+        let mut got = vec![Complex64::ZERO; n];
+        let mut pws = pooled.make_workspace();
+        let got_rep = pooled.execute(&mut xp, &mut got, &inj2, &mut pws);
+
+        prop_assert!(inj2.exhausted(), "threads={threads}");
+        prop_assert_eq!(got_rep, want_rep, "threads={}", threads);
+        prop_assert_eq!(got, want, "threads={}", threads);
     }
 
     /// Radix-4 and split-radix agree with the radix-2 kernel on the same
