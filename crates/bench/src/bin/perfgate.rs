@@ -1,6 +1,6 @@
 //! Machine-readable perf harness and CI regression gate.
 //!
-//! Times three matrices over seeded inputs at `--log2ns` sizes and writes
+//! Times four matrices over seeded inputs at `--log2ns` sizes and writes
 //! everything to `BENCH_PR.json`:
 //!
 //! 1. **Kernel matrix** — radix-2 vs radix-4 vs split-radix, each as (a)
@@ -15,6 +15,9 @@
 //! 3. **Thread matrix** — the pooled batched executor
 //!    ([`PooledFtFft::execute_batch`]) at `threads = 1` vs `threads = N`
 //!    (`N` from `FTFFT_THREADS` / available parallelism).
+//! 4. **Streaming matrix** — the STFT engine's sustained frames/sec
+//!    ([`ftfft_bench::time_streaming`]): plain vs Opt-Online(m), scheduled
+//!    at 1 worker vs `N` workers.
 //!
 //! The gate (against the committed `crates/bench/baseline.json`):
 //!
@@ -22,7 +25,10 @@
 //!   `overhead_optonline · (1 + tolerance)` — any mode;
 //! * in **full** (non-smoke) mode, if the baseline carries
 //!   `min_ccg_speedup`, the fused CCG speedup at every size `≥ 2^16` must
-//!   meet it (smoke sizes are too small/noisy to gate kernels on).
+//!   meet it (smoke sizes are too small/noisy to gate kernels on);
+//! * if the baseline carries `overhead_stream`, every streaming 1-worker
+//!   Opt-Online overhead must stay within
+//!   `overhead_stream · (1 + tolerance)`.
 //!
 //! ```text
 //! cargo run -p ftfft-bench --release --bin perfgate -- \
@@ -42,7 +48,7 @@ use ftfft::fft::strided::gather;
 use ftfft::prelude::*;
 use ftfft_bench::{
     gflops, json_number, median_secs, parse_flat_json_numbers, time_pooled_batch, time_scheme,
-    time_scheme_cfg, Args,
+    time_scheme_cfg, time_streaming, Args,
 };
 
 /// One timed cell of the kernel matrix.
@@ -85,6 +91,33 @@ impl CcgCase {
     }
 }
 
+/// One timed streaming row (per size): STFT analysis frames/sec, plain vs
+/// Opt-Online(m), at 1 worker vs N workers.
+struct StreamCase {
+    log2n: u32,
+    frames: usize,
+    threads: usize,
+    plain_t1_secs: f64,
+    opt_t1_secs: f64,
+    plain_tn_secs: f64,
+    opt_tn_secs: f64,
+}
+
+impl StreamCase {
+    fn fps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / secs
+        }
+    }
+
+    /// Protection overhead of the streaming engine at 1 worker.
+    fn overhead_t1(&self) -> f64 {
+        self.opt_t1_secs / self.plain_t1_secs
+    }
+}
+
 /// One timed pooled-batch comparison (per size).
 struct BatchCase {
     log2n: u32,
@@ -103,6 +136,9 @@ impl BatchCase {
 
 /// Batch items used by the thread matrix.
 const BATCH: usize = 4;
+
+/// Frames per timed stream in the streaming matrix.
+const STREAM_FRAMES: usize = 24;
 
 fn main() -> ExitCode {
     let args = Args::parse();
@@ -128,11 +164,14 @@ fn main() -> ExitCode {
     let ccg: Vec<CcgCase> = log2ns.iter().map(|&l| time_ccg(l, runs)).collect();
     let threads_n = resolve_threads(None);
     let batches: Vec<BatchCase> = log2ns.iter().map(|&l| time_batch(l, threads_n, runs)).collect();
+    let streams: Vec<StreamCase> =
+        log2ns.iter().map(|&l| time_stream(l, threads_n, runs)).collect();
 
-    print_tables(&cases, &ccg, &batches, runs, smoke);
+    print_tables(&cases, &ccg, &batches, &streams, runs, smoke);
 
-    let verdict = if gate { Some(check_gate(&cases, &ccg, smoke, &baseline_path)) } else { None };
-    let json = render_json(&cases, &ccg, &batches, runs, smoke, verdict.as_ref());
+    let verdict =
+        if gate { Some(check_gate(&cases, &ccg, &streams, smoke, &baseline_path)) } else { None };
+    let json = render_json(&cases, &ccg, &batches, &streams, runs, smoke, verdict.as_ref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path} ({} cases)", cases.len());
 
@@ -227,7 +266,39 @@ fn time_batch(log2n: u32, threads: usize, runs: usize) -> BatchCase {
     BatchCase { log2n, threads, t1_secs, tn_secs }
 }
 
-fn print_tables(cases: &[Case], ccg: &[CcgCase], batches: &[BatchCase], runs: usize, smoke: bool) {
+/// Times the streaming STFT engine (`n`-sample frames, half-frame hop):
+/// plain vs Opt-Online(m) at 1 worker vs `threads`.
+fn time_stream(log2n: u32, threads: usize, runs: usize) -> StreamCase {
+    let n = 1usize << log2n;
+    let plain_t1_secs = time_streaming(n, Scheme::Plain, 1, STREAM_FRAMES, runs);
+    let opt_t1_secs = time_streaming(n, Scheme::OnlineMemOpt, 1, STREAM_FRAMES, runs);
+    let (plain_tn_secs, opt_tn_secs) = if threads > 1 {
+        (
+            time_streaming(n, Scheme::Plain, threads, STREAM_FRAMES, runs),
+            time_streaming(n, Scheme::OnlineMemOpt, threads, STREAM_FRAMES, runs),
+        )
+    } else {
+        (plain_t1_secs, opt_t1_secs)
+    };
+    StreamCase {
+        log2n,
+        frames: STREAM_FRAMES,
+        threads,
+        plain_t1_secs,
+        opt_t1_secs,
+        plain_tn_secs,
+        opt_tn_secs,
+    }
+}
+
+fn print_tables(
+    cases: &[Case],
+    ccg: &[CcgCase],
+    batches: &[BatchCase],
+    streams: &[StreamCase],
+    runs: usize,
+    smoke: bool,
+) {
     println!(
         "perfgate: kernel matrix, median of {runs} run(s){}, simd={}",
         if smoke { " [smoke]" } else { "" },
@@ -282,6 +353,26 @@ fn print_tables(cases: &[Case], ccg: &[CcgCase], batches: &[BatchCase], runs: us
             b.speedup()
         );
     }
+    println!(
+        "\nstreaming STFT ({STREAM_FRAMES} frames, hop n/2, hann), frames/sec, \
+         plain vs Opt-Online(m), threads 1 vs N:"
+    );
+    println!(
+        "{:>7}{:>9}{:>13}{:>13}{:>13}{:>13}{:>10}",
+        "n", "threads", "plain@1", "opt@1", "plain@N", "opt@N", "overhead"
+    );
+    for s in streams {
+        println!(
+            "{:>7}{:>9}{:>13.1}{:>13.1}{:>13.1}{:>13.1}{:>9.2}x",
+            format!("2^{}", s.log2n),
+            s.threads,
+            s.fps(s.plain_t1_secs),
+            s.fps(s.opt_t1_secs),
+            s.fps(s.plain_tn_secs),
+            s.fps(s.opt_tn_secs),
+            s.overhead_t1()
+        );
+    }
 }
 
 struct GateVerdict {
@@ -295,7 +386,13 @@ struct GateVerdict {
     ccg_note: Option<String>,
 }
 
-fn check_gate(cases: &[Case], ccg: &[CcgCase], smoke: bool, baseline_path: &str) -> GateVerdict {
+fn check_gate(
+    cases: &[Case],
+    ccg: &[CcgCase],
+    streams: &[StreamCase],
+    smoke: bool,
+    baseline_path: &str,
+) -> GateVerdict {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
     let fields = parse_flat_json_numbers(&text)
@@ -342,6 +439,25 @@ fn check_gate(cases: &[Case], ccg: &[CcgCase], smoke: bool, baseline_path: &str)
             }
         }
     }
+    // Streaming gate: the 1-worker Opt-Online(m) frames/sec overhead over
+    // plain must stay within the baseline's `overhead_stream` bound (the
+    // same tolerance; ratios, so runner speed cancels out).
+    if let Some(stream_baseline) = json_number(&fields, "overhead_stream") {
+        let stream_limit = stream_baseline * (1.0 + tolerance);
+        for s in streams {
+            if s.overhead_t1() > stream_limit {
+                failures.push(format!(
+                    "streaming Opt-Online overhead {:.2}x at 2^{} exceeds limit {:.2}x \
+                     (baseline {:.2}x, tolerance {:.0}%)",
+                    s.overhead_t1(),
+                    s.log2n,
+                    stream_limit,
+                    stream_baseline,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
     GateVerdict {
         baseline,
         tolerance,
@@ -354,21 +470,22 @@ fn check_gate(cases: &[Case], ccg: &[CcgCase], smoke: bool, baseline_path: &str)
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v2: v1 fields are unchanged; v2 adds
-/// `simd`, the per-case `opt_online_unfused_secs`/`fused_gain`, and the
-/// `ccg_kernels` / `pooled_batch` sections — CI artifacts from different
-/// commits must stay diffable.
+/// Renders `BENCH_PR.json`. Schema v3: v2 fields are unchanged; v3 adds
+/// the `streaming` section (STFT frames/sec, plain vs Opt-Online(m) at
+/// threads 1 vs N) — CI artifacts from different commits must stay
+/// diffable.
 fn render_json(
     cases: &[Case],
     ccg: &[CcgCase],
     batches: &[BatchCase],
+    streams: &[StreamCase],
     runs: usize,
     smoke: bool,
     verdict: Option<&GateVerdict>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 2,");
+    let _ = writeln!(s, "  \"schema_version\": 3,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
@@ -425,6 +542,27 @@ fn render_json(
             b.speedup()
         );
         s.push_str(if i + 1 < batches.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"streaming\": [\n");
+    for (i, c) in streams.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"log2n\": {}, \"frames\": {}, \"threads\": {}, \
+             \"plain_fps_t1\": {:.3}, \"optonline_fps_t1\": {:.3}, \
+             \"plain_fps_tn\": {:.3}, \"optonline_fps_tn\": {:.3}, \
+             \"overhead_t1\": {:.6}",
+            c.log2n,
+            c.frames,
+            c.threads,
+            c.fps(c.plain_t1_secs),
+            c.fps(c.opt_t1_secs),
+            c.fps(c.plain_tn_secs),
+            c.fps(c.opt_tn_secs),
+            c.overhead_t1()
+        );
+        s.push_str(if i + 1 < streams.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ],\n");
     match verdict {

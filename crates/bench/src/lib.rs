@@ -144,6 +144,23 @@ pub fn time_pooled_batch(n: usize, threads: usize, batch: usize, runs: usize) ->
     })
 }
 
+/// Times the streaming STFT engine: analysis of a `frames`-frame stream
+/// (`n`-sample frames, half-frame hop, Hann window) under `scheme`, fanned
+/// over `threads` workers by the [`FrameScheduler`] (median of `runs`).
+/// The perf harness' frames/sec column divides `frames` by this.
+pub fn time_streaming(n: usize, scheme: Scheme, threads: usize, frames: usize, runs: usize) -> f64 {
+    let plan = StftPlan::new(n, n / 2, Window::Hann, FtConfig::new(scheme));
+    let sched = FrameScheduler::new(Some(threads));
+    let mut wss = sched.make_stft_workspaces(&plan);
+    let len = plan.signal_len(frames);
+    let x: Vec<f64> = uniform_signal(len, 42).iter().map(|z| z.re).collect();
+    let mut spec = vec![Complex64::ZERO; frames * plan.bins()];
+    median_secs(runs, || {
+        let rep = sched.analyze(&plan, &x, &mut spec, &NoFaults, &mut wss);
+        assert_eq!(rep.ft.uncorrectable, 0);
+    })
+}
+
 /// Times one sequential scheme with a scripted fault set built per run.
 pub fn time_scheme_with_faults(
     n: usize,
@@ -377,6 +394,12 @@ mod tests {
     #[test]
     fn scheme_timer_smoke() {
         let t = time_scheme(1 << 10, Scheme::OnlineMemOpt, 1);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn streaming_timer_smoke() {
+        let t = time_streaming(1 << 8, Scheme::OnlineMemOpt, 2, 3, 1);
         assert!(t > 0.0);
     }
 

@@ -31,9 +31,11 @@ pub mod memory_ft_opt;
 pub mod offline;
 pub mod online;
 pub mod plan;
+pub mod real;
 pub mod report;
 
 pub use config::{FtConfig, Scheme};
 pub use inplace::{InPlaceFtPlan, InPlaceWorkspace};
 pub use plan::{FtFftPlan, Workspace};
+pub use real::{RealFtFftPlan, RealWorkspace};
 pub use report::FtReport;

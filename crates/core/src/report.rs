@@ -38,24 +38,41 @@ impl FtReport {
         Self::default()
     }
 
-    /// Folds another report into this one (parallel rank merge).
+    /// Folds another report into this one (parallel rank merge, per-stream
+    /// frame aggregation). Counters **saturate** at `u32::MAX` instead of
+    /// wrapping: a long-running stream merges millions of per-frame
+    /// reports, and `checks` alone grows by thousands per frame — a
+    /// wrapped counter would silently report a poisoned stream as clean.
     pub fn merge(&mut self, other: &FtReport) {
-        self.comp_detected += other.comp_detected;
-        self.mem_detected += other.mem_detected;
-        self.mem_corrected += other.mem_corrected;
-        self.dmr_votes += other.dmr_votes;
-        self.subfft_recomputed += other.subfft_recomputed;
-        self.full_recomputed += other.full_recomputed;
-        self.comm_corrected += other.comm_corrected;
-        self.checks += other.checks;
-        self.uncorrectable += other.uncorrectable;
+        self.comp_detected = self.comp_detected.saturating_add(other.comp_detected);
+        self.mem_detected = self.mem_detected.saturating_add(other.mem_detected);
+        self.mem_corrected = self.mem_corrected.saturating_add(other.mem_corrected);
+        self.dmr_votes = self.dmr_votes.saturating_add(other.dmr_votes);
+        self.subfft_recomputed = self.subfft_recomputed.saturating_add(other.subfft_recomputed);
+        self.full_recomputed = self.full_recomputed.saturating_add(other.full_recomputed);
+        self.comm_corrected = self.comm_corrected.saturating_add(other.comm_corrected);
+        self.checks = self.checks.saturating_add(other.checks);
+        self.uncorrectable = self.uncorrectable.saturating_add(other.uncorrectable);
         self.max_ok_residual_part1 = self.max_ok_residual_part1.max(other.max_ok_residual_part1);
         self.max_ok_residual_part2 = self.max_ok_residual_part2.max(other.max_ok_residual_part2);
     }
 
     /// Total faults this run noticed (computational + memory + DMR + comm).
+    /// Saturating, like [`merge`](FtReport::merge).
     pub fn total_detected(&self) -> u32 {
-        self.comp_detected + self.mem_detected + self.dmr_votes + self.comm_corrected
+        self.comp_detected
+            .saturating_add(self.mem_detected)
+            .saturating_add(self.dmr_votes)
+            .saturating_add(self.comm_corrected)
+    }
+
+    /// Total faults this run repaired (memory repairs, sub-FFT and whole
+    /// recomputations, communication repairs). Saturating.
+    pub fn total_corrected(&self) -> u32 {
+        self.mem_corrected
+            .saturating_add(self.subfft_recomputed)
+            .saturating_add(self.full_recomputed)
+            .saturating_add(self.comm_corrected)
     }
 
     /// `true` when nothing was detected and nothing recomputed.
@@ -109,6 +126,30 @@ mod tests {
         assert_eq!(a.max_ok_residual_part1, 3e-12);
         assert_eq!(a.max_ok_residual_part2, 1e-9);
         assert_eq!(a.total_detected(), 4);
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        // Aggregating per-frame reports over a long stream must never wrap
+        // a counter back through zero (a wrapped `checks`/`comp_detected`
+        // would make a poisoned stream look clean).
+        let mut a = FtReport {
+            checks: u32::MAX - 1,
+            comp_detected: u32::MAX,
+            mem_detected: 3,
+            ..Default::default()
+        };
+        let b =
+            FtReport { checks: 7, comp_detected: 2, mem_detected: u32::MAX, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.checks, u32::MAX);
+        assert_eq!(a.comp_detected, u32::MAX);
+        assert_eq!(a.mem_detected, u32::MAX);
+        // The detected/corrected totals saturate too instead of wrapping.
+        assert_eq!(a.total_detected(), u32::MAX);
+        let c = FtReport { mem_corrected: u32::MAX, subfft_recomputed: 5, ..Default::default() };
+        assert_eq!(c.total_corrected(), u32::MAX);
         assert!(!a.is_clean());
     }
 

@@ -22,7 +22,9 @@
 //!   (Fig 1 of the paper);
 //! * [`three_layer::ThreeLayerPlan`] — `n = k·r·k` in-place decomposition
 //!   (§5 of the paper);
-//! * [`real`] — real-input wrappers for the example applications.
+//! * [`real`] — planned real-input transforms ([`real::RealFftPlan`]:
+//!   pack → half-size complex FFT → split unpack) plus the `rfft`/`irfft`
+//!   compatibility wrappers.
 //!
 //! Transforms are unnormalized in both directions
 //! (`inverse(forward(x)) = n·x`); see [`direction::normalize`].
@@ -49,6 +51,7 @@ pub use factor::{factorize, is_power_of_two, split_balanced, split_three};
 pub use mixed::MixedPlan;
 pub use naive::dft_naive;
 pub use planner::{fft, ifft, FftPlan, Planner, Pow2Kernel, KERNEL_ENV};
+pub use real::{irfft, rfft, RealFftPlan};
 pub use three_layer::{ThreeLayerPlan, ThreeLayerScratch};
 pub use twiddle_table::TwiddleTable;
 pub use two_layer::{TwoLayerPlan, TwoLayerScratch};

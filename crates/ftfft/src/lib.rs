@@ -34,6 +34,7 @@
 //! | [`roundoff`] | §8 threshold model and throughput analysis |
 //! | [`core`] | the protected sequential schemes (offline/online × comp/mem) |
 //! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap; thread pool + pooled executors |
+//! | [`stream`] | streaming engines: overlap-save protected convolution, STFT/spectrogram, frame scheduler |
 
 pub use ftfft_checksum as checksum;
 pub use ftfft_core as core;
@@ -42,16 +43,21 @@ pub use ftfft_fft as fft;
 pub use ftfft_numeric as numeric;
 pub use ftfft_parallel as parallel;
 pub use ftfft_roundoff as roundoff;
+pub use ftfft_stream as stream;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use ftfft_core::{FtConfig, FtFftPlan, FtReport, InPlaceFtPlan, Scheme, Workspace};
+    pub use ftfft_core::{
+        FtConfig, FtFftPlan, FtReport, InPlaceFtPlan, RealFtFftPlan, RealWorkspace, Scheme,
+        Workspace,
+    };
     pub use ftfft_fault::{
         Component, FaultInjector, FaultKind, InjectionCtx, NoFaults, Part, RandomInjector,
         RandomKind, ScriptedFault, ScriptedInjector, Site,
     };
     pub use ftfft_fft::{
-        dft_naive, fft, ifft, normalize, Direction, FftPlan, Planner, Pow2Kernel, KERNEL_ENV,
+        dft_naive, fft, ifft, irfft, normalize, rfft, Direction, FftPlan, Planner, Pow2Kernel,
+        RealFftPlan, KERNEL_ENV,
     };
     pub use ftfft_numeric::{
         inf_norm, normal_signal, relative_error_inf, simd_level, uniform_signal, Complex64,
@@ -62,6 +68,10 @@ pub mod prelude {
         ThreadPool, THREADS_ENV,
     };
     pub use ftfft_roundoff::{thresholds_for_split, throughput, Calibrator, Thresholds};
+    pub use ftfft_stream::{
+        ComplexStreamingConvolver, FrameScheduler, StftPlan, StftWorkspace, StreamReport,
+        StreamingConvolver, Window,
+    };
 }
 
 #[cfg(test)]

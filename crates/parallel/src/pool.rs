@@ -86,20 +86,31 @@ impl ThreadPool {
             }
             return;
         }
-        let f_ref: &(dyn Fn(usize, Range<usize>) + Sync) = &f;
+        self.fan_out(t, |w| f(w, chunk_range(items, t, w)));
+    }
+
+    /// Runs `work(w)` for every worker `w < t` — workers `1..` on their
+    /// pool threads, worker 0 on the calling thread — and blocks until
+    /// all finished, re-raising the first worker panic. The single home
+    /// of the lifetime-erasure + completion-await machinery every fan-out
+    /// entry point shares.
+    fn fan_out<F>(&self, t: usize, work: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        debug_assert!(t >= 2 && t <= self.size);
+        let w_ref: &(dyn Fn(usize) + Sync) = &work;
         // SAFETY: the erased reference is only used by jobs whose
         // completion messages are awaited below (on success *and* on
-        // panic, via `WaitGuard`), so `f` strictly outlives every use.
-        let f_static: &'static (dyn Fn(usize, Range<usize>) + Sync) =
-            unsafe { std::mem::transmute(f_ref) };
+        // panic, via `WaitGuard`), so `work` strictly outlives every use.
+        let w_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(w_ref) };
 
         let (done_tx, done_rx) = unbounded::<std::thread::Result<()>>();
         let mut guard = WaitGuard { rx: &done_rx, pending: 0 };
         for w in 1..t {
-            let range = chunk_range(items, t, w);
             let tx = done_tx.clone();
             let job: Job = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(|| f_static(w, range)));
+                let result = catch_unwind(AssertUnwindSafe(|| w_static(w)));
                 // A send error means the caller already panicked and left;
                 // nothing useful to do with the result then.
                 let _ = tx.send(result);
@@ -109,8 +120,42 @@ impl ThreadPool {
         }
         // The caller is worker 0. If this panics, `guard`'s Drop still
         // waits for the outstanding workers before unwinding further.
-        f(0, chunk_range(items, t, 0));
+        work(0);
         guard.finish();
+    }
+
+    /// Round-robin counterpart of [`run_chunks`](ThreadPool::run_chunks):
+    /// worker `w` of `t` runs `f(w, i)` for every item `i ≡ w (mod t)`, in
+    /// increasing order. The static modular assignment keeps per-worker
+    /// state and fault-site visit sets identical run to run, like the
+    /// contiguous chunking — but interleaves items across workers, which
+    /// is what a frame *stream* wants: each worker's frames are spread
+    /// evenly over the timeline instead of one worker owning the whole
+    /// tail. Blocks until every item finished; panics propagate as in
+    /// `run_chunks`.
+    pub fn run_round_robin<F>(&self, items: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let t = self.size.min(items).max(1);
+        if t == 1 {
+            for i in 0..items {
+                f(0, i);
+            }
+            return;
+        }
+        self.fan_out(t, |w| {
+            for i in (w..items).step_by(t) {
+                f(w, i);
+            }
+        });
+    }
+
+    /// The worker count [`run_round_robin`](ThreadPool::run_round_robin)
+    /// (and `run_chunks`) will actually use for `items` items — callers
+    /// pre-splitting per-worker state must size it with the same rule.
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.size.min(items).max(1)
     }
 }
 
@@ -273,6 +318,36 @@ mod tests {
             counter.fetch_add(r.len(), Ordering::SeqCst);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn round_robin_runs_every_item_once_with_modular_assignment() {
+        let pool = ThreadPool::new(3);
+        let items = 100;
+        let owner: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let hits: Vec<AtomicUsize> = (0..items).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_round_robin(items, |w, i| {
+            owner[i].store(w, Ordering::SeqCst);
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for i in 0..items {
+            assert_eq!(hits[i].load(Ordering::SeqCst), 1, "item {i}");
+            assert_eq!(owner[i].load(Ordering::SeqCst), i % 3, "item {i}");
+        }
+        assert_eq!(pool.workers_for(items), 3);
+        assert_eq!(pool.workers_for(2), 2);
+        assert_eq!(pool.workers_for(0), 1);
+    }
+
+    #[test]
+    fn round_robin_size_one_runs_inline_in_order() {
+        let pool = ThreadPool::new(1);
+        let seen = Mutex::new(Vec::new());
+        pool.run_round_robin(5, |w, i| {
+            assert_eq!(w, 0);
+            seen.lock().unwrap().push(i);
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Fault-tolerant streaming signal processing.
+//!
+//! The one-shot protected transforms of `ftfft-core` serve a request;
+//! real FFT traffic is a *stream* — unbounded sequences of real-valued
+//! frames (audio, radar, telemetry) filtered and analyzed continuously.
+//! This crate turns the ABFT transforms into long-running pipelines
+//! whose serial hot loops are allocation-free after setup (asserted by
+//! `tests/no_alloc.rs`):
+//!
+//! * [`StreamingConvolver`] / [`ComplexStreamingConvolver`] — overlap-save
+//!   FIR filtering of unbounded streams, every frame transform protected
+//!   by any [`Scheme`](ftfft_core::Scheme) and batched through
+//!   `FtFftPlan::execute_batch`;
+//! * [`StftPlan`] — windowed hop-based short-time analysis and inverse
+//!   overlap-add resynthesis with a COLA window check ([`Window`],
+//!   [`cola_profile`]);
+//! * [`FrameScheduler`] *(feature `parallel`, default)* — round-robin
+//!   frame fan-out over `ftfft-parallel`'s persistent thread pool (the
+//!   fan-out itself allocates O(frames) dispatch bookkeeping per call,
+//!   like the pooled executors; the per-frame transforms stay
+//!   allocation-free);
+//! * [`StreamReport`] — per-stream telemetry: frames/samples processed
+//!   plus the merged (saturating) fault-tolerance counters.
+//!
+//! Real-input frames run through `ftfft_core::RealFtFftPlan` — pack into
+//! a half-size complex transform, whose checksummed region covers all the
+//! `O(n log n)` work, then split-unpack — halving the protected-work
+//! footprint versus transforming the real-extended frame.
+//!
+//! Streaming determinism contract: output (and telemetry) is **bitwise
+//! independent of input chunking** — pushing a signal sample-by-sample,
+//! in arbitrary chunks, or as one batch produces identical results,
+//! because frames are functions of absolute stream position and the
+//! batched executors are bitwise equal to looped single executions.
+
+pub mod convolve;
+pub mod report;
+#[cfg(feature = "parallel")]
+pub mod scheduler;
+pub mod stft;
+pub mod window;
+
+pub use convolve::{ComplexStreamingConvolver, StreamingConvolver};
+pub use report::StreamReport;
+#[cfg(feature = "parallel")]
+pub use scheduler::FrameScheduler;
+pub use stft::{StftPlan, StftWorkspace};
+pub use window::{cola_profile, Window};

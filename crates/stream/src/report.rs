@@ -1,0 +1,76 @@
+//! Per-stream telemetry.
+
+use ftfft_core::FtReport;
+
+/// Aggregated accounting for one unbounded stream: frame/sample telemetry
+/// plus the merged [`FtReport`] of every protected transform the stream
+/// ran. All counters saturate — a stream serves millions of frames, and a
+/// wrapped counter would report a poisoned stream as clean.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamReport {
+    /// Frames fully processed (overlap-save segments / STFT hops).
+    pub frames: u64,
+    /// Input samples consumed (including any flush padding).
+    pub samples_in: u64,
+    /// Output samples (or spectrum bins) produced.
+    pub samples_out: u64,
+    /// Merged fault-tolerance report across every protected transform.
+    pub ft: FtReport,
+}
+
+impl StreamReport {
+    /// Fresh all-zero report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds another stream report into this one.
+    pub fn merge(&mut self, other: &StreamReport) {
+        self.frames = self.frames.saturating_add(other.frames);
+        self.samples_in = self.samples_in.saturating_add(other.samples_in);
+        self.samples_out = self.samples_out.saturating_add(other.samples_out);
+        self.ft.merge(&other.ft);
+    }
+
+    /// Folds one protected execution's report into the stream totals.
+    pub fn merge_ft(&mut self, ft: &FtReport) {
+        self.ft.merge(ft);
+    }
+
+    /// Total faults detected across the stream so far.
+    pub fn detected(&self) -> u32 {
+        self.ft.total_detected()
+    }
+
+    /// Total faults repaired (memory repairs + recomputations) so far.
+    pub fn corrected(&self) -> u32 {
+        self.ft.total_corrected()
+    }
+
+    /// `true` when no frame saw a fault or recomputation.
+    pub fn is_clean(&self) -> bool {
+        self.ft.is_clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_and_saturates() {
+        let mut a = StreamReport { frames: u64::MAX - 1, samples_in: 10, ..Default::default() };
+        a.ft.comp_detected = 2;
+        let mut b = StreamReport { frames: 5, samples_in: 3, samples_out: 4, ..Default::default() };
+        b.ft.comp_detected = 1;
+        b.ft.subfft_recomputed = 1;
+        a.merge(&b);
+        assert_eq!(a.frames, u64::MAX);
+        assert_eq!(a.samples_in, 13);
+        assert_eq!(a.samples_out, 4);
+        assert_eq!(a.detected(), 3);
+        assert_eq!(a.corrected(), 1);
+        assert!(!a.is_clean());
+        assert!(StreamReport::new().is_clean());
+    }
+}

@@ -1,0 +1,112 @@
+//! Analysis windows and the COLA (constant-overlap-add) test.
+//!
+//! The STFT engine multiplies each frame by an analysis window and
+//! resynthesizes by plain overlap-add; the round trip is exact wherever
+//! the shifted window copies sum to a constant — the COLA property
+//! `Σ_k w(t + k·hop) = c`. Periodic Hann and Hamming are COLA at any hop
+//! dividing `n/2`; the rectangular window is COLA at `hop = n`
+//! (and any hop dividing n).
+
+/// Analysis window shape (periodic variants, as the STFT convention wants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// All-ones window — COLA only for non-overlapping frames.
+    Rect,
+    /// Periodic Hann `0.5 − 0.5·cos(2πt/n)` — COLA for `hop | n/2`.
+    Hann,
+    /// Periodic Hamming `0.54 − 0.46·cos(2πt/n)` — COLA for `hop | n/2`.
+    Hamming,
+}
+
+impl Window {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Window::Rect => "rect",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+        }
+    }
+
+    /// Sample `t` of the length-`n` periodic window.
+    pub fn sample(self, t: usize, n: usize) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t as f64 / n as f64;
+        match self {
+            Window::Rect => 1.0,
+            Window::Hann => 0.5 - 0.5 * phase.cos(),
+            Window::Hamming => 0.54 - 0.46 * phase.cos(),
+        }
+    }
+
+    /// Fills `buf` with the length-`buf.len()` window.
+    pub fn fill(self, buf: &mut [f64]) {
+        let n = buf.len();
+        for (t, slot) in buf.iter_mut().enumerate() {
+            *slot = self.sample(t, n);
+        }
+    }
+}
+
+/// Overlap-add profile of `window` at `hop`: returns `(gain, max_rel_dev)`
+/// where `gain` is the mean of `s(t) = Σ_k w(t + k·hop)` over one hop
+/// period and `max_rel_dev` the largest relative deviation from it. A
+/// window/hop pair is COLA when the deviation is ~0 (≤ 1e-9).
+pub fn cola_profile(window: &[f64], hop: usize) -> (f64, f64) {
+    assert!(hop >= 1 && hop <= window.len(), "hop must be in 1..=window len");
+    let mut sums = vec![0.0f64; hop];
+    for (t, &w) in window.iter().enumerate() {
+        sums[t % hop] += w;
+    }
+    let gain = sums.iter().sum::<f64>() / hop as f64;
+    let max_dev =
+        sums.iter().map(|&s| (s - gain).abs()).fold(0.0f64, f64::max) / gain.abs().max(1e-300);
+    (gain, max_dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(w: Window, n: usize) -> Vec<f64> {
+        let mut buf = vec![0.0; n];
+        w.fill(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn hann_and_hamming_are_cola_at_half_and_quarter_hop() {
+        for w in [Window::Hann, Window::Hamming] {
+            let buf = filled(w, 256);
+            for hop in [128usize, 64, 32] {
+                let (gain, dev) = cola_profile(&buf, hop);
+                assert!(dev < 1e-12, "{} hop={hop}: dev={dev}", w.name());
+                assert!(gain > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_is_cola_at_full_hop_only_among_non_divisors() {
+        let buf = filled(Window::Rect, 64);
+        let (gain, dev) = cola_profile(&buf, 64);
+        assert!(dev < 1e-15);
+        assert!((gain - 1.0).abs() < 1e-15);
+        // hop = 48 leaves an uneven stack: not COLA.
+        let (_, dev) = cola_profile(&buf, 48);
+        assert!(dev > 0.1);
+    }
+
+    #[test]
+    fn hann_is_not_cola_at_odd_hop() {
+        let buf = filled(Window::Hann, 256);
+        let (_, dev) = cola_profile(&buf, 100);
+        assert!(dev > 1e-3, "dev={dev}");
+    }
+
+    #[test]
+    fn window_names() {
+        assert_eq!(Window::Hann.name(), "hann");
+        assert_eq!(Window::Rect.sample(7, 64), 1.0);
+        assert!(Window::Hann.sample(0, 64).abs() < 1e-15);
+    }
+}

@@ -109,6 +109,64 @@ fn plain_fft_plan_execute_is_allocation_free() {
 }
 
 #[test]
+fn real_plan_forward_is_allocation_free() {
+    let _serial = serialized();
+    let n = 512;
+    let plan = RealFtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+    let mut ws = plan.make_workspace();
+    let x: Vec<f64> = uniform_signal(n, 2).iter().map(|z| z.re).collect();
+    let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
+    plan.forward(&x, &mut spec, &NoFaults, &mut ws);
+    let count = alloc_count(|| {
+        for _ in 0..3 {
+            let rep = plan.forward(&x, &mut spec, &NoFaults, &mut ws);
+            assert_eq!(rep.uncorrectable, 0);
+        }
+    });
+    assert_eq!(count, 0, "RealFtFftPlan::forward: {count} allocations in hot path");
+}
+
+#[test]
+fn streaming_convolver_hot_loop_is_allocation_free() {
+    let _serial = serialized();
+    let taps: Vec<f64> = uniform_signal(9, 3).iter().map(|z| z.re).collect();
+    let mut conv =
+        StreamingConvolver::with_fft_size(&taps, 64, FtConfig::new(Scheme::OnlineMemOpt));
+    let x: Vec<f64> = uniform_signal(10 * conv.hop(), 4).iter().map(|z| z.re).collect();
+    let mut out = vec![0.0; x.len() + conv.hop()];
+    // Warm-up covers lazy SIMD dispatch and the first batch flush.
+    conv.process_into(&x, &mut out, &NoFaults);
+    let count = alloc_count(|| {
+        // Mixed chunk sizes: partial fills, batch flushes, ring wraps.
+        let n1 = conv.process_into(&x[..37], &mut out, &NoFaults);
+        let n2 = conv.process_into(&x[37..], &mut out[n1..], &NoFaults);
+        // x.len() is a hop multiple and the ring is drained after each
+        // pass, so every sample comes back out within the measurement.
+        assert_eq!(n1 + n2, x.len());
+    });
+    assert_eq!(count, 0, "StreamingConvolver::process_into: {count} allocations in hot loop");
+}
+
+#[test]
+fn stft_analysis_and_synthesis_are_allocation_free() {
+    let _serial = serialized();
+    let plan = StftPlan::new(256, 128, Window::Hann, FtConfig::new(Scheme::OnlineMemOpt));
+    let len = plan.signal_len(9);
+    let x: Vec<f64> = uniform_signal(len, 5).iter().map(|z| z.re).collect();
+    let mut ws = plan.make_workspace();
+    let mut spec = vec![Complex64::ZERO; plan.num_frames(len) * plan.bins()];
+    let mut back = vec![0.0; len];
+    plan.analyze_into(&x, &mut spec, &NoFaults, &mut ws);
+    plan.synthesize_into(&spec, &mut back, &NoFaults, &mut ws);
+    let count = alloc_count(|| {
+        let a = plan.analyze_into(&x, &mut spec, &NoFaults, &mut ws);
+        let s = plan.synthesize_into(&spec, &mut back, &NoFaults, &mut ws);
+        assert!(a.is_clean() && s.is_clean());
+    });
+    assert_eq!(count, 0, "StftPlan analyze+synthesize: {count} allocations in hot loop");
+}
+
+#[test]
 fn batched_execute_is_allocation_free() {
     let _serial = serialized();
     let n = 256;
