@@ -4,11 +4,14 @@
 //! everything to `BENCH_PR.json`:
 //!
 //! 1. **Kernel matrix** — radix-2 vs radix-4 vs split-radix, each as (a)
-//!    the bare kernel, (b) the unprotected two-layer scheme ("FFTW"
-//!    baseline), (c) the paper's Opt-Online(m) protected scheme with the
-//!    fused SIMD checksum path, and (d) the same scheme with
-//!    `FtConfig::fused = false` (the PR-2-era separate gather-then-checksum
-//!    passes) — so the fusion gain is a measured column, not a claim.
+//!    the bare kernel in *both* data layouts (AoS interleaved vs the SoA
+//!    split-complex engine, `soa_speedup` column; the `layout` column
+//!    records what the planner's heuristic picks), (b) the unprotected
+//!    two-layer scheme ("FFTW" baseline), (c) the paper's Opt-Online(m)
+//!    protected scheme with the fused SIMD checksum path, and (d) the same
+//!    scheme with `FtConfig::fused` pinned off (the PR-2-era separate
+//!    gather-then-checksum passes) — so the fusion gain is a measured
+//!    column, not a claim.
 //! 2. **CCG kernel bench** — the fused SIMD gather+checksum
 //!    ([`gather_sum1`]) against the PR-2 scalar path (strided gather, then
 //!    [`combined_sum1_ref`]) over one part-1's worth of strided traffic.
@@ -26,6 +29,14 @@
 //! * in **full** (non-smoke) mode, if the baseline carries
 //!   `min_ccg_speedup`, the fused CCG speedup at every size `≥ 2^16` must
 //!   meet it (smoke sizes are too small/noisy to gate kernels on);
+//! * in full mode, if the baseline carries `min_soa_speedup`, the *best*
+//!   kernel's SoA/AoS speedup at every size `≥ 2^16` must meet it (a
+//!   structural SoA regression — plane kernels silently scalar, packs
+//!   mis-built — drops every kernel to ~1.0×);
+//! * in full mode, if the baseline carries `min_fused_gain`, the *median*
+//!   fused-vs-unfused gain across the kernel matrix must meet it
+//!   (per-case values swing ±10% with runner load on the DRAM-bound
+//!   sizes; a mis-resolved `FusedPolicy` drags the whole median);
 //! * if the baseline carries `overhead_stream`, every streaming 1-worker
 //!   Opt-Online overhead must stay within
 //!   `overhead_stream · (1 + tolerance)`.
@@ -47,22 +58,28 @@ use ftfft::checksum::{combined_sum1_ref, gather_sum1, input_checksum_vector};
 use ftfft::fft::strided::gather;
 use ftfft::prelude::*;
 use ftfft_bench::{
-    gflops, json_number, median_secs, parse_flat_json_numbers, time_pooled_batch, time_scheme,
-    time_scheme_cfg, time_streaming, Args,
+    gflops, median_secs, time_pooled_batch, time_scheme, time_scheme_cfg, time_streaming, Args,
+    BaselineSpec,
 };
 
 /// One timed cell of the kernel matrix.
 struct Case {
     kernel: Pow2Kernel,
     log2n: u32,
-    /// Bare kernel, out-of-place `FftPlan::execute`.
+    /// Layout the planner's heuristic picks for this (kernel, size).
+    layout: Layout,
+    /// Bare kernel in the heuristic layout, out-of-place `FftPlan::execute`.
     plain_kernel_secs: f64,
+    /// Bare kernel pinned to AoS (interleaved `Complex64`).
+    plain_kernel_aos_secs: f64,
+    /// Bare kernel pinned to the SoA split-complex engine.
+    plain_kernel_soa_secs: f64,
     /// Unprotected two-layer scheme (the "FFTW" bar of Fig 7).
     plain_scheme_secs: f64,
     /// Opt-Online(m): computational + memory FT, all §4 optimizations,
     /// fused SIMD checksum path.
     opt_online_secs: f64,
-    /// Opt-Online(m) with `fused = false` (PR-2-era separate passes).
+    /// Opt-Online(m) with `fused` pinned off (PR-2-era separate passes).
     opt_online_unfused_secs: f64,
 }
 
@@ -73,6 +90,11 @@ impl Case {
 
     fn fused_gain(&self) -> f64 {
         self.opt_online_unfused_secs / self.opt_online_secs
+    }
+
+    /// Split-complex engine speedup over the interleaved kernel.
+    fn soa_speedup(&self) -> f64 {
+        self.plain_kernel_aos_secs / self.plain_kernel_soa_secs
     }
 }
 
@@ -200,17 +222,26 @@ fn main() -> ExitCode {
 }
 
 /// Times one (kernel, size) cell. The bare kernel is timed through the
-/// explicit-kernel plan API; the scheme rows force the same kernel onto
-/// every power-of-two sub-FFT via `FTFFT_KERNEL`.
+/// explicit-kernel plan API in both layouts (the layout A/B the SoA gate
+/// rides on); the scheme rows force the same kernel onto every
+/// power-of-two sub-FFT via `FTFFT_KERNEL` and leave the layout to the
+/// heuristic — exactly the configuration users get.
 fn time_case(kernel: Pow2Kernel, log2n: u32, runs: usize) -> Case {
     let n = 1usize << log2n;
 
-    let plain_kernel_secs = {
-        let plan = FftPlan::new_with_kernel(n, Direction::Forward, kernel);
+    let time_layout = |layout: Layout| {
+        let plan = FftPlan::new_with_kernel_layout(n, Direction::Forward, kernel, layout);
         let x = uniform_signal(n, 42);
         let mut dst = vec![Complex64::ZERO; n];
         let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
         median_secs(runs, || plan.execute(&x, &mut dst, &mut scratch))
+    };
+    let plain_kernel_aos_secs = time_layout(Layout::Aos);
+    let plain_kernel_soa_secs = time_layout(Layout::Soa);
+    let layout = Layout::choose(kernel, n);
+    let plain_kernel_secs = match layout {
+        Layout::Aos => plain_kernel_aos_secs,
+        Layout::Soa => plain_kernel_soa_secs,
     };
 
     // time_scheme builds its plans after this override is in force, so
@@ -224,7 +255,10 @@ fn time_case(kernel: Pow2Kernel, log2n: u32, runs: usize) -> Case {
     Case {
         kernel,
         log2n,
+        layout,
         plain_kernel_secs,
+        plain_kernel_aos_secs,
+        plain_kernel_soa_secs,
         plain_scheme_secs,
         opt_online_secs,
         opt_online_unfused_secs,
@@ -305,28 +339,30 @@ fn print_tables(
         simd_level().name()
     );
     println!(
-        "{:<13}{:>7}{:>12}{:>9}{:>12}{:>14}{:>10}{:>13}{:>8}",
+        "{:<13}{:>7}{:>7}{:>12}{:>9}{:>7}{:>12}{:>14}{:>10}{:>8}",
         "kernel",
         "n",
+        "layout",
         "kernel(s)",
         "GFLOP/s",
+        "soa+",
         "plain(s)",
         "opt-online(s)",
         "overhead",
-        "unfused(s)",
         "fused+"
     );
     for c in cases {
         println!(
-            "{:<13}{:>7}{:>12.6}{:>9.3}{:>12.6}{:>14.6}{:>9.2}x{:>12.6}{:>7.2}x",
+            "{:<13}{:>7}{:>7}{:>12.6}{:>9.3}{:>6.2}x{:>12.6}{:>14.6}{:>9.2}x{:>7.2}x",
             c.kernel.name(),
             format!("2^{}", c.log2n),
+            c.layout.name(),
             c.plain_kernel_secs,
             gflops(1 << c.log2n, c.plain_kernel_secs),
+            c.soa_speedup(),
             c.plain_scheme_secs,
             c.opt_online_secs,
             c.overhead_ratio(),
-            c.opt_online_unfused_secs,
             c.fused_gain()
         );
     }
@@ -395,12 +431,10 @@ fn check_gate(
 ) -> GateVerdict {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let fields = parse_flat_json_numbers(&text)
-        .unwrap_or_else(|| panic!("malformed baseline {baseline_path}"));
-    let baseline = json_number(&fields, "overhead_optonline")
-        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks overhead_optonline"));
-    let tolerance = json_number(&fields, "tolerance")
-        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks tolerance"));
+    let spec = BaselineSpec::parse(&text)
+        .unwrap_or_else(|| panic!("malformed or incomplete baseline {baseline_path}"));
+    let baseline = spec.overhead_optonline;
+    let tolerance = spec.tolerance;
     let limit = baseline * (1.0 + tolerance);
     let worst = cases
         .iter()
@@ -424,7 +458,7 @@ fn check_gate(
     // L1/L2 where the two-pass penalty is noise-sized).
     let mut ccg_note = None;
     if !smoke {
-        if let Some(min_speedup) = json_number(&fields, "min_ccg_speedup") {
+        if let Some(min_speedup) = spec.min_ccg_speedup {
             for c in ccg.iter().filter(|c| c.log2n >= 16) {
                 if c.speedup() < min_speedup {
                     failures.push(format!(
@@ -438,11 +472,48 @@ fn check_gate(
                 ccg_note = Some(format!("; ccg speedups ≥ {min_speedup:.2}x at 2^16+"));
             }
         }
+        // SoA engine gate: at every size ≥ 2^16 the best kernel's SoA/AoS
+        // speedup must clear the bar. Gating the best (not each) kernel is
+        // deliberate: split-radix stays AoS by design, and the structural
+        // failure this guards against — plane kernels silently scalar,
+        // stage packs mis-built, COBRA reversal regressed — flattens
+        // *every* kernel's ratio to ~1.0 at once.
+        if let Some(min_soa) = spec.min_soa_speedup {
+            let mut sizes: Vec<u32> = cases.iter().map(|c| c.log2n).filter(|&l| l >= 16).collect();
+            sizes.sort_unstable();
+            sizes.dedup();
+            for l in sizes {
+                let best = cases
+                    .iter()
+                    .filter(|c| c.log2n == l)
+                    .map(|c| c.soa_speedup())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if best < min_soa {
+                    failures.push(format!(
+                        "best SoA speedup {best:.2}x at 2^{l} below required {min_soa:.2}x"
+                    ));
+                }
+            }
+        }
+        // Fused-path gate: the per-size FusedPolicy heuristic must not
+        // systematically lose to the unfused baseline. Median across the
+        // matrix: individual DRAM-bound cells swing ±10% with runner load.
+        if let Some(min_gain) = spec.min_fused_gain {
+            let mut gains: Vec<f64> = cases.iter().map(Case::fused_gain).collect();
+            gains.sort_by(f64::total_cmp);
+            let median = gains[gains.len() / 2];
+            if median < min_gain {
+                failures.push(format!(
+                    "median fused gain {median:.3}x across the kernel matrix below required \
+                     {min_gain:.2}x"
+                ));
+            }
+        }
     }
     // Streaming gate: the 1-worker Opt-Online(m) frames/sec overhead over
     // plain must stay within the baseline's `overhead_stream` bound (the
     // same tolerance; ratios, so runner speed cancels out).
-    if let Some(stream_baseline) = json_number(&fields, "overhead_stream") {
+    if let Some(stream_baseline) = spec.overhead_stream {
         let stream_limit = stream_baseline * (1.0 + tolerance);
         for s in streams {
             if s.overhead_t1() > stream_limit {
@@ -470,10 +541,10 @@ fn check_gate(
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v3: v2 fields are unchanged; v3 adds
-/// the `streaming` section (STFT frames/sec, plain vs Opt-Online(m) at
-/// threads 1 vs N) — CI artifacts from different commits must stay
-/// diffable.
+/// Renders `BENCH_PR.json`. Schema v4: v3 fields are unchanged; v4 adds
+/// the per-case `layout` column and the layout A/B timings
+/// (`plain_kernel_aos_secs` / `plain_kernel_soa_secs` / `soa_speedup`) —
+/// CI artifacts from different commits must stay diffable.
 fn render_json(
     cases: &[Case],
     ccg: &[CcgCase],
@@ -485,7 +556,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 3,");
+    let _ = writeln!(s, "  \"schema_version\": 4,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
@@ -496,15 +567,21 @@ fn render_json(
         s.push_str("    {");
         let _ = write!(
             s,
-            "\"kernel\": \"{}\", \"log2n\": {}, \
+            "\"kernel\": \"{}\", \"log2n\": {}, \"layout\": \"{}\", \
              \"plain_kernel_secs\": {:.9}, \"plain_kernel_gflops\": {:.6}, \
+             \"plain_kernel_aos_secs\": {:.9}, \"plain_kernel_soa_secs\": {:.9}, \
+             \"soa_speedup\": {:.6}, \
              \"plain_scheme_secs\": {:.9}, \"opt_online_secs\": {:.9}, \
              \"overhead_ratio\": {:.6}, \"opt_online_unfused_secs\": {:.9}, \
              \"fused_gain\": {:.6}",
             c.kernel.name(),
             c.log2n,
+            c.layout.name(),
             c.plain_kernel_secs,
             gflops(n, c.plain_kernel_secs),
+            c.plain_kernel_aos_secs,
+            c.plain_kernel_soa_secs,
+            c.soa_speedup(),
             c.plain_scheme_secs,
             c.opt_online_secs,
             c.overhead_ratio(),

@@ -273,6 +273,47 @@ pub fn json_number(fields: &[(String, f64)], key: &str) -> Option<f64> {
     fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
 }
 
+/// Parsed `baseline.json` gate bounds.
+///
+/// Only `overhead_optonline` and `tolerance` are required; every later
+/// gate rides in an optional field, so a newer perfgate binary keeps
+/// accepting older baselines (v2 without streaming, v3 without the SoA
+/// and fused-gain keys) and simply skips the gates the file doesn't
+/// carry. The unit tests pin this with a v3 fixture.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineSpec {
+    /// Worst tolerated `t(Opt-Online(m)) / t(Plain)` ratio.
+    pub overhead_optonline: f64,
+    /// Relative slack applied to the overhead bounds.
+    pub tolerance: f64,
+    /// Minimum fused-CCG speedup at sizes ≥ 2¹⁶ (full mode; since v2).
+    pub min_ccg_speedup: Option<f64>,
+    /// Streaming 1-worker overhead bound (since v3).
+    pub overhead_stream: Option<f64>,
+    /// Minimum best-kernel SoA/AoS plain-kernel speedup at sizes ≥ 2¹⁶
+    /// (full mode; since v4).
+    pub min_soa_speedup: Option<f64>,
+    /// Minimum *median* fused-vs-unfused gain across the kernel matrix
+    /// (full mode; since v4).
+    pub min_fused_gain: Option<f64>,
+}
+
+impl BaselineSpec {
+    /// Parses a baseline file's text; `None` when the JSON is malformed or
+    /// a required key is missing.
+    pub fn parse(text: &str) -> Option<BaselineSpec> {
+        let fields = parse_flat_json_numbers(text)?;
+        Some(BaselineSpec {
+            overhead_optonline: json_number(&fields, "overhead_optonline")?,
+            tolerance: json_number(&fields, "tolerance")?,
+            min_ccg_speedup: json_number(&fields, "min_ccg_speedup"),
+            overhead_stream: json_number(&fields, "overhead_stream"),
+            min_soa_speedup: json_number(&fields, "min_soa_speedup"),
+            min_fused_gain: json_number(&fields, "min_fused_gain"),
+        })
+    }
+}
+
 /// One experiment binary of the harness, with its argument sets for both
 /// run modes.
 pub struct HarnessBin {
@@ -457,6 +498,46 @@ mod tests {
         assert_eq!(json_number(&fields, "tolerance"), Some(0.6));
         assert_eq!(json_number(&fields, "comment"), None);
         assert_eq!(json_number(&fields, "missing"), None);
+    }
+
+    #[test]
+    fn baseline_spec_accepts_v3_fixture_without_soa_keys() {
+        // The exact shape of the committed baseline before the v4 keys
+        // (it self-declared schema_version 2 while already carrying the
+        // v3 overhead_stream key): the parser must keep accepting it,
+        // with the v4 gates simply absent.
+        let v3 = r#"{
+            "schema_version": 2,
+            "comment": "ratios, measured on the CI runner",
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_ccg_speedup": 1.15,
+            "overhead_stream": 2.0
+        }"#;
+        let spec = BaselineSpec::parse(v3).expect("v3 baseline must parse");
+        assert_eq!(spec.overhead_optonline, 2.4);
+        assert_eq!(spec.tolerance, 1.0);
+        assert_eq!(spec.min_ccg_speedup, Some(1.15));
+        assert_eq!(spec.overhead_stream, Some(2.0));
+        assert_eq!(spec.min_soa_speedup, None);
+        assert_eq!(spec.min_fused_gain, None);
+    }
+
+    #[test]
+    fn baseline_spec_reads_v4_gates_and_rejects_incomplete_files() {
+        let v4 = r#"{
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_soa_speedup": 1.15,
+            "min_fused_gain": 0.97
+        }"#;
+        let spec = BaselineSpec::parse(v4).expect("v4 baseline must parse");
+        assert_eq!(spec.min_soa_speedup, Some(1.15));
+        assert_eq!(spec.min_fused_gain, Some(0.97));
+        assert_eq!(spec.min_ccg_speedup, None);
+        // Required keys stay required.
+        assert_eq!(BaselineSpec::parse(r#"{"tolerance": 1.0}"#), None);
+        assert_eq!(BaselineSpec::parse("not json"), None);
     }
 
     #[test]

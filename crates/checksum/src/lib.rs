@@ -36,7 +36,7 @@ pub use combined::{
     combined_checksum, combined_checksum_ref, combined_decode, combined_sum1, combined_sum1_ref,
     combined_sum1_strided, combined_verify, CombinedChecksum,
 };
-pub use fused::{gather_combined, gather_sum1};
+pub use fused::{gather_combined, gather_sum1, gather_sum1_split};
 pub use incremental::IncrementalSlots;
 pub use input_vector::{
     input_checksum_vector, input_checksum_vector_direct, input_checksum_vector_into,

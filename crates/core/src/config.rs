@@ -74,6 +74,39 @@ impl Scheme {
     ];
 }
 
+/// Policy for the fused gather+checksum hot path (§4.4 single-pass
+/// buffering, SIMD-accumulated).
+///
+/// Fused and separate passes are **bitwise identical** by the checksum
+/// crate's contract, so this is purely a performance knob. The perfgate
+/// matrix (see `BENCH_PR.json`, `fused_gain` column) showed the global
+/// always-fused default of PR 3 losing a few percent at mid sizes
+/// (radix2 @ 2¹²) where the gather buffer is L1-resident and the
+/// streaming-accumulator setup is pure overhead per tiny column — hence a
+/// per-size resolution instead of a global boolean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusedPolicy {
+    /// Per-size heuristic (the default): fused except for very short
+    /// checksum columns, where accumulator setup dominates the saved pass.
+    Auto,
+    /// Always the fused single-pass path (PR-3 behavior).
+    Always,
+    /// Always the PR-2-era separate gather-then-checksum passes — the
+    /// perf harness' A/B baseline.
+    Never,
+}
+
+impl FusedPolicy {
+    /// Resolves the policy for a sub-FFT of `count` gathered elements.
+    pub fn resolve(self, count: usize) -> bool {
+        match self {
+            FusedPolicy::Always => true,
+            FusedPolicy::Never => false,
+            FusedPolicy::Auto => count >= 16,
+        }
+    }
+}
+
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct FtConfig {
@@ -93,10 +126,10 @@ pub struct FtConfig {
     /// Second-part batch size `s` (k-point FFTs per verification group in
     /// the memory hierarchies).
     pub batch_s: usize,
-    /// Use the fused gather+checksum hot path (§4.4 single-pass buffering,
-    /// SIMD-accumulated). `false` re-enables the PR-2-era separate
-    /// gather-then-checksum passes — the perf harness' A/B switch.
-    pub fused: bool,
+    /// Fused gather+checksum policy (§4.4 single-pass buffering,
+    /// SIMD-accumulated): [`FusedPolicy::Auto`] resolves per sub-FFT size;
+    /// `Always`/`Never` pin it — the perf harness' A/B switch.
+    pub fused: FusedPolicy,
     /// Worker count for the pooled executors (`ftfft_parallel::PooledFtFft`):
     /// `None` defers to the `FTFFT_THREADS` environment variable, falling
     /// back to the machine's available parallelism. Plain `execute` ignores
@@ -115,7 +148,7 @@ impl FtConfig {
             threshold_scale: 1.0,
             split_k: None,
             batch_s: 8,
-            fused: true,
+            fused: FusedPolicy::Auto,
             threads: None,
         }
     }
@@ -144,9 +177,16 @@ impl FtConfig {
         self
     }
 
-    /// Enables/disables the fused gather+checksum hot path.
+    /// Pins the fused gather+checksum hot path on (`Always`) or off
+    /// (`Never`), bypassing the per-size heuristic.
     pub fn with_fused(mut self, fused: bool) -> Self {
-        self.fused = fused;
+        self.fused = if fused { FusedPolicy::Always } else { FusedPolicy::Never };
+        self
+    }
+
+    /// Sets the fused-path policy directly.
+    pub fn with_fused_policy(mut self, policy: FusedPolicy) -> Self {
+        self.fused = policy;
         self
     }
 
@@ -184,9 +224,19 @@ mod tests {
         assert_eq!(c.threshold_scale, 2.0);
         assert_eq!(c.split_k, Some(64));
         assert_eq!(c.max_retries, 5);
-        assert!(!c.fused);
+        assert_eq!(c.fused, FusedPolicy::Never);
         assert_eq!(c.threads, Some(4));
-        assert!(FtConfig::new(Scheme::Plain).fused);
+        assert_eq!(FtConfig::new(Scheme::Plain).fused, FusedPolicy::Auto);
+        assert_eq!(FtConfig::new(Scheme::Plain).with_fused(true).fused, FusedPolicy::Always);
         assert_eq!(FtConfig::new(Scheme::Plain).with_threads(0).threads, Some(1));
+    }
+
+    #[test]
+    fn fused_policy_resolution() {
+        assert!(FusedPolicy::Always.resolve(1));
+        assert!(!FusedPolicy::Never.resolve(1 << 20));
+        assert!(!FusedPolicy::Auto.resolve(8));
+        assert!(FusedPolicy::Auto.resolve(16));
+        assert!(FusedPolicy::Auto.resolve(1 << 10));
     }
 }

@@ -26,6 +26,7 @@ use ftfft_fault::{FaultInjector, InjectionCtx, Part, Site};
 use ftfft_numeric::{omega3_pow, simd, Complex64};
 
 use crate::dmr::{dmr_generate_ra_into, dmr_twiddle};
+use crate::online::gather_fft_split;
 use crate::plan::{FtFftPlan, Workspace};
 use crate::report::FtReport;
 
@@ -42,7 +43,10 @@ pub(crate) fn run(
     let (k, m) = (two.k(), two.m());
     let n = plan.n();
     let th = *plan.thresholds();
-    let fused = plan.cfg().fused;
+    let fused1 = plan.fused_part1();
+    let fused2 = plan.fused_part2();
+    let split1 = two.inner_plan().supports_split();
+    let split2 = two.outer_plan().supports_split();
 
     dmr_generate_ra_into(
         m,
@@ -67,7 +71,7 @@ pub(crate) fn run(
     let (ra_m, ra_k) = (&ws.ra_m[..m], &ws.ra_k[..k]);
 
     // ---- CMCG: one contiguous pass, k combined pairs (§4.1 + §4.4) ------
-    if fused {
+    if fused1 {
         // Row-wise over the m×k view of x: the inner accumulation runs
         // over contiguous accumulators with a constant weight — the
         // vectorized dual-AXPY kernel. Accumulators are processed in
@@ -120,8 +124,23 @@ pub(crate) fn run(
         let mut mem_fixed = false;
         let mut saw_error = false;
         loop {
-            two.gather_first(x, n1, &mut ws.buf);
-            two.inner_fft(&mut ws.buf, &mut ws.fft);
+            if split1 {
+                // The m-point sub-plan runs split-complex: gather straight
+                // into SoA planes and transform them with no boundary
+                // conversion (bitwise identical to the AoS sequence).
+                gather_fft_split(
+                    x,
+                    n1,
+                    k,
+                    two.inner_plan(),
+                    &mut ws.buf2,
+                    &mut ws.fft,
+                    &mut ws.buf[..m],
+                );
+            } else {
+                two.gather_first(x, n1, &mut ws.buf);
+                two.inner_fft(&mut ws.buf, &mut ws.fft);
+            }
             injector.inject(
                 ctx,
                 Site::SubFftCompute { part: Part::First, index: n1 },
@@ -153,7 +172,7 @@ pub(crate) fn run(
                 // reconstructed delta, whose relative error is O(ε), so
                 // huge corruptions (high exponent-bit flips) converge
                 // geometrically instead of stalling after one repair.
-                let observed = if fused {
+                let observed = if fused1 {
                     gather_combined(x, n1, k, ra_m, &mut ws.buf2[..m])
                 } else {
                     two.gather_first(x, n1, &mut ws.buf2);
@@ -221,8 +240,20 @@ pub(crate) fn run(
         let mut mem_fixed = false;
         let mut saw_error = false;
         loop {
-            two.gather_second(&ws.y, j2, &mut ws.buf);
-            two.outer_fft(&mut ws.buf, &mut ws.fft);
+            if split2 {
+                gather_fft_split(
+                    &ws.y,
+                    j2,
+                    m,
+                    two.outer_plan(),
+                    &mut ws.buf2,
+                    &mut ws.fft,
+                    &mut ws.buf[..k],
+                );
+            } else {
+                two.gather_second(&ws.y, j2, &mut ws.buf);
+                two.outer_fft(&mut ws.buf, &mut ws.fft);
+            }
             injector.inject(
                 ctx,
                 Site::SubFftCompute { part: Part::Second, index: j2 },
@@ -244,7 +275,7 @@ pub(crate) fn run(
                 continue;
             }
             {
-                let observed = if fused {
+                let observed = if fused2 {
                     gather_combined(&ws.y, j2, m, ra_k, &mut ws.buf2[..k])
                 } else {
                     two.gather_second(&ws.y, j2, &mut ws.buf2);

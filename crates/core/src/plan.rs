@@ -32,6 +32,10 @@ pub struct FtFftPlan {
     dir: Direction,
     two: TwoLayerPlan,
     thresholds: Thresholds,
+    /// `cfg.fused` resolved for the m-element part-1 columns.
+    fused_part1: bool,
+    /// `cfg.fused` resolved for the k-element part-2 columns.
+    fused_part2: bool,
 }
 
 /// Reusable working storage for [`FtFftPlan::execute`]. Allocation-free in
@@ -87,7 +91,9 @@ impl FtFftPlan {
         };
         let thresholds =
             scaled(thresholds_for_split(n, two.k(), two.m(), cfg.sigma0), cfg.threshold_scale);
-        FtFftPlan { cfg, n, dir, two, thresholds }
+        let fused_part1 = cfg.fused.resolve(two.m());
+        let fused_part2 = cfg.fused.resolve(two.k());
+        FtFftPlan { cfg, n, dir, two, thresholds, fused_part1, fused_part2 }
     }
 
     /// Transform size.
@@ -113,6 +119,19 @@ impl FtFftPlan {
     /// Detection thresholds in force.
     pub fn thresholds(&self) -> &Thresholds {
         &self.thresholds
+    }
+
+    /// Whether part-1 (m-element) checksum gathers run the fused
+    /// single-pass path — `cfg.fused` resolved per size at plan time.
+    #[inline]
+    pub fn fused_part1(&self) -> bool {
+        self.fused_part1
+    }
+
+    /// Whether part-2 (k-element) checksum gathers run the fused path.
+    #[inline]
+    pub fn fused_part2(&self) -> bool {
+        self.fused_part2
     }
 
     /// Allocates a workspace sized for this plan (and scheme): every buffer

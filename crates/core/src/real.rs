@@ -10,7 +10,10 @@
 //!
 //! Real traffic halves the protected-work footprint: an `n`-point real
 //! frame costs one `n/2`-point protected complex transform instead of the
-//! real-extended `n`-point one. This is the transform the streaming
+//! real-extended `n`-point one. The packed transform inherits the
+//! planner's data-layout knob (`FTFFT_LAYOUT`): when its sub-plans run
+//! the split-complex engine, the protected executors gather straight into
+//! SoA planes — bitwise identical spectra either way. This is the transform the streaming
 //! engines in `ftfft-stream` run per frame; their hot loops are
 //! allocation-free, so the batch entry points here take every buffer from
 //! a pre-sized [`RealWorkspace`].
@@ -302,5 +305,36 @@ mod tests {
     #[should_panic(expected = "even length")]
     fn odd_length_rejected() {
         let _ = RealFtFftPlan::new(7, Direction::Forward, FtConfig::new(Scheme::Plain));
+    }
+
+    #[test]
+    fn layouts_agree_bitwise_under_faults() {
+        // The packed half-size protected transform inherits the layout
+        // knob through its sub-plans; flipping it must not move a bit of
+        // the spectrum or the report, even while a fault is corrected.
+        use ftfft_fft::{force_layout, Layout};
+        let n = 512;
+        let x = real_signal(n, 6);
+        let run = |layout: Layout| {
+            force_layout(Some(layout));
+            let plan =
+                RealFtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+            force_layout(None);
+            let inj = ScriptedInjector::new(vec![ScriptedFault::new(
+                Site::SubFftCompute { part: Part::First, index: 3 },
+                2,
+                FaultKind::AddDelta { re: 2e-2, im: 0.0 },
+            )]);
+            let mut ws = plan.make_workspace();
+            let mut spec = vec![Complex64::ZERO; plan.spectrum_len()];
+            let rep = plan.forward(&x, &mut spec, &inj, &mut ws);
+            assert!(inj.exhausted());
+            (spec, rep)
+        };
+        let (spec_aos, rep_aos) = run(Layout::Aos);
+        let (spec_soa, rep_soa) = run(Layout::Soa);
+        assert_eq!(spec_aos, spec_soa);
+        assert_eq!(rep_aos, rep_soa);
+        assert_eq!(rep_soa.uncorrectable, 0);
     }
 }

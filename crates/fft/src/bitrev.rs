@@ -42,6 +42,88 @@ pub fn bit_reverse_permute(data: &mut [Complex64]) {
     }
 }
 
+/// COBRA tile width in bits: 32×32 `f64` tiles (8 KB buffer) keep both the
+/// read run and the write run inside L1 while each still spans four cache
+/// lines — the Carter–Gatlin sweet spot for 8-byte elements.
+const COBRA_Q: u32 = 5;
+
+/// Out-of-place bit-reversal of one `f64` plane: `dst[rev(i)] = src[i]`.
+///
+/// Large planes use the COBRA blocking (Carter & Gatlin): the index is
+/// split `i = a·2^{t−q} + b·2^q + c` with `a`,`c` of `q` bits, a
+/// `2^q × 2^q` tile is filled with contiguous reads and drained with
+/// contiguous writes, so every pass streams whole cache lines instead of
+/// striding `dst` by `n/2` the way the naive loop does. Small planes fall
+/// back to the incremental reversed-carry copy.
+///
+/// # Panics
+/// Panics if the lengths differ or are not a power of two.
+pub fn bit_reverse_copy_f64(src: &[f64], dst: &mut [f64]) {
+    let n = src.len();
+    assert_eq!(n, dst.len(), "bit_reverse_copy_f64: length mismatch");
+    assert!(n.is_power_of_two(), "bit_reverse_copy_f64: n={n} not a power of two");
+    let t = n.trailing_zeros();
+    if t <= 2 * COBRA_Q {
+        // Small plane: incremental reversed-carry companion index.
+        let mut j = 0usize;
+        for &v in src {
+            dst[j] = v;
+            let mut bit = n >> 1;
+            while bit > 0 && j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+        }
+        return;
+    }
+
+    let q = COBRA_Q;
+    let w = 1usize << q; // tile width
+    let mid_bits = t - 2 * q;
+    let mut tile = [0.0f64; 1 << (2 * COBRA_Q)];
+    for b in 0..1usize << mid_bits {
+        let b_rev = reverse_bits(b, mid_bits);
+        for a in 0..w {
+            let a_rev = reverse_bits(a, q);
+            let row = &src[(a << (t - q)) | (b << q)..][..w];
+            tile[a_rev << q..][..w].copy_from_slice(row);
+        }
+        for c in 0..w {
+            let c_rev = reverse_bits(c, q);
+            let out = &mut dst[(c_rev << (t - q)) | (b_rev << q)..][..w];
+            for (a_rev, slot) in out.iter_mut().enumerate() {
+                *slot = tile[(a_rev << q) | c];
+            }
+        }
+    }
+}
+
+/// In-place bit-reversal permutation of a (re, im) plane pair — the plane
+/// mirror of [`bit_reverse_permute`], used by the SoA split-radix leaves
+/// (tiny, cache-resident sub-transforms where blocking buys nothing).
+pub fn bit_reverse_permute_planes(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "bit_reverse_permute_planes: length mismatch");
+    assert!(n.is_power_of_two(), "bit_reverse_permute_planes: n={n} not a power of two");
+    if n <= 2 {
+        return;
+    }
+    let mut j = 0usize;
+    for i in 0..n - 1 {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +161,34 @@ mod tests {
         let mut v = vec![c64(3.0, 1.0)];
         bit_reverse_permute(&mut v);
         assert_eq!(v[0], c64(3.0, 1.0));
+    }
+
+    #[test]
+    fn cobra_copy_matches_naive_reversal() {
+        // Below, at, and above the COBRA threshold (2^10), including the
+        // smallest blocked size with a single mid bit (2^11).
+        for t in [0u32, 1, 3, 6, 10, 11, 12, 14] {
+            let n = 1usize << t;
+            let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut dst = vec![0.0; n];
+            bit_reverse_copy_f64(&src, &mut dst);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(dst[reverse_bits(i, t)], s, "t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn plane_pair_permute_matches_aos_permute() {
+        let n = 256;
+        let orig: Vec<_> = (0..n).map(|i| c64(i as f64, -(i as f64) - 0.5)).collect();
+        let mut aos = orig.clone();
+        bit_reverse_permute(&mut aos);
+        let mut re: Vec<f64> = orig.iter().map(|z| z.re).collect();
+        let mut im: Vec<f64> = orig.iter().map(|z| z.im).collect();
+        bit_reverse_permute_planes(&mut re, &mut im);
+        for i in 0..n {
+            assert_eq!((re[i], im[i]), (aos[i].re, aos[i].im), "i={i}");
+        }
     }
 }

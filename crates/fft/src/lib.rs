@@ -39,6 +39,7 @@ pub mod planner;
 pub mod radix2;
 pub mod radix4;
 pub mod real;
+pub mod soa;
 pub mod split_radix;
 pub mod strided;
 pub mod three_layer;
@@ -50,7 +51,9 @@ pub use direction::{normalize, Direction};
 pub use factor::{factorize, is_power_of_two, split_balanced, split_three};
 pub use mixed::MixedPlan;
 pub use naive::dft_naive;
-pub use planner::{fft, ifft, FftPlan, Planner, Pow2Kernel, KERNEL_ENV};
+pub use planner::{
+    fft, force_layout, ifft, FftPlan, Layout, Planner, Pow2Kernel, KERNEL_ENV, LAYOUT_ENV,
+};
 pub use real::{irfft, rfft, RealFftPlan};
 pub use three_layer::{ThreeLayerPlan, ThreeLayerScratch};
 pub use twiddle_table::TwiddleTable;

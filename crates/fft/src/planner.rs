@@ -9,6 +9,7 @@
 //! decomposition) are planned exactly once.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -19,8 +20,12 @@ use crate::factor::{is_power_of_two, is_smooth};
 use crate::mixed::MixedPlan;
 use crate::radix2::fft_radix2_inplace;
 use crate::radix4::fft_radix4_inplace;
-use crate::split_radix::{fft_split_radix, fft_split_radix_inplace};
-use crate::twiddle_table::TwiddleTable;
+use crate::soa::{fft_radix2_soa, fft_radix4_soa, fft_split_radix_soa};
+use crate::split_radix::{fft_split_radix, fft_split_radix_inplace, LEAF_LEN};
+use crate::twiddle_table::{
+    SoaRadix2Twiddles, SoaRadix4Twiddles, SoaSplitRadixTwiddles, TwiddleTable,
+};
+use ftfft_numeric::simd;
 use ftfft_numeric::Complex64;
 
 /// Largest prime factor handled by the mixed-radix kernel before the
@@ -31,6 +36,102 @@ pub const SMOOTH_LIMIT: usize = 61;
 /// (`radix2` | `radix4` | `split-radix`) — the A/B switch the perf harness
 /// uses to time one kernel against another.
 pub const KERNEL_ENV: &str = "FTFFT_KERNEL";
+
+/// Environment variable overriding the data-layout heuristic
+/// (`soa` | `aos` | `auto`) — the A/B switch for the split-complex engine.
+pub const LAYOUT_ENV: &str = "FTFFT_LAYOUT";
+
+/// Smallest power-of-two size at which the layout heuristic picks the
+/// split-complex engine for the iterative kernels: below this the two O(n)
+/// boundary conversions eat the per-stage SIMD win (only ~log₂ n stages
+/// share the cost). From the perfgate matrix (EXPERIMENTS.md): radix-4
+/// SoA is 1.3–1.6× AoS from 2¹² up, radix-2 SoA crosses over around the
+/// same size, and both *lose* at 2¹⁰.
+const SOA_MIN: usize = 1 << 12;
+
+/// Data layout a power-of-two plan executes in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Interleaved `Complex64` (array-of-structures) — the classic layout.
+    Aos,
+    /// Split `re[]`/`im[]` planes (structure-of-arrays): every stage runs
+    /// the 4-complex-per-instruction plane kernels; a one-pass
+    /// deinterleave/interleave converts at the plan boundary. Bitwise
+    /// identical results to [`Layout::Aos`].
+    Soa,
+}
+
+/// 0 = no override, 1 = aos, 2 = soa.
+static FORCED_LAYOUT: AtomicU8 = AtomicU8::new(0);
+
+impl Layout {
+    /// Both layouts, in `BENCH_PR.json` reporting order.
+    pub const ALL: [Layout; 2] = [Layout::Aos, Layout::Soa];
+
+    /// Stable lowercase name (accepted back through [`LAYOUT_ENV`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Aos => "aos",
+            Layout::Soa => "soa",
+        }
+    }
+
+    /// Parses a layout name.
+    pub fn parse(name: &str) -> Option<Layout> {
+        match name.to_ascii_lowercase().as_str() {
+            "aos" => Some(Layout::Aos),
+            "soa" => Some(Layout::Soa),
+            _ => None,
+        }
+    }
+
+    /// The planner's layout heuristic for `kernel` at a power-of-two size
+    /// `n`. The iterative kernels go SoA once the transform is deep enough
+    /// (`n ≥ 2¹²`) to amortize the boundary conversion; the recursive
+    /// split-radix kernel stays AoS — its strided leaf gathers and
+    /// conjugate-pair index wraps defeat the plane kernels (measured
+    /// *slower* SoA at 2¹⁸–2²⁰, see EXPERIMENTS.md).
+    pub fn heuristic(kernel: Pow2Kernel, n: usize) -> Layout {
+        debug_assert!(is_power_of_two(n));
+        match kernel {
+            Pow2Kernel::Radix2 | Pow2Kernel::Radix4 if n >= SOA_MIN => Layout::Soa,
+            _ => Layout::Aos,
+        }
+    }
+
+    /// The layout the planner will use for `kernel` at a power-of-two size
+    /// `n`: a [`force_layout`] override first, then the `FTFFT_LAYOUT`
+    /// variable (panicking on an unknown name — a silent typo would
+    /// invalidate an A/B run), then the heuristic.
+    pub fn choose(kernel: Pow2Kernel, n: usize) -> Layout {
+        match FORCED_LAYOUT.load(Ordering::Relaxed) {
+            1 => return Layout::Aos,
+            2 => return Layout::Soa,
+            _ => {}
+        }
+        match std::env::var(LAYOUT_ENV) {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "auto" | "" => Layout::heuristic(kernel, n),
+                other => Layout::parse(other)
+                    .unwrap_or_else(|| panic!("{LAYOUT_ENV}={v:?} is not soa|aos|auto")),
+            },
+            Err(_) => Layout::heuristic(kernel, n),
+        }
+    }
+}
+
+/// Forces the layout for subsequently-built power-of-two plans (`None`
+/// re-enables env + heuristic). Intended for tests and the perf harness;
+/// affects the whole process. Safe to flip concurrently because both
+/// layouts produce bitwise-identical transforms.
+pub fn force_layout(layout: Option<Layout>) {
+    let v = match layout {
+        None => 0,
+        Some(Layout::Aos) => 1,
+        Some(Layout::Soa) => 2,
+    };
+    FORCED_LAYOUT.store(v, Ordering::Relaxed);
+}
 
 /// The power-of-two kernel family.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -74,15 +175,17 @@ impl Pow2Kernel {
     /// Cutoffs from the perfgate matrix (see `EXPERIMENTS.md`): at n ≤ 8
     /// every kernel is a handful of butterflies and radix-2 has the least
     /// bookkeeping; through the cache-resident sizes radix-4's fused
-    /// stages win (~1.4–1.5× radix-2); for large out-of-cache transforms
-    /// the split-radix recursion's lower multiplication count and
-    /// depth-first locality take over (radix-4 stays within noise of it,
-    /// both well ahead of radix-2).
+    /// stages win (~1.4–1.5× radix-2). For large transforms the choice is
+    /// layout-coupled: when the split-complex engine is available
+    /// ([`Layout::choose`] says SoA), radix-4 over planes is the fastest
+    /// kernel outright (1.2–1.6× the AoS split-radix recursion at
+    /// 2¹⁴–2²⁰); when the layout is pinned to AoS, split-radix's lower
+    /// multiplication count and depth-first locality keep the old win.
     pub fn heuristic(n: usize) -> Pow2Kernel {
         debug_assert!(is_power_of_two(n));
         if n <= 8 {
             Pow2Kernel::Radix2
-        } else if n <= 1 << 13 {
+        } else if n <= 1 << 13 || Layout::choose(Pow2Kernel::Radix4, n) == Layout::Soa {
             Pow2Kernel::Radix4
         } else {
             Pow2Kernel::SplitRadix
@@ -106,6 +209,9 @@ enum Kernel {
     Radix2(TwiddleTable),
     Radix4(TwiddleTable),
     SplitRadix(TwiddleTable),
+    Radix2Soa(SoaRadix2Twiddles),
+    Radix4Soa(SoaRadix4Twiddles),
+    SplitRadixSoa(SoaSplitRadixTwiddles),
     Mixed(MixedPlan),
     Bluestein(BluesteinPlan),
 }
@@ -133,17 +239,38 @@ impl FftPlan {
     }
 
     /// Plans a power-of-two transform with an explicit kernel (bypassing
-    /// both the heuristic and the environment override).
+    /// the kernel heuristic and environment override; the layout is still
+    /// picked by [`Layout::choose`]).
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
     pub fn new_with_kernel(n: usize, dir: Direction, kernel: Pow2Kernel) -> Self {
+        Self::new_with_kernel_layout(n, dir, kernel, Layout::choose(kernel, n))
+    }
+
+    /// Plans a power-of-two transform with an explicit kernel *and*
+    /// layout (bypassing every heuristic and override) — the A/B primitive
+    /// the property tests and the perf harness use.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new_with_kernel_layout(
+        n: usize,
+        dir: Direction,
+        kernel: Pow2Kernel,
+        layout: Layout,
+    ) -> Self {
         assert!(is_power_of_two(n), "explicit kernel {kernel:?} needs a power of two, got {n}");
         let table = TwiddleTable::new(n, dir);
-        let kernel = match kernel {
-            Pow2Kernel::Radix2 => Kernel::Radix2(table),
-            Pow2Kernel::Radix4 => Kernel::Radix4(table),
-            Pow2Kernel::SplitRadix => Kernel::SplitRadix(table),
+        let kernel = match (kernel, layout) {
+            (Pow2Kernel::Radix2, Layout::Aos) => Kernel::Radix2(table),
+            (Pow2Kernel::Radix4, Layout::Aos) => Kernel::Radix4(table),
+            (Pow2Kernel::SplitRadix, Layout::Aos) => Kernel::SplitRadix(table),
+            (Pow2Kernel::Radix2, Layout::Soa) => Kernel::Radix2Soa(SoaRadix2Twiddles::new(&table)),
+            (Pow2Kernel::Radix4, Layout::Soa) => Kernel::Radix4Soa(SoaRadix4Twiddles::new(&table)),
+            (Pow2Kernel::SplitRadix, Layout::Soa) => {
+                Kernel::SplitRadixSoa(SoaSplitRadixTwiddles::new(&table, LEAF_LEN))
+            }
         };
         FftPlan { n, dir, kernel }
     }
@@ -169,12 +296,32 @@ impl FftPlan {
     /// `"split-radix"`, `"mixed"`, or `"bluestein"`).
     pub fn kernel_name(&self) -> &'static str {
         match &self.kernel {
-            Kernel::Radix2(_) => Pow2Kernel::Radix2.name(),
-            Kernel::Radix4(_) => Pow2Kernel::Radix4.name(),
-            Kernel::SplitRadix(_) => Pow2Kernel::SplitRadix.name(),
+            Kernel::Radix2(_) | Kernel::Radix2Soa(_) => Pow2Kernel::Radix2.name(),
+            Kernel::Radix4(_) | Kernel::Radix4Soa(_) => Pow2Kernel::Radix4.name(),
+            Kernel::SplitRadix(_) | Kernel::SplitRadixSoa(_) => Pow2Kernel::SplitRadix.name(),
             Kernel::Mixed(_) => "mixed",
             Kernel::Bluestein(_) => "bluestein",
         }
+    }
+
+    /// The data layout this plan executes in (non-power-of-two kernels are
+    /// always [`Layout::Aos`]).
+    pub fn layout(&self) -> Layout {
+        match &self.kernel {
+            Kernel::Radix2Soa(_) | Kernel::Radix4Soa(_) | Kernel::SplitRadixSoa(_) => Layout::Soa,
+            _ => Layout::Aos,
+        }
+    }
+
+    /// Stable name of [`layout`](FftPlan::layout) (`"soa"` / `"aos"`).
+    pub fn layout_name(&self) -> &'static str {
+        self.layout().name()
+    }
+
+    /// `true` when this plan can run directly on split `re[]`/`im[]`
+    /// planes via [`execute_split`](FftPlan::execute_split).
+    pub fn supports_split(&self) -> bool {
+        self.layout() == Layout::Soa
     }
 
     /// Scratch length required by the execute methods.
@@ -183,6 +330,9 @@ impl FftPlan {
             Kernel::Radix2(_) | Kernel::Radix4(_) => 0,
             // Split-radix is out-of-place; in-place runs stage a copy.
             Kernel::SplitRadix(_) => self.n,
+            // SoA kernels stage through two plane pairs carved from
+            // ordinary complex scratch (n complex = one n-long plane pair).
+            Kernel::Radix2Soa(_) | Kernel::Radix4Soa(_) | Kernel::SplitRadixSoa(_) => 2 * self.n,
             // Mixed and Bluestein stage an input copy for in-place runs.
             Kernel::Mixed(p) => self.n + p.scratch_len(),
             Kernel::Bluestein(p) => self.n + p.scratch_len(),
@@ -196,6 +346,15 @@ impl FftPlan {
             Kernel::Radix2(t) => fft_radix2_inplace(data, t),
             Kernel::Radix4(t) => fft_radix4_inplace(data, t),
             Kernel::SplitRadix(t) => fft_split_radix_inplace(data, t, scratch),
+            Kernel::Radix2Soa(_) | Kernel::Radix4Soa(_) | Kernel::SplitRadixSoa(_) => {
+                let n = self.n;
+                let (a, b) = scratch[..2 * n].split_at_mut(n);
+                let (a_re, a_im) = simd::planes_mut(a);
+                simd::deinterleave(data, a_re, a_im);
+                let (b_re, b_im) = simd::planes_mut(b);
+                self.execute_split(a_re, a_im, b_re, b_im);
+                simd::interleave(b_re, b_im, data);
+            }
             Kernel::Mixed(p) => {
                 let (copy, rest) = scratch.split_at_mut(self.n);
                 copy.copy_from_slice(data);
@@ -223,8 +382,43 @@ impl FftPlan {
                 fft_radix4_inplace(dst, t);
             }
             Kernel::SplitRadix(t) => fft_split_radix(src, dst, t),
+            Kernel::Radix2Soa(_) | Kernel::Radix4Soa(_) | Kernel::SplitRadixSoa(_) => {
+                let n = self.n;
+                let (a, b) = scratch[..2 * n].split_at_mut(n);
+                let (a_re, a_im) = simd::planes_mut(a);
+                simd::deinterleave(src, a_re, a_im);
+                let (b_re, b_im) = simd::planes_mut(b);
+                self.execute_split(a_re, a_im, b_re, b_im);
+                simd::interleave(b_re, b_im, dst);
+            }
             Kernel::Mixed(p) => p.execute(src, dst, &mut scratch[..p.scratch_len()]),
             Kernel::Bluestein(p) => p.execute(src, dst, scratch),
+        }
+    }
+
+    /// Out-of-place transform directly on split planes, skipping the
+    /// boundary conversion — for callers (the protected executors, fused
+    /// checksum gathers) that already hold SoA data. `dst` and `src` must
+    /// not alias; no scratch is needed.
+    ///
+    /// # Panics
+    /// Panics unless [`supports_split`](FftPlan::supports_split) (the plan
+    /// must have been built with [`Layout::Soa`]) or on length mismatch.
+    pub fn execute_split(
+        &self,
+        src_re: &[f64],
+        src_im: &[f64],
+        dst_re: &mut [f64],
+        dst_im: &mut [f64],
+    ) {
+        match &self.kernel {
+            Kernel::Radix2Soa(tw) => fft_radix2_soa(src_re, src_im, dst_re, dst_im, tw),
+            Kernel::Radix4Soa(tw) => fft_radix4_soa(src_re, src_im, dst_re, dst_im, tw),
+            Kernel::SplitRadixSoa(tw) => fft_split_radix_soa(src_re, src_im, dst_re, dst_im, tw),
+            _ => panic!(
+                "execute_split needs an SoA-layout plan (this one is {})",
+                self.layout_name()
+            ),
         }
     }
 
@@ -383,7 +577,88 @@ mod tests {
         assert_eq!(Pow2Kernel::heuristic(8), Pow2Kernel::Radix2);
         assert_eq!(Pow2Kernel::heuristic(16), Pow2Kernel::Radix4);
         assert_eq!(Pow2Kernel::heuristic(1 << 13), Pow2Kernel::Radix4);
+        // Large sizes are layout-coupled: with the SoA engine in force
+        // (the default), radix-4 over planes beats the AoS split-radix
+        // recursion; pinning AoS restores the old split-radix choice.
+        force_layout(Some(Layout::Soa));
+        assert_eq!(Pow2Kernel::heuristic(1 << 16), Pow2Kernel::Radix4);
+        force_layout(Some(Layout::Aos));
         assert_eq!(Pow2Kernel::heuristic(1 << 16), Pow2Kernel::SplitRadix);
+        force_layout(None);
+    }
+
+    #[test]
+    fn layout_heuristic_and_names() {
+        assert_eq!(Layout::heuristic(Pow2Kernel::Radix4, 1 << 10), Layout::Aos);
+        assert_eq!(Layout::heuristic(Pow2Kernel::Radix4, 1 << 12), Layout::Soa);
+        assert_eq!(Layout::heuristic(Pow2Kernel::Radix2, 1 << 16), Layout::Soa);
+        assert_eq!(Layout::heuristic(Pow2Kernel::SplitRadix, 1 << 20), Layout::Aos);
+        for l in Layout::ALL {
+            assert_eq!(Layout::parse(l.name()), Some(l));
+        }
+        assert_eq!(Layout::parse("AOS"), Some(Layout::Aos));
+        assert_eq!(Layout::parse("planes"), None);
+    }
+
+    #[test]
+    fn soa_layout_plans_execute_bitwise_equal_to_aos() {
+        for kernel in Pow2Kernel::ALL {
+            for n in [4usize, 64, 512, 4096] {
+                let x = uniform_signal(n, n as u64 + 9);
+                let mut outs = Vec::new();
+                for layout in Layout::ALL {
+                    let plan =
+                        FftPlan::new_with_kernel_layout(n, Direction::Forward, kernel, layout);
+                    assert_eq!(plan.layout(), layout);
+                    assert_eq!(plan.supports_split(), layout == Layout::Soa);
+                    assert_eq!(plan.kernel_name(), kernel.name());
+                    let mut dst = vec![Complex64::ZERO; n];
+                    let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+                    plan.execute(&x, &mut dst, &mut s);
+                    let mut ip = x.clone();
+                    plan.execute_inplace(&mut ip, &mut s);
+                    assert_eq!(ip, dst, "{} {} n={n} in-place", kernel.name(), layout.name());
+                    outs.push(dst);
+                }
+                assert_eq!(outs[0], outs[1], "{} n={n} layouts disagree", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn execute_split_skips_boundary_conversion() {
+        let n = 1 << 9;
+        let x = uniform_signal(n, 31);
+        let plan =
+            FftPlan::new_with_kernel_layout(n, Direction::Forward, Pow2Kernel::Radix4, Layout::Soa);
+        let mut want = vec![Complex64::ZERO; n];
+        let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute(&x, &mut want, &mut s);
+
+        let src_re: Vec<f64> = x.iter().map(|z| z.re).collect();
+        let src_im: Vec<f64> = x.iter().map(|z| z.im).collect();
+        let mut dre = vec![0.0; n];
+        let mut dim = vec![0.0; n];
+        plan.execute_split(&src_re, &src_im, &mut dre, &mut dim);
+        for i in 0..n {
+            assert_eq!((dre[i], dim[i]), (want[i].re, want[i].im), "i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "execute_split needs an SoA-layout plan")]
+    fn execute_split_rejects_aos_plans() {
+        let plan = FftPlan::new_with_kernel_layout(
+            16,
+            Direction::Forward,
+            Pow2Kernel::Radix2,
+            Layout::Aos,
+        );
+        let re = vec![0.0; 16];
+        let im = vec![0.0; 16];
+        let mut dre = vec![0.0; 16];
+        let mut dim = vec![0.0; 16];
+        plan.execute_split(&re, &im, &mut dre, &mut dim);
     }
 
     #[test]

@@ -19,6 +19,29 @@ pub fn gather(src: &[Complex64], offset: usize, stride: usize, out: &mut [Comple
     }
 }
 
+/// [`gather`] variant writing split planes: `out_re[t]/out_im[t] =
+/// src[offset + t·stride].re/.im` — fills the SoA sub-FFT input in the
+/// same single strided pass, so protected executors whose sub-plans run
+/// split-complex skip the extra deinterleave entirely.
+#[inline]
+pub fn gather_split(
+    src: &[Complex64],
+    offset: usize,
+    stride: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+) {
+    debug_assert!(stride >= 1);
+    debug_assert_eq!(out_re.len(), out_im.len());
+    let mut idx = offset;
+    for (r, i) in out_re.iter_mut().zip(out_im.iter_mut()) {
+        let z = src[idx];
+        *r = z.re;
+        *i = z.im;
+        idx += stride;
+    }
+}
+
 /// Writes `vals` into `dst` starting at `offset`, every `stride`-th slot.
 #[inline]
 pub fn scatter(dst: &mut [Complex64], offset: usize, stride: usize, vals: &[Complex64]) {

@@ -76,6 +76,272 @@ impl TwiddleTable {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pre-split (SoA) twiddle packs for the split-complex stage kernels.
+//
+// The AoS kernels read `ω_n^t` on the fly with a per-stage stride; the SoA
+// kernels instead consume *stage-major packed planes*: for every stage the
+// exact twiddle sequence that stage's butterflies walk, stored as separate
+// contiguous `re[]`/`im[]` arrays so a 256-bit load grabs four consecutive
+// twiddles. Pack entries are copied verbatim from a `TwiddleTable`, so the
+// SoA kernels see bit-identical factors to their AoS mirrors.
+// ---------------------------------------------------------------------------
+
+/// A contiguous pair of twiddle planes (`re[j]`, `im[j]`).
+#[derive(Clone, Debug, Default)]
+pub struct SplitTwiddles {
+    /// Real plane.
+    pub re: Vec<f64>,
+    /// Imaginary plane.
+    pub im: Vec<f64>,
+}
+
+impl SplitTwiddles {
+    fn gather(table: &TwiddleTable, count: usize, step: usize) -> Self {
+        let mut re = Vec::with_capacity(count);
+        let mut im = Vec::with_capacity(count);
+        for j in 0..count {
+            let w = table.get(j * step);
+            re.push(w.re);
+            im.push(w.im);
+        }
+        SplitTwiddles { re, im }
+    }
+
+    /// Number of packed twiddles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.re.len()
+    }
+
+    /// `true` when no twiddles are packed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.re.is_empty()
+    }
+}
+
+/// One packed radix-2 stage: `half` twiddles plus the product-formula flag
+/// mirroring the AoS kernel's final-stage SIMD dispatch (`tw_step == 1`).
+#[derive(Clone, Debug)]
+pub struct SoaRadix2Stage {
+    /// `ω^{j·tw_step}` for `j < len/2`.
+    pub w: SplitTwiddles,
+    /// `true` when the AoS kernel would take its fused-multiply final-stage
+    /// path for this stage (contiguous table, `tw_step == 1`).
+    pub fma: bool,
+}
+
+/// Stage-major packed twiddles for the SoA radix-2 kernel
+/// (`Σ len/2 = n−1` twiddles total).
+#[derive(Clone, Debug)]
+pub struct SoaRadix2Twiddles {
+    n: usize,
+    dir: Direction,
+    stages: Vec<SoaRadix2Stage>,
+}
+
+impl SoaRadix2Twiddles {
+    /// Packs every stage of an `n`-point radix-2 transform from `table`
+    /// (`table.len() == n`, stride 1).
+    pub fn new(table: &TwiddleTable) -> Self {
+        let n = table.len();
+        assert!(n.is_power_of_two(), "SoA radix-2 pack needs a power of two, got {n}");
+        let mut stages = Vec::new();
+        let mut len = 2usize;
+        while len <= n {
+            let tw_step = n / len;
+            stages.push(SoaRadix2Stage {
+                w: SplitTwiddles::gather(table, len / 2, tw_step),
+                fma: tw_step == 1,
+            });
+            len <<= 1;
+        }
+        SoaRadix2Twiddles { n, dir: table.direction(), stages }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true (`n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Direction the pack was generated for.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// The packed stages, innermost (`len = 2`) first.
+    #[inline]
+    pub fn stages(&self) -> &[SoaRadix2Stage] {
+        &self.stages
+    }
+}
+
+/// One packed radix-4 stage: the three twiddle sequences
+/// (`w1 = ω^{j·e}`, `w2 = ω^{2j·e}`, `w3 = ω^{3j·e}`) for `j < quarter`.
+#[derive(Clone, Debug)]
+pub struct SoaRadix4Stage {
+    /// Butterfly quarter length of the stage.
+    pub quarter: usize,
+    /// `ω^{j·e}` plane pair.
+    pub w1: SplitTwiddles,
+    /// `ω^{2j·e}` plane pair.
+    pub w2: SplitTwiddles,
+    /// `ω^{3j·e}` plane pair.
+    pub w3: SplitTwiddles,
+}
+
+/// Stage-major packed twiddles for the SoA radix-4 kernel of an `l`-point
+/// transform read through a table stride (so one root table also serves
+/// the split-radix leaf sub-transforms).
+#[derive(Clone, Debug)]
+pub struct SoaRadix4Twiddles {
+    l: usize,
+    dir: Direction,
+    unpaired: bool,
+    stages: Vec<SoaRadix4Stage>,
+}
+
+impl SoaRadix4Twiddles {
+    /// Packs every stage of an `l == table.len()`-point radix-4 transform.
+    pub fn new(table: &TwiddleTable) -> Self {
+        Self::with_stride(table, table.len(), 1)
+    }
+
+    /// Packs for an `l`-point transform read through `stride`
+    /// (`table.len() == l·stride` — the strided-table contract of
+    /// [`crate::radix4::fft_radix4_strided_table`]).
+    pub fn with_stride(table: &TwiddleTable, l: usize, stride: usize) -> Self {
+        assert!(l.is_power_of_two(), "SoA radix-4 pack needs a power of two, got {l}");
+        assert_eq!(table.len(), l * stride, "table size incompatible with l={l}, stride={stride}");
+        let unpaired = l.trailing_zeros() % 2 == 1;
+        let mut stages = Vec::new();
+        let mut len = if unpaired { 2usize } else { 1 };
+        while len < l {
+            let block = len * 4;
+            let e = (l / block) * stride;
+            stages.push(SoaRadix4Stage {
+                quarter: len,
+                w1: SplitTwiddles::gather(table, len, e),
+                w2: SplitTwiddles::gather(table, len, 2 * e),
+                w3: SplitTwiddles::gather(table, len, 3 * e),
+            });
+            len = block;
+        }
+        SoaRadix4Twiddles { l, dir: table.direction(), unpaired, stages }
+    }
+
+    /// Transform size `l`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.l
+    }
+
+    /// Never true (`l ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Direction the pack was generated for.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// `true` when `log₂ l` is odd and the kernel opens with the
+    /// twiddle-free radix-2 alignment pass.
+    #[inline]
+    pub fn unpaired(&self) -> bool {
+        self.unpaired
+    }
+
+    /// The packed stages, innermost first.
+    #[inline]
+    pub fn stages(&self) -> &[SoaRadix4Stage] {
+        &self.stages
+    }
+}
+
+/// Packed twiddles for the SoA conjugate-pair split-radix kernel: one
+/// combine plane pair per recursion size plus radix-4 packs for every
+/// possible leaf size.
+#[derive(Clone, Debug)]
+pub struct SoaSplitRadixTwiddles {
+    n: usize,
+    dir: Direction,
+    /// `combine[log₂ len]` = `ω_n^{k·(n/len)}` for `k < len/4`
+    /// (empty below `len = 4`).
+    combine: Vec<SplitTwiddles>,
+    /// `leaf[log₂ L]` = radix-4 pack for an `L`-point leaf read at stride
+    /// `n/L` (`None` outside `4 ≤ L ≤ leaf_len`).
+    leaf: Vec<Option<SoaRadix4Twiddles>>,
+}
+
+impl SoaSplitRadixTwiddles {
+    /// Packs combine twiddles for every recursion size of an `n`-point
+    /// transform and radix-4 leaf packs for sizes up to `leaf_len`
+    /// (the driver's recursion cutoff).
+    pub fn new(table: &TwiddleTable, leaf_len: usize) -> Self {
+        let n = table.len();
+        assert!(n.is_power_of_two(), "SoA split-radix pack needs a power of two, got {n}");
+        let log2n = n.trailing_zeros() as usize;
+        let mut combine = Vec::with_capacity(log2n + 1);
+        let mut leaf = Vec::with_capacity(log2n + 1);
+        for log2l in 0..=log2n {
+            let l = 1usize << log2l;
+            combine.push(if l >= 4 {
+                SplitTwiddles::gather(table, l / 4, n / l)
+            } else {
+                SplitTwiddles::default()
+            });
+            leaf.push(if (4..=leaf_len).contains(&l) {
+                Some(SoaRadix4Twiddles::with_stride(table, l, n / l))
+            } else {
+                None
+            });
+        }
+        SoaSplitRadixTwiddles { n, dir: table.direction(), combine, leaf }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true (`n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Direction the pack was generated for.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Combine twiddle planes for recursion size `len`.
+    #[inline]
+    pub fn combine(&self, len: usize) -> &SplitTwiddles {
+        &self.combine[len.trailing_zeros() as usize]
+    }
+
+    /// Radix-4 pack for an `len`-point leaf.
+    #[inline]
+    pub fn leaf(&self, len: usize) -> &SoaRadix4Twiddles {
+        self.leaf[len.trailing_zeros() as usize]
+            .as_ref()
+            .expect("no leaf pack for this size — larger than the pack's leaf_len?")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +376,66 @@ mod tests {
         let n = 16;
         let t = TwiddleTable::new(n, Direction::Forward);
         assert!(t.get_mod(5 + 3 * n).approx_eq(t.get(5), 1e-15));
+    }
+
+    #[test]
+    fn soa_radix2_pack_copies_table_values_exactly() {
+        let n = 64;
+        let t = TwiddleTable::new(n, Direction::Forward);
+        let p = SoaRadix2Twiddles::new(&t);
+        assert_eq!(p.len(), n);
+        assert_eq!(p.stages().len(), 6);
+        let total: usize = p.stages().iter().map(|s| s.w.len()).sum();
+        assert_eq!(total, n - 1);
+        let mut len = 2usize;
+        for stage in p.stages() {
+            let step = n / len;
+            assert_eq!(stage.fma, step == 1);
+            for j in 0..len / 2 {
+                let w = t.get(j * step);
+                assert_eq!((stage.w.re[j], stage.w.im[j]), (w.re, w.im), "len={len} j={j}");
+            }
+            len <<= 1;
+        }
+    }
+
+    #[test]
+    fn soa_radix4_pack_matches_strided_table_reads() {
+        let l = 32; // odd log2: unpaired leading pass
+        let stride = 4;
+        let t = TwiddleTable::new(l * stride, Direction::Inverse);
+        let p = SoaRadix4Twiddles::with_stride(&t, l, stride);
+        assert!(p.unpaired());
+        assert_eq!(p.direction(), Direction::Inverse);
+        let mut len = 2usize;
+        for stage in p.stages() {
+            let e = (l / (len * 4)) * stride;
+            assert_eq!(stage.quarter, len);
+            for j in 0..len {
+                assert_eq!(stage.w1.re[j], t.get(j * e).re, "len={len} j={j}");
+                assert_eq!(stage.w2.im[j], t.get(2 * j * e).im, "len={len} j={j}");
+                assert_eq!(stage.w3.re[j], t.get(3 * j * e).re, "len={len} j={j}");
+            }
+            len *= 4;
+        }
+    }
+
+    #[test]
+    fn soa_split_radix_pack_has_combine_and_leaf_entries() {
+        let n = 512;
+        let t = TwiddleTable::new(n, Direction::Forward);
+        let p = SoaSplitRadixTwiddles::new(&t, 64);
+        for len in [128usize, 256, 512] {
+            let c = p.combine(len);
+            assert_eq!(c.len(), len / 4);
+            for k in 0..len / 4 {
+                let w = t.get(k * (n / len));
+                assert_eq!((c.re[k], c.im[k]), (w.re, w.im), "len={len} k={k}");
+            }
+        }
+        for l in [4usize, 8, 16, 32, 64] {
+            assert_eq!(p.leaf(l).len(), l);
+        }
     }
 
     #[test]

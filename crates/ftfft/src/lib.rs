@@ -48,16 +48,16 @@ pub use ftfft_stream as stream;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ftfft_core::{
-        FtConfig, FtFftPlan, FtReport, InPlaceFtPlan, RealFtFftPlan, RealWorkspace, Scheme,
-        Workspace,
+        FtConfig, FtFftPlan, FtReport, FusedPolicy, InPlaceFtPlan, RealFtFftPlan, RealWorkspace,
+        Scheme, Workspace,
     };
     pub use ftfft_fault::{
         Component, FaultInjector, FaultKind, InjectionCtx, NoFaults, Part, RandomInjector,
         RandomKind, ScriptedFault, ScriptedInjector, Site,
     };
     pub use ftfft_fft::{
-        dft_naive, fft, ifft, irfft, normalize, rfft, Direction, FftPlan, Planner, Pow2Kernel,
-        RealFftPlan, KERNEL_ENV,
+        dft_naive, fft, force_layout, ifft, irfft, normalize, rfft, Direction, FftPlan, Layout,
+        Planner, Pow2Kernel, RealFftPlan, KERNEL_ENV, LAYOUT_ENV,
     };
     pub use ftfft_numeric::{
         inf_norm, normal_signal, relative_error_inf, simd_level, uniform_signal, Complex64,

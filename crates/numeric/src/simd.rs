@@ -119,12 +119,196 @@ pub fn cmul(a: Complex64, b: Complex64) -> Complex64 {
     c64(f64::mul_add(a.re, b.re, -(a.im * b.im)), f64::mul_add(a.im, b.re, a.re * b.im))
 }
 
+/// Reinterprets a `Complex64` buffer's memory as two `f64` planes.
+///
+/// This is a *storage* view, not a per-element one: the first half of the
+/// buffer's bytes become the `re` plane and the second half the `im` plane
+/// (each `buf.len()` doubles long). It is how the split-complex (SoA)
+/// execution engine carves its scratch planes out of ordinary
+/// `Complex64` workspace buffers without allocating. The returned planes
+/// hold whatever bytes the buffer held; fill them with [`deinterleave`].
+#[inline]
+pub fn planes_mut(buf: &mut [Complex64]) -> (&mut [f64], &mut [f64]) {
+    let n = buf.len();
+    // SAFETY: Complex64 is #[repr(C)] { re: f64, im: f64 }, so its size is
+    // exactly two f64s and its alignment is that of f64; any Complex64
+    // buffer is therefore a valid f64 buffer of twice the length.
+    let flat = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut f64, 2 * n) };
+    flat.split_at_mut(n)
+}
+
 // ---------------------------------------------------------------------------
 // Scalar reference implementations (the semantics both levels must match).
 // ---------------------------------------------------------------------------
 
 mod scalar {
     use super::{cmul, Complex64};
+
+    #[inline]
+    pub fn deinterleave(src: &[Complex64], re: &mut [f64], im: &mut [f64]) {
+        for (i, z) in src.iter().enumerate() {
+            re[i] = z.re;
+            im[i] = z.im;
+        }
+    }
+
+    #[inline]
+    pub fn interleave(re: &[f64], im: &[f64], dst: &mut [Complex64]) {
+        for (i, z) in dst.iter_mut().enumerate() {
+            z.re = re[i];
+            z.im = im[i];
+        }
+    }
+
+    /// Split-complex radix-2 butterfly with the *plain* product formula
+    /// (`re = hᵣwᵣ − hᵢwᵢ`) — the elementwise mirror of the AoS kernels'
+    /// `Complex64::mul` operator, used by every non-final stage.
+    #[inline]
+    pub fn bf2_soa_mul(
+        lo_re: &mut [f64],
+        lo_im: &mut [f64],
+        hi_re: &mut [f64],
+        hi_im: &mut [f64],
+        w_re: &[f64],
+        w_im: &[f64],
+    ) {
+        for j in 0..lo_re.len() {
+            let vr = hi_re[j] * w_re[j] - hi_im[j] * w_im[j];
+            let vi = hi_re[j] * w_im[j] + hi_im[j] * w_re[j];
+            let ur = lo_re[j];
+            let ui = lo_im[j];
+            lo_re[j] = ur + vr;
+            lo_im[j] = ui + vi;
+            hi_re[j] = ur - vr;
+            hi_im[j] = ui - vi;
+        }
+    }
+
+    /// Split-complex radix-2 butterfly with the fused product formula of
+    /// [`cmul`] — the elementwise mirror of the AoS final-stage
+    /// [`super::butterfly`] kernel.
+    #[inline]
+    pub fn bf2_soa_fma(
+        lo_re: &mut [f64],
+        lo_im: &mut [f64],
+        hi_re: &mut [f64],
+        hi_im: &mut [f64],
+        w_re: &[f64],
+        w_im: &[f64],
+    ) {
+        for j in 0..lo_re.len() {
+            let vr = f64::mul_add(hi_re[j], w_re[j], -(hi_im[j] * w_im[j]));
+            let vi = f64::mul_add(hi_im[j], w_re[j], hi_re[j] * w_im[j]);
+            let ur = lo_re[j];
+            let ui = lo_im[j];
+            lo_re[j] = ur + vr;
+            lo_im[j] = ui + vi;
+            hi_re[j] = ur - vr;
+            hi_im[j] = ui - vi;
+        }
+    }
+
+    /// Split-complex radix-4 butterfly over four quarter segments —
+    /// the elementwise mirror of the AoS radix-4 stage body (plain
+    /// products, quarter-turn rotation by `s = ±1`).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn bf4_soa(
+        s: f64,
+        a_re: &mut [f64],
+        a_im: &mut [f64],
+        b_re: &mut [f64],
+        b_im: &mut [f64],
+        c_re: &mut [f64],
+        c_im: &mut [f64],
+        d_re: &mut [f64],
+        d_im: &mut [f64],
+        w1_re: &[f64],
+        w1_im: &[f64],
+        w2_re: &[f64],
+        w2_im: &[f64],
+        w3_re: &[f64],
+        w3_im: &[f64],
+    ) {
+        for j in 0..a_re.len() {
+            let ar = a_re[j];
+            let ai = a_im[j];
+            let br = b_re[j] * w2_re[j] - b_im[j] * w2_im[j];
+            let bi = b_re[j] * w2_im[j] + b_im[j] * w2_re[j];
+            let cr = c_re[j] * w1_re[j] - c_im[j] * w1_im[j];
+            let ci = c_re[j] * w1_im[j] + c_im[j] * w1_re[j];
+            let dr = d_re[j] * w3_re[j] - d_im[j] * w3_im[j];
+            let di = d_re[j] * w3_im[j] + d_im[j] * w3_re[j];
+            let t0r = ar + br;
+            let t0i = ai + bi;
+            let t1r = ar - br;
+            let t1i = ai - bi;
+            let t2r = cr + dr;
+            let t2i = ci + di;
+            let t3r = cr - dr;
+            let t3i = ci - di;
+            // rot·t3 with rot = s·i, written exactly as the AoS kernel does.
+            let rtr = -s * t3i;
+            let rti = s * t3r;
+            a_re[j] = t0r + t2r;
+            a_im[j] = t0i + t2i;
+            c_re[j] = t0r - t2r;
+            c_im[j] = t0i - t2i;
+            b_re[j] = t1r + rtr;
+            b_im[j] = t1i + rti;
+            d_re[j] = t1r - rtr;
+            d_im[j] = t1i - rti;
+        }
+    }
+
+    /// Split-complex conjugate-pair combine over four quarter segments —
+    /// the elementwise mirror of the AoS split-radix combine loop
+    /// (`zp = z·w`, `zm = z'·conj(w)`, sum/diff, `s·i` rotation).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn sr_combine_soa(
+        s: f64,
+        u0_re: &mut [f64],
+        u0_im: &mut [f64],
+        u1_re: &mut [f64],
+        u1_im: &mut [f64],
+        z_re: &mut [f64],
+        z_im: &mut [f64],
+        z2_re: &mut [f64],
+        z2_im: &mut [f64],
+        w_re: &[f64],
+        w_im: &[f64],
+    ) {
+        for k in 0..u0_re.len() {
+            let wr = w_re[k];
+            let wi = w_im[k];
+            let zpr = z_re[k] * wr - z_im[k] * wi;
+            let zpi = z_re[k] * wi + z_im[k] * wr;
+            // z'·conj(w) written exactly as the AoS kernel's
+            // `dst[..] * w.conj()` expands.
+            let wci = -wi;
+            let zmr = z2_re[k] * wr - z2_im[k] * wci;
+            let zmi = z2_re[k] * wci + z2_im[k] * wr;
+            let sr = zpr + zmr;
+            let si = zpi + zmi;
+            let dr = zpr - zmr;
+            let di = zpi - zmi;
+            let rdr = -s * di;
+            let rdi = s * dr;
+            let ur = u0_re[k];
+            let ui = u0_im[k];
+            let vr = u1_re[k];
+            let vi = u1_im[k];
+            u0_re[k] = ur + sr;
+            u0_im[k] = ui + si;
+            z_re[k] = ur - sr;
+            z_im[k] = ui - si;
+            u1_re[k] = vr + rdr;
+            u1_im[k] = vi + rdi;
+            z2_re[k] = vr - rdr;
+            z2_im[k] = vi - rdi;
+        }
+    }
 
     /// Two-lane accumulation step shared by `dot` and `DotAcc`: folds an
     /// *even-length* prefix, then at most one tail element into lane 0.
@@ -370,6 +554,309 @@ mod avx {
         }
     }
 
+    /// Splits 4 interleaved complex values (two 256-bit registers) into a
+    /// (re, im) register pair — AVX1 only (`vperm2f128` + unpacks).
+    #[inline(always)]
+    unsafe fn split4(a: __m256d, b: __m256d) -> (__m256d, __m256d) {
+        let x = _mm256_permute2f128_pd(a, b, 0x20); // [r0,i0,r2,i2]
+        let y = _mm256_permute2f128_pd(a, b, 0x31); // [r1,i1,r3,i3]
+        (_mm256_unpacklo_pd(x, y), _mm256_unpackhi_pd(x, y))
+    }
+
+    /// Inverse of [`split4`]: recombines (re, im) registers into two
+    /// interleaved complex registers.
+    #[inline(always)]
+    unsafe fn join4(re: __m256d, im: __m256d) -> (__m256d, __m256d) {
+        let x = _mm256_unpacklo_pd(re, im); // [r0,i0,r2,i2]
+        let y = _mm256_unpackhi_pd(re, im); // [r1,i1,r3,i3]
+        (_mm256_permute2f128_pd(x, y, 0x20), _mm256_permute2f128_pd(x, y, 0x31))
+    }
+
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn deinterleave(src: &[Complex64], re: &mut [f64], im: &mut [f64]) {
+        let n = src.len();
+        let quads = n / 4;
+        for q in 0..quads {
+            let p = src.as_ptr().add(4 * q) as *const f64;
+            let (r, i) = split4(_mm256_loadu_pd(p), _mm256_loadu_pd(p.add(4)));
+            _mm256_storeu_pd(re.as_mut_ptr().add(4 * q), r);
+            _mm256_storeu_pd(im.as_mut_ptr().add(4 * q), i);
+        }
+        for j in quads * 4..n {
+            re[j] = src[j].re;
+            im[j] = src[j].im;
+        }
+    }
+
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn interleave(re: &[f64], im: &[f64], dst: &mut [Complex64]) {
+        let n = dst.len();
+        let quads = n / 4;
+        for q in 0..quads {
+            let r = _mm256_loadu_pd(re.as_ptr().add(4 * q));
+            let i = _mm256_loadu_pd(im.as_ptr().add(4 * q));
+            let (a, b) = join4(r, i);
+            let p = dst.as_mut_ptr().add(4 * q) as *mut f64;
+            _mm256_storeu_pd(p, a);
+            _mm256_storeu_pd(p.add(4), b);
+        }
+        for j in quads * 4..n {
+            dst[j].re = re[j];
+            dst[j].im = im[j];
+        }
+    }
+
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn bf2_soa_mul(
+        lo_re: &mut [f64],
+        lo_im: &mut [f64],
+        hi_re: &mut [f64],
+        hi_im: &mut [f64],
+        w_re: &[f64],
+        w_im: &[f64],
+    ) {
+        let n = lo_re.len();
+        let quads = n / 4;
+        for q in 0..quads {
+            let o = 4 * q;
+            let hr = _mm256_loadu_pd(hi_re.as_ptr().add(o));
+            let hi_ = _mm256_loadu_pd(hi_im.as_ptr().add(o));
+            let wr = _mm256_loadu_pd(w_re.as_ptr().add(o));
+            let wi = _mm256_loadu_pd(w_im.as_ptr().add(o));
+            // Plain product: same separately-rounded mul/sub/add sequence
+            // as the scalar operator — bitwise identical lanes.
+            let vr = _mm256_sub_pd(_mm256_mul_pd(hr, wr), _mm256_mul_pd(hi_, wi));
+            let vi = _mm256_add_pd(_mm256_mul_pd(hr, wi), _mm256_mul_pd(hi_, wr));
+            let ur = _mm256_loadu_pd(lo_re.as_ptr().add(o));
+            let ui = _mm256_loadu_pd(lo_im.as_ptr().add(o));
+            _mm256_storeu_pd(lo_re.as_mut_ptr().add(o), _mm256_add_pd(ur, vr));
+            _mm256_storeu_pd(lo_im.as_mut_ptr().add(o), _mm256_add_pd(ui, vi));
+            _mm256_storeu_pd(hi_re.as_mut_ptr().add(o), _mm256_sub_pd(ur, vr));
+            _mm256_storeu_pd(hi_im.as_mut_ptr().add(o), _mm256_sub_pd(ui, vi));
+        }
+        if quads * 4 < n {
+            super::scalar::bf2_soa_mul(
+                &mut lo_re[quads * 4..],
+                &mut lo_im[quads * 4..],
+                &mut hi_re[quads * 4..],
+                &mut hi_im[quads * 4..],
+                &w_re[quads * 4..],
+                &w_im[quads * 4..],
+            );
+        }
+    }
+
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn bf2_soa_fma(
+        lo_re: &mut [f64],
+        lo_im: &mut [f64],
+        hi_re: &mut [f64],
+        hi_im: &mut [f64],
+        w_re: &[f64],
+        w_im: &[f64],
+    ) {
+        let n = lo_re.len();
+        let quads = n / 4;
+        for q in 0..quads {
+            let o = 4 * q;
+            let hr = _mm256_loadu_pd(hi_re.as_ptr().add(o));
+            let hi_ = _mm256_loadu_pd(hi_im.as_ptr().add(o));
+            let wr = _mm256_loadu_pd(w_re.as_ptr().add(o));
+            let wi = _mm256_loadu_pd(w_im.as_ptr().add(o));
+            // fmsub(a,b,c) = round(ab−c) = mul_add(a, b, −c): the exact
+            // scalar cmul formula, lane for lane.
+            let vr = _mm256_fmsub_pd(hr, wr, _mm256_mul_pd(hi_, wi));
+            let vi = _mm256_fmadd_pd(hi_, wr, _mm256_mul_pd(hr, wi));
+            let ur = _mm256_loadu_pd(lo_re.as_ptr().add(o));
+            let ui = _mm256_loadu_pd(lo_im.as_ptr().add(o));
+            _mm256_storeu_pd(lo_re.as_mut_ptr().add(o), _mm256_add_pd(ur, vr));
+            _mm256_storeu_pd(lo_im.as_mut_ptr().add(o), _mm256_add_pd(ui, vi));
+            _mm256_storeu_pd(hi_re.as_mut_ptr().add(o), _mm256_sub_pd(ur, vr));
+            _mm256_storeu_pd(hi_im.as_mut_ptr().add(o), _mm256_sub_pd(ui, vi));
+        }
+        if quads * 4 < n {
+            super::scalar::bf2_soa_fma(
+                &mut lo_re[quads * 4..],
+                &mut lo_im[quads * 4..],
+                &mut hi_re[quads * 4..],
+                &mut hi_im[quads * 4..],
+                &w_re[quads * 4..],
+                &w_im[quads * 4..],
+            );
+        }
+    }
+
+    /// Plain split-complex product of a (re,im) register pair by a twiddle
+    /// register pair — the vector form of the scalar operator expansion.
+    #[inline(always)]
+    unsafe fn cmul_soa(ar: __m256d, ai: __m256d, wr: __m256d, wi: __m256d) -> (__m256d, __m256d) {
+        (
+            _mm256_sub_pd(_mm256_mul_pd(ar, wr), _mm256_mul_pd(ai, wi)),
+            _mm256_add_pd(_mm256_mul_pd(ar, wi), _mm256_mul_pd(ai, wr)),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn bf4_soa(
+        s: f64,
+        a_re: &mut [f64],
+        a_im: &mut [f64],
+        b_re: &mut [f64],
+        b_im: &mut [f64],
+        c_re: &mut [f64],
+        c_im: &mut [f64],
+        d_re: &mut [f64],
+        d_im: &mut [f64],
+        w1_re: &[f64],
+        w1_im: &[f64],
+        w2_re: &[f64],
+        w2_im: &[f64],
+        w3_re: &[f64],
+        w3_im: &[f64],
+    ) {
+        let n = a_re.len();
+        let quads = n / 4;
+        let sneg = _mm256_set1_pd(-s);
+        let spos = _mm256_set1_pd(s);
+        for q in 0..quads {
+            let o = 4 * q;
+            let ar = _mm256_loadu_pd(a_re.as_ptr().add(o));
+            let ai = _mm256_loadu_pd(a_im.as_ptr().add(o));
+            let (br, bi) = cmul_soa(
+                _mm256_loadu_pd(b_re.as_ptr().add(o)),
+                _mm256_loadu_pd(b_im.as_ptr().add(o)),
+                _mm256_loadu_pd(w2_re.as_ptr().add(o)),
+                _mm256_loadu_pd(w2_im.as_ptr().add(o)),
+            );
+            let (cr, ci) = cmul_soa(
+                _mm256_loadu_pd(c_re.as_ptr().add(o)),
+                _mm256_loadu_pd(c_im.as_ptr().add(o)),
+                _mm256_loadu_pd(w1_re.as_ptr().add(o)),
+                _mm256_loadu_pd(w1_im.as_ptr().add(o)),
+            );
+            let (dr, di) = cmul_soa(
+                _mm256_loadu_pd(d_re.as_ptr().add(o)),
+                _mm256_loadu_pd(d_im.as_ptr().add(o)),
+                _mm256_loadu_pd(w3_re.as_ptr().add(o)),
+                _mm256_loadu_pd(w3_im.as_ptr().add(o)),
+            );
+            let t0r = _mm256_add_pd(ar, br);
+            let t0i = _mm256_add_pd(ai, bi);
+            let t1r = _mm256_sub_pd(ar, br);
+            let t1i = _mm256_sub_pd(ai, bi);
+            let t2r = _mm256_add_pd(cr, dr);
+            let t2i = _mm256_add_pd(ci, di);
+            let t3r = _mm256_sub_pd(cr, dr);
+            let t3i = _mm256_sub_pd(ci, di);
+            let rtr = _mm256_mul_pd(sneg, t3i);
+            let rti = _mm256_mul_pd(spos, t3r);
+            _mm256_storeu_pd(a_re.as_mut_ptr().add(o), _mm256_add_pd(t0r, t2r));
+            _mm256_storeu_pd(a_im.as_mut_ptr().add(o), _mm256_add_pd(t0i, t2i));
+            _mm256_storeu_pd(c_re.as_mut_ptr().add(o), _mm256_sub_pd(t0r, t2r));
+            _mm256_storeu_pd(c_im.as_mut_ptr().add(o), _mm256_sub_pd(t0i, t2i));
+            _mm256_storeu_pd(b_re.as_mut_ptr().add(o), _mm256_add_pd(t1r, rtr));
+            _mm256_storeu_pd(b_im.as_mut_ptr().add(o), _mm256_add_pd(t1i, rti));
+            _mm256_storeu_pd(d_re.as_mut_ptr().add(o), _mm256_sub_pd(t1r, rtr));
+            _mm256_storeu_pd(d_im.as_mut_ptr().add(o), _mm256_sub_pd(t1i, rti));
+        }
+        if quads * 4 < n {
+            let t = quads * 4;
+            super::scalar::bf4_soa(
+                s,
+                &mut a_re[t..],
+                &mut a_im[t..],
+                &mut b_re[t..],
+                &mut b_im[t..],
+                &mut c_re[t..],
+                &mut c_im[t..],
+                &mut d_re[t..],
+                &mut d_im[t..],
+                &w1_re[t..],
+                &w1_im[t..],
+                &w2_re[t..],
+                &w2_im[t..],
+                &w3_re[t..],
+                &w3_im[t..],
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn sr_combine_soa(
+        s: f64,
+        u0_re: &mut [f64],
+        u0_im: &mut [f64],
+        u1_re: &mut [f64],
+        u1_im: &mut [f64],
+        z_re: &mut [f64],
+        z_im: &mut [f64],
+        z2_re: &mut [f64],
+        z2_im: &mut [f64],
+        w_re: &[f64],
+        w_im: &[f64],
+    ) {
+        let n = u0_re.len();
+        let quads = n / 4;
+        let sneg = _mm256_set1_pd(-s);
+        let spos = _mm256_set1_pd(s);
+        let negmask = _mm256_set1_pd(-0.0);
+        for q in 0..quads {
+            let o = 4 * q;
+            let wr = _mm256_loadu_pd(w_re.as_ptr().add(o));
+            let wi = _mm256_loadu_pd(w_im.as_ptr().add(o));
+            let (zpr, zpi) = cmul_soa(
+                _mm256_loadu_pd(z_re.as_ptr().add(o)),
+                _mm256_loadu_pd(z_im.as_ptr().add(o)),
+                wr,
+                wi,
+            );
+            // conj(w): exact sign flip of the imaginary plane.
+            let wci = _mm256_xor_pd(wi, negmask);
+            let (zmr, zmi) = cmul_soa(
+                _mm256_loadu_pd(z2_re.as_ptr().add(o)),
+                _mm256_loadu_pd(z2_im.as_ptr().add(o)),
+                wr,
+                wci,
+            );
+            let sr = _mm256_add_pd(zpr, zmr);
+            let si = _mm256_add_pd(zpi, zmi);
+            let dr = _mm256_sub_pd(zpr, zmr);
+            let di = _mm256_sub_pd(zpi, zmi);
+            let rdr = _mm256_mul_pd(sneg, di);
+            let rdi = _mm256_mul_pd(spos, dr);
+            let ur = _mm256_loadu_pd(u0_re.as_ptr().add(o));
+            let ui = _mm256_loadu_pd(u0_im.as_ptr().add(o));
+            let vr = _mm256_loadu_pd(u1_re.as_ptr().add(o));
+            let vi = _mm256_loadu_pd(u1_im.as_ptr().add(o));
+            _mm256_storeu_pd(u0_re.as_mut_ptr().add(o), _mm256_add_pd(ur, sr));
+            _mm256_storeu_pd(u0_im.as_mut_ptr().add(o), _mm256_add_pd(ui, si));
+            _mm256_storeu_pd(z_re.as_mut_ptr().add(o), _mm256_sub_pd(ur, sr));
+            _mm256_storeu_pd(z_im.as_mut_ptr().add(o), _mm256_sub_pd(ui, si));
+            _mm256_storeu_pd(u1_re.as_mut_ptr().add(o), _mm256_add_pd(vr, rdr));
+            _mm256_storeu_pd(u1_im.as_mut_ptr().add(o), _mm256_add_pd(vi, rdi));
+            _mm256_storeu_pd(z2_re.as_mut_ptr().add(o), _mm256_sub_pd(vr, rdr));
+            _mm256_storeu_pd(z2_im.as_mut_ptr().add(o), _mm256_sub_pd(vi, rdi));
+        }
+        if quads * 4 < n {
+            let t = quads * 4;
+            super::scalar::sr_combine_soa(
+                s,
+                &mut u0_re[t..],
+                &mut u0_im[t..],
+                &mut u1_re[t..],
+                &mut u1_im[t..],
+                &mut z_re[t..],
+                &mut z_im[t..],
+                &mut z2_re[t..],
+                &mut z2_im[t..],
+                &w_re[t..],
+                &w_im[t..],
+            );
+        }
+    }
+
     #[target_feature(enable = "avx,fma")]
     pub unsafe fn sum3_groups(x: &[Complex64]) -> [Complex64; 3] {
         let mut va = _mm256_setzero_pd();
@@ -470,6 +957,139 @@ fn sum3_groups(x: &[Complex64]) -> [Complex64; 3] {
     dispatch!(x; sum3_groups)
 }
 
+// ---------------------------------------------------------------------------
+// Split-complex (SoA) plane kernels. All are purely elementwise, so scalar
+// and AVX lanes perform identical independent arithmetic — the bitwise
+// contract holds with no lane-ordering argument needed.
+// ---------------------------------------------------------------------------
+
+/// One-pass AoS → SoA conversion: `re[i] = src[i].re`, `im[i] = src[i].im`.
+#[inline]
+pub fn deinterleave(src: &[Complex64], re: &mut [f64], im: &mut [f64]) {
+    assert!(re.len() >= src.len() && im.len() >= src.len());
+    let n = src.len();
+    dispatch!(src, &mut re[..n], &mut im[..n]; deinterleave)
+}
+
+/// One-pass SoA → AoS conversion: `dst[i] = (re[i], im[i])`.
+#[inline]
+pub fn interleave(re: &[f64], im: &[f64], dst: &mut [Complex64]) {
+    assert!(re.len() >= dst.len() && im.len() >= dst.len());
+    let n = dst.len();
+    dispatch!(&re[..n], &im[..n], dst; interleave)
+}
+
+/// Split-complex radix-2 butterfly with the plain (separately rounded)
+/// product — the SoA mirror of the AoS kernels' `Complex64` operator
+/// multiply used by every non-final stage:
+/// `(lo, hi) ← (lo + w·hi, lo − w·hi)` over matched plane segments.
+#[inline]
+pub fn butterfly_soa_mul(
+    lo_re: &mut [f64],
+    lo_im: &mut [f64],
+    hi_re: &mut [f64],
+    hi_im: &mut [f64],
+    w_re: &[f64],
+    w_im: &[f64],
+) {
+    let n = lo_re.len();
+    assert!(lo_im.len() == n && hi_re.len() == n && hi_im.len() == n);
+    debug_assert!(w_re.len() >= n && w_im.len() >= n);
+    dispatch!(lo_re, lo_im, hi_re, hi_im, &w_re[..n], &w_im[..n]; bf2_soa_mul)
+}
+
+/// Split-complex radix-2 butterfly with the fused [`cmul`] product — the
+/// SoA mirror of the final-stage [`butterfly`] kernel.
+#[inline]
+pub fn butterfly_soa_fma(
+    lo_re: &mut [f64],
+    lo_im: &mut [f64],
+    hi_re: &mut [f64],
+    hi_im: &mut [f64],
+    w_re: &[f64],
+    w_im: &[f64],
+) {
+    let n = lo_re.len();
+    assert!(lo_im.len() == n && hi_re.len() == n && hi_im.len() == n);
+    debug_assert!(w_re.len() >= n && w_im.len() >= n);
+    dispatch!(lo_re, lo_im, hi_re, hi_im, &w_re[..n], &w_im[..n]; bf2_soa_fma)
+}
+
+/// Split-complex radix-4 butterfly over four quarter plane segments — the
+/// SoA mirror of the AoS radix-4 stage body. `s` is the direction sign
+/// (`rot = s·i`); `w1/w2/w3` are the packed per-stage twiddle planes.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn butterfly4_soa(
+    s: f64,
+    a_re: &mut [f64],
+    a_im: &mut [f64],
+    b_re: &mut [f64],
+    b_im: &mut [f64],
+    c_re: &mut [f64],
+    c_im: &mut [f64],
+    d_re: &mut [f64],
+    d_im: &mut [f64],
+    w1_re: &[f64],
+    w1_im: &[f64],
+    w2_re: &[f64],
+    w2_im: &[f64],
+    w3_re: &[f64],
+    w3_im: &[f64],
+) {
+    let n = a_re.len();
+    assert!(
+        a_im.len() == n
+            && b_re.len() == n
+            && b_im.len() == n
+            && c_re.len() == n
+            && c_im.len() == n
+            && d_re.len() == n
+            && d_im.len() == n
+    );
+    debug_assert!(w1_re.len() >= n && w2_re.len() >= n && w3_re.len() >= n);
+    dispatch!(
+        s, a_re, a_im, b_re, b_im, c_re, c_im, d_re, d_im,
+        &w1_re[..n], &w1_im[..n], &w2_re[..n], &w2_im[..n], &w3_re[..n], &w3_im[..n];
+        bf4_soa
+    )
+}
+
+/// Split-complex conjugate-pair combine over four quarter plane segments —
+/// the SoA mirror of the AoS split-radix combine loop (`zp = w·z`,
+/// `zm = conj(w)·z'`, sum/diff, `s·i` rotation).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn split_radix_combine_soa(
+    s: f64,
+    u0_re: &mut [f64],
+    u0_im: &mut [f64],
+    u1_re: &mut [f64],
+    u1_im: &mut [f64],
+    z_re: &mut [f64],
+    z_im: &mut [f64],
+    z2_re: &mut [f64],
+    z2_im: &mut [f64],
+    w_re: &[f64],
+    w_im: &[f64],
+) {
+    let n = u0_re.len();
+    assert!(
+        u0_im.len() == n
+            && u1_re.len() == n
+            && u1_im.len() == n
+            && z_re.len() == n
+            && z_im.len() == n
+            && z2_re.len() == n
+            && z2_im.len() == n
+    );
+    debug_assert!(w_re.len() >= n && w_im.len() >= n);
+    dispatch!(
+        s, u0_re, u0_im, u1_re, u1_im, z_re, z_im, z2_re, z2_im, &w_re[..n], &w_im[..n];
+        sr_combine_soa
+    )
+}
+
 /// The ω₃-weighted CCV sum `Σ_j w^j·x_j` for a period-3 weight (`w1 = w¹`,
 /// `w2 = w²`): group sums by `j mod 3`, then two multiplications.
 #[inline]
@@ -502,6 +1122,26 @@ impl DotAcc {
         debug_assert_eq!(x.len(), w.len());
         let lanes = &mut self.lanes;
         dispatch!(lanes, x, w; dot_accumulate)
+    }
+
+    /// Plane-input variant of [`accumulate`](DotAcc::accumulate): folds
+    /// `Σ_j (re_j + i·im_j)·w_j` with the same two-lane structure and
+    /// order, so feeding planes produces a result bitwise equal to feeding
+    /// the interleaved equivalent — at either dispatch level (this fold
+    /// *is* the scalar mirror, which the AVX path matches by contract).
+    #[inline]
+    pub fn accumulate_split(&mut self, re: &[f64], im: &[f64], w: &[Complex64]) {
+        debug_assert_eq!(re.len(), im.len());
+        debug_assert_eq!(re.len(), w.len());
+        let pairs = re.len() / 2;
+        for p in 0..pairs {
+            self.lanes[0] += cmul(c64(re[2 * p], im[2 * p]), w[2 * p]);
+            self.lanes[1] += cmul(c64(re[2 * p + 1], im[2 * p + 1]), w[2 * p + 1]);
+        }
+        if re.len() % 2 == 1 {
+            let last = re.len() - 1;
+            self.lanes[0] += cmul(c64(re[last], im[last]), w[last]);
+        }
     }
 
     /// The accumulated sum (lane 0 + lane 1).
@@ -722,5 +1362,189 @@ mod tests {
     fn level_name_round_trip() {
         assert_eq!(SimdLevel::Scalar.name(), "scalar");
         assert_eq!(SimdLevel::Avx.name(), "avx");
+    }
+
+    fn planes_of(x: &[Complex64]) -> (Vec<f64>, Vec<f64>) {
+        (x.iter().map(|z| z.re).collect(), x.iter().map(|z| z.im).collect())
+    }
+
+    #[test]
+    fn deinterleave_interleave_round_trip_all_levels() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 64, 101] {
+            let x = sig(n, 80 + n as u64);
+            let (re, im) = for_each_level(|| {
+                let mut re = vec![0.0; n];
+                let mut im = vec![0.0; n];
+                deinterleave(&x, &mut re, &mut im);
+                (re, im)
+            });
+            let (wre, wim) = planes_of(&x);
+            assert_eq!(re, wre, "n={n}");
+            assert_eq!(im, wim, "n={n}");
+            let back = for_each_level(|| {
+                let mut dst = vec![Complex64::ZERO; n];
+                interleave(&re, &im, &mut dst);
+                dst
+            });
+            assert_eq!(back, x, "n={n}");
+        }
+    }
+
+    #[test]
+    fn butterfly_soa_mul_matches_aos_operator_bitwise() {
+        for n in [1usize, 2, 3, 4, 5, 8, 33, 64] {
+            let lo0 = sig(n, 90);
+            let hi0 = sig(n, 91);
+            let tw = sig(n, 92);
+            let (wre, wim) = planes_of(&tw);
+            let (lo_re, lo_im, hi_re, hi_im) = for_each_level(|| {
+                let (mut lre, mut lim) = planes_of(&lo0);
+                let (mut hre, mut him) = planes_of(&hi0);
+                butterfly_soa_mul(&mut lre, &mut lim, &mut hre, &mut him, &wre, &wim);
+                (lre, lim, hre, him)
+            });
+            // The AoS reference: the operator-multiply butterfly the
+            // iterative kernels' generic stages perform.
+            for j in 0..n {
+                let v = hi0[j] * tw[j];
+                let lo = lo0[j] + v;
+                let hi = lo0[j] - v;
+                assert_eq!((lo_re[j], lo_im[j]), (lo.re, lo.im), "n={n} j={j}");
+                assert_eq!((hi_re[j], hi_im[j]), (hi.re, hi.im), "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_soa_fma_matches_aos_butterfly_bitwise() {
+        for n in [1usize, 2, 5, 8, 32, 65] {
+            let lo0 = sig(n, 95);
+            let hi0 = sig(n, 96);
+            let tw = sig(n, 97);
+            let (wre, wim) = planes_of(&tw);
+            let (lo_re, lo_im, hi_re, hi_im) = for_each_level(|| {
+                let (mut lre, mut lim) = planes_of(&lo0);
+                let (mut hre, mut him) = planes_of(&hi0);
+                butterfly_soa_fma(&mut lre, &mut lim, &mut hre, &mut him, &wre, &wim);
+                (lre, lim, hre, him)
+            });
+            let (want_lo, want_hi) = for_each_level(|| {
+                let mut lo = lo0.clone();
+                let mut hi = hi0.clone();
+                butterfly(&mut lo, &mut hi, &tw);
+                (lo, hi)
+            });
+            for j in 0..n {
+                assert_eq!((lo_re[j], lo_im[j]), (want_lo[j].re, want_lo[j].im), "n={n} j={j}");
+                assert_eq!((hi_re[j], hi_im[j]), (want_hi[j].re, want_hi[j].im), "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly4_soa_matches_aos_radix4_body_bitwise() {
+        for (n, s) in [(1usize, 1.0f64), (4, -1.0), (7, -1.0), (16, 1.0), (33, -1.0)] {
+            let segs: Vec<Vec<Complex64>> = (0..4).map(|i| sig(n, 100 + i)).collect();
+            let tws: Vec<Vec<Complex64>> = (0..3).map(|i| sig(n, 110 + i)).collect();
+            let tp: Vec<(Vec<f64>, Vec<f64>)> = tws.iter().map(|t| planes_of(t)).collect();
+            let got = for_each_level(|| {
+                let (mut a_re, mut a_im) = planes_of(&segs[0]);
+                let (mut b_re, mut b_im) = planes_of(&segs[1]);
+                let (mut c_re, mut c_im) = planes_of(&segs[2]);
+                let (mut d_re, mut d_im) = planes_of(&segs[3]);
+                butterfly4_soa(
+                    s, &mut a_re, &mut a_im, &mut b_re, &mut b_im, &mut c_re, &mut c_im, &mut d_re,
+                    &mut d_im, &tp[0].0, &tp[0].1, &tp[1].0, &tp[1].1, &tp[2].0, &tp[2].1,
+                );
+                vec![(a_re, a_im), (b_re, b_im), (c_re, c_im), (d_re, d_im)]
+            });
+            // AoS reference: the radix-4 stage body, element by element.
+            for j in 0..n {
+                let a = segs[0][j];
+                let b = segs[1][j] * tws[1][j];
+                let c = segs[2][j] * tws[0][j];
+                let d = segs[3][j] * tws[2][j];
+                let t0 = a + b;
+                let t1 = a - b;
+                let t2 = c + d;
+                let t3 = c - d;
+                let t3 = c64(-s * t3.im, s * t3.re);
+                let want = [t0 + t2, t1 + t3, t0 - t2, t1 - t3];
+                for (seg, w) in got.iter().zip(want) {
+                    assert_eq!((seg.0[j], seg.1[j]), (w.re, w.im), "n={n} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_radix_combine_soa_matches_aos_combine_bitwise() {
+        for (n, s) in [(1usize, -1.0f64), (3, -1.0), (8, 1.0), (21, -1.0)] {
+            let segs: Vec<Vec<Complex64>> = (0..4).map(|i| sig(n, 120 + i)).collect();
+            let tw = sig(n, 130);
+            let (wre, wim) = planes_of(&tw);
+            let got = for_each_level(|| {
+                let (mut u0_re, mut u0_im) = planes_of(&segs[0]);
+                let (mut u1_re, mut u1_im) = planes_of(&segs[1]);
+                let (mut z_re, mut z_im) = planes_of(&segs[2]);
+                let (mut z2_re, mut z2_im) = planes_of(&segs[3]);
+                split_radix_combine_soa(
+                    s, &mut u0_re, &mut u0_im, &mut u1_re, &mut u1_im, &mut z_re, &mut z_im,
+                    &mut z2_re, &mut z2_im, &wre, &wim,
+                );
+                vec![(u0_re, u0_im), (u1_re, u1_im), (z_re, z_im), (z2_re, z2_im)]
+            });
+            for k in 0..n {
+                let w = tw[k];
+                let zp = segs[2][k] * w;
+                let zm = segs[3][k] * w.conj();
+                let sum = zp + zm;
+                let diff = zp - zm;
+                let diff = c64(-s * diff.im, s * diff.re);
+                let u0 = segs[0][k];
+                let u1 = segs[1][k];
+                let want = [u0 + sum, u1 + diff, u0 - sum, u1 - diff];
+                for (seg, w) in got.iter().zip(want) {
+                    assert_eq!((seg.0[k], seg.1[k]), (w.re, w.im), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_split_equals_interleaved_accumulate_bitwise() {
+        let n = 101;
+        let x = sig(n, 140);
+        let w = sig(n, 141);
+        let (re, im) = planes_of(&x);
+        let whole = for_each_level(|| dot(&x, &w));
+        let split = for_each_level(|| {
+            let mut acc = DotAcc::new();
+            acc.accumulate_split(&re[..64], &im[..64], &w[..64]);
+            acc.accumulate_split(&re[64..], &im[64..], &w[64..]);
+            acc.finish()
+        });
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn planes_mut_views_buffer_memory_as_two_planes() {
+        let mut buf = vec![Complex64::ZERO; 4];
+        {
+            let (re, im) = planes_mut(&mut buf);
+            assert_eq!(re.len(), 4);
+            assert_eq!(im.len(), 4);
+            for j in 0..4 {
+                re[j] = j as f64;
+                im[j] = -(j as f64);
+            }
+        }
+        // The planes live in the buffer's own memory: first half re-plane.
+        assert_eq!(buf[0], c64(0.0, 1.0));
+        assert_eq!(buf[3], c64(-2.0, -3.0));
+        let mut out = vec![Complex64::ZERO; 4];
+        let (re, im) = planes_mut(&mut buf);
+        interleave(re, im, &mut out);
+        assert_eq!(out[2], c64(2.0, -2.0));
     }
 }

@@ -11,6 +11,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use ftfft::fft::Layout as DataLayout;
 use ftfft::prelude::*;
 
 struct CountingAlloc;
@@ -106,6 +107,51 @@ fn plain_fft_plan_execute_is_allocation_free() {
         });
         assert_eq!(count, 0, "FftPlan n={n} ({}): {count} allocations", plan.kernel_name());
     }
+}
+
+#[test]
+fn soa_layout_plans_are_allocation_free() {
+    let _serial = serialized();
+    // Plain plans pinned to the split-complex engine: the deinterleave /
+    // bit-reversal planes are carved from the caller's complex scratch,
+    // so repeated executes must allocate nothing.
+    for kernel in Pow2Kernel::ALL {
+        let n = 1 << 10;
+        let plan = FftPlan::new_with_kernel_layout(n, Direction::Forward, kernel, DataLayout::Soa);
+        assert!(plan.supports_split());
+        let x = uniform_signal(n, 11);
+        let mut dst = vec![Complex64::ZERO; n];
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute(&x, &mut dst, &mut scratch);
+        let count = alloc_count(|| {
+            for _ in 0..3 {
+                plan.execute(&x, &mut dst, &mut scratch);
+            }
+        });
+        assert_eq!(count, 0, "SoA FftPlan ({}): {count} allocations", plan.kernel_name());
+    }
+
+    // Protected execution with SoA sub-plans: the split gather planes
+    // come out of the pre-sized workspace buffers (buf2 + fft scratch),
+    // so the clean path stays allocation-free end to end.
+    force_layout(Some(DataLayout::Soa));
+    let n = 1024;
+    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+    force_layout(None);
+    assert!(plan.two().inner_plan().supports_split(), "sub-plan should be SoA under forcing");
+    let mut ws = plan.make_workspace();
+    let x = uniform_signal(n, 12);
+    let mut xin = x.clone();
+    let mut out = vec![Complex64::ZERO; n];
+    plan.execute(&mut xin, &mut out, &NoFaults, &mut ws);
+    let count = alloc_count(|| {
+        for _ in 0..3 {
+            xin.copy_from_slice(&x);
+            let rep = plan.execute(&mut xin, &mut out, &NoFaults, &mut ws);
+            assert_eq!(rep.uncorrectable, 0);
+        }
+    });
+    assert_eq!(count, 0, "SoA protected execute: {count} allocations in hot path");
 }
 
 #[test]
