@@ -21,11 +21,26 @@
 //! 4. **Streaming matrix** — the STFT engine's sustained frames/sec
 //!    ([`ftfft_bench::time_streaming`]): plain vs Opt-Online(m), scheduled
 //!    at 1 worker vs `N` workers.
+//! 5. **Parallel-strategy matrix** — the two-halves parallel DIT
+//!    (`FftPlan::new_parallel`) against the serial radix-2 plan it is
+//!    bitwise-identical to, plus what the `FTFFT_STRATEGY=auto` heuristic
+//!    would pick at this `(n, threads)`.
+//!
+//! On a box with no parallelism to measure (`threads = 1`, e.g. a
+//! single-CPU runner), every `threads = N` column is **skipped** — recorded
+//! as the string `"skipped"` in the JSON instead of silently duplicating
+//! the 1-worker time as a fake 1.00x speedup — and only the
+//! correctness/serial gates apply.
 //!
 //! The gate (against the committed `crates/bench/baseline.json`):
 //!
 //! * the worst Opt-Online overhead ratio must not exceed
 //!   `overhead_optonline · (1 + tolerance)` — any mode;
+//! * in full mode, if the baseline carries `max_sibling_loss`, every
+//!   kernel-matrix cell at sizes `≥ 2^16` must run its heuristic-chosen
+//!   layout no more than that fraction slower than the sibling layout —
+//!   the planner must never pick a losing cell (generous bound: the
+//!   sibling A/B shares one run's noise);
 //! * in **full** (non-smoke) mode, if the baseline carries
 //!   `min_ccg_speedup`, the fused CCG speedup at every size `≥ 2^16` must
 //!   meet it (smoke sizes are too small/noisy to gate kernels on);
@@ -114,15 +129,16 @@ impl CcgCase {
 }
 
 /// One timed streaming row (per size): STFT analysis frames/sec, plain vs
-/// Opt-Online(m), at 1 worker vs N workers.
+/// Opt-Online(m), at 1 worker vs N workers. The `N`-worker columns are
+/// `None` ("skipped") when there is no parallelism to measure.
 struct StreamCase {
     log2n: u32,
     frames: usize,
     threads: usize,
     plain_t1_secs: f64,
     opt_t1_secs: f64,
-    plain_tn_secs: f64,
-    opt_tn_secs: f64,
+    plain_tn_secs: Option<f64>,
+    opt_tn_secs: Option<f64>,
 }
 
 impl StreamCase {
@@ -140,19 +156,56 @@ impl StreamCase {
     }
 }
 
-/// One timed pooled-batch comparison (per size).
+/// One timed pooled-batch comparison (per size). `tn_secs` is `None`
+/// ("skipped") when there is no parallelism to measure.
 struct BatchCase {
     log2n: u32,
     threads: usize,
     /// `batch` transforms on 1 worker.
     t1_secs: f64,
     /// Same batch on `threads` workers.
-    tn_secs: f64,
+    tn_secs: Option<f64>,
 }
 
 impl BatchCase {
-    fn speedup(&self) -> f64 {
-        self.t1_secs / self.tn_secs
+    fn speedup(&self) -> Option<f64> {
+        self.tn_secs.map(|tn| self.t1_secs / tn)
+    }
+}
+
+/// One serial-vs-parallel single-transform comparison (per size): the
+/// two-halves parallel DIT against the serial radix-2 AoS plan whose
+/// output it reproduces bitwise. `parallel_secs` is `None` ("skipped")
+/// when there is no parallelism to measure.
+struct ParCase {
+    log2n: u32,
+    threads: usize,
+    /// What `FTFFT_STRATEGY=auto` picks at this `(n, threads)`.
+    strategy: &'static str,
+    serial_secs: f64,
+    parallel_secs: Option<f64>,
+}
+
+impl ParCase {
+    fn speedup(&self) -> Option<f64> {
+        self.parallel_secs.map(|p| self.serial_secs / p)
+    }
+}
+
+/// Formats an optional seconds/ratio column for the JSON artifact:
+/// `"skipped"` when there was nothing to measure.
+fn json_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "\"skipped\"".to_string(),
+    }
+}
+
+/// Same for the human tables.
+fn table_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "skipped".to_string(),
     }
 }
 
@@ -185,15 +238,37 @@ fn main() -> ExitCode {
 
     let ccg: Vec<CcgCase> = log2ns.iter().map(|&l| time_ccg(l, runs)).collect();
     let threads_n = resolve_threads(None);
-    let batches: Vec<BatchCase> = log2ns.iter().map(|&l| time_batch(l, threads_n, runs)).collect();
+    let single_cpu =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) == 1 || threads_n <= 1;
+    if single_cpu {
+        println!(
+            "perfgate: no parallelism to measure (threads={threads_n}); \
+             threads=N columns will be marked \"skipped\""
+        );
+    }
+    let batches: Vec<BatchCase> =
+        log2ns.iter().map(|&l| time_batch(l, threads_n, single_cpu, runs)).collect();
     let streams: Vec<StreamCase> =
-        log2ns.iter().map(|&l| time_stream(l, threads_n, runs)).collect();
+        log2ns.iter().map(|&l| time_stream(l, threads_n, single_cpu, runs)).collect();
+    let pars: Vec<ParCase> =
+        log2ns.iter().map(|&l| time_parallel_dit(l, threads_n, single_cpu, runs)).collect();
 
-    print_tables(&cases, &ccg, &batches, &streams, runs, smoke);
+    print_tables(&cases, &ccg, &batches, &streams, &pars, runs, smoke);
 
     let verdict =
         if gate { Some(check_gate(&cases, &ccg, &streams, smoke, &baseline_path)) } else { None };
-    let json = render_json(&cases, &ccg, &batches, &streams, runs, smoke, verdict.as_ref());
+    let json = render_json(
+        &cases,
+        &ccg,
+        &batches,
+        &streams,
+        &pars,
+        threads_n,
+        single_cpu,
+        runs,
+        smoke,
+        verdict.as_ref(),
+    );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("\nwrote {out_path} ({} cases)", cases.len());
 
@@ -293,27 +368,23 @@ fn time_ccg(log2n: u32, runs: usize) -> CcgCase {
 }
 
 /// Times the pooled batched executor at 1 vs `threads` workers.
-fn time_batch(log2n: u32, threads: usize, runs: usize) -> BatchCase {
+fn time_batch(log2n: u32, threads: usize, single_cpu: bool, runs: usize) -> BatchCase {
     let n = 1usize << log2n;
     let t1_secs = time_pooled_batch(n, 1, BATCH, runs);
-    let tn_secs = if threads > 1 { time_pooled_batch(n, threads, BATCH, runs) } else { t1_secs };
+    let tn_secs = (!single_cpu).then(|| time_pooled_batch(n, threads, BATCH, runs));
     BatchCase { log2n, threads, t1_secs, tn_secs }
 }
 
 /// Times the streaming STFT engine (`n`-sample frames, half-frame hop):
 /// plain vs Opt-Online(m) at 1 worker vs `threads`.
-fn time_stream(log2n: u32, threads: usize, runs: usize) -> StreamCase {
+fn time_stream(log2n: u32, threads: usize, single_cpu: bool, runs: usize) -> StreamCase {
     let n = 1usize << log2n;
     let plain_t1_secs = time_streaming(n, Scheme::Plain, 1, STREAM_FRAMES, runs);
     let opt_t1_secs = time_streaming(n, Scheme::OnlineMemOpt, 1, STREAM_FRAMES, runs);
-    let (plain_tn_secs, opt_tn_secs) = if threads > 1 {
-        (
-            time_streaming(n, Scheme::Plain, threads, STREAM_FRAMES, runs),
-            time_streaming(n, Scheme::OnlineMemOpt, threads, STREAM_FRAMES, runs),
-        )
-    } else {
-        (plain_t1_secs, opt_t1_secs)
-    };
+    let plain_tn_secs =
+        (!single_cpu).then(|| time_streaming(n, Scheme::Plain, threads, STREAM_FRAMES, runs));
+    let opt_tn_secs = (!single_cpu)
+        .then(|| time_streaming(n, Scheme::OnlineMemOpt, threads, STREAM_FRAMES, runs));
     StreamCase {
         log2n,
         frames: STREAM_FRAMES,
@@ -325,11 +396,35 @@ fn time_stream(log2n: u32, threads: usize, runs: usize) -> StreamCase {
     }
 }
 
+/// Times one serial-vs-parallel single-transform row: the serial radix-2
+/// AoS plan against the two-halves parallel DIT at `threads` workers
+/// (bitwise-identical outputs — this is a pure schedule A/B).
+fn time_parallel_dit(log2n: u32, threads: usize, single_cpu: bool, runs: usize) -> ParCase {
+    let n = 1usize << log2n;
+    let x = uniform_signal(n, 42);
+    let mut dst = vec![Complex64::ZERO; n];
+
+    let serial_plan =
+        FftPlan::new_with_kernel_layout(n, Direction::Forward, Pow2Kernel::Radix2, Layout::Aos);
+    let mut scratch = vec![Complex64::ZERO; serial_plan.scratch_len()];
+    let serial_secs = median_secs(runs, || serial_plan.execute(&x, &mut dst, &mut scratch));
+
+    let parallel_secs = (!single_cpu).then(|| {
+        let plan = FftPlan::new_parallel(n, Direction::Forward, threads);
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        median_secs(runs, || plan.execute(&x, &mut dst, &mut scratch))
+    });
+
+    let strategy = if Strategy::Auto.picks_parallel(n, threads) { "parallel" } else { "serial" };
+    ParCase { log2n, threads, strategy, serial_secs, parallel_secs }
+}
+
 fn print_tables(
     cases: &[Case],
     ccg: &[CcgCase],
     batches: &[BatchCase],
     streams: &[StreamCase],
+    pars: &[ParCase],
     runs: usize,
     smoke: bool,
 ) {
@@ -381,12 +476,12 @@ fn print_tables(
     println!("{:>7}{:>9}{:>14}{:>14}{:>10}", "n", "threads", "t1(s)", "tN(s)", "speedup");
     for b in batches {
         println!(
-            "{:>7}{:>9}{:>14.6}{:>14.6}{:>9.2}x",
+            "{:>7}{:>9}{:>14.6}{:>14}{:>10}",
             format!("2^{}", b.log2n),
             b.threads,
             b.t1_secs,
-            b.tn_secs,
-            b.speedup()
+            table_opt(b.tn_secs, 6),
+            table_opt(b.speedup(), 2),
         );
     }
     println!(
@@ -399,14 +494,33 @@ fn print_tables(
     );
     for s in streams {
         println!(
-            "{:>7}{:>9}{:>13.1}{:>13.1}{:>13.1}{:>13.1}{:>9.2}x",
+            "{:>7}{:>9}{:>13.1}{:>13.1}{:>13}{:>13}{:>9.2}x",
             format!("2^{}", s.log2n),
             s.threads,
             s.fps(s.plain_t1_secs),
             s.fps(s.opt_t1_secs),
-            s.fps(s.plain_tn_secs),
-            s.fps(s.opt_tn_secs),
+            table_opt(s.plain_tn_secs.map(|t| s.fps(t)), 1),
+            table_opt(s.opt_tn_secs.map(|t| s.fps(t)), 1),
             s.overhead_t1()
+        );
+    }
+    println!(
+        "\nparallel strategy (two-halves DIT vs serial radix-2 AoS, one transform, \
+         bitwise-identical outputs):"
+    );
+    println!(
+        "{:>7}{:>9}{:>10}{:>14}{:>14}{:>10}",
+        "n", "threads", "auto", "serial(s)", "parallel(s)", "speedup"
+    );
+    for p in pars {
+        println!(
+            "{:>7}{:>9}{:>10}{:>14.6}{:>14}{:>10}",
+            format!("2^{}", p.log2n),
+            p.threads,
+            p.strategy,
+            p.serial_secs,
+            table_opt(p.parallel_secs, 6),
+            table_opt(p.speedup(), 2),
         );
     }
 }
@@ -495,6 +609,30 @@ fn check_gate(
                 }
             }
         }
+        // Sibling-cell gate: the layout the planner's heuristic picked
+        // must not lose to the other layout of the same (kernel, size)
+        // cell by more than the allowed fraction. Sizes ≥ 2^16 only and a
+        // generous bound — both siblings are timed in the same process so
+        // runner speed cancels, but individual cells still carry noise.
+        if let Some(max_loss) = spec.max_sibling_loss {
+            for c in cases.iter().filter(|c| c.log2n >= 16) {
+                let sibling = match c.layout {
+                    Layout::Aos => c.plain_kernel_soa_secs,
+                    Layout::Soa => c.plain_kernel_aos_secs,
+                };
+                if c.plain_kernel_secs > sibling * (1.0 + max_loss) {
+                    failures.push(format!(
+                        "heuristic layout {} for {}@2^{} is {:.0}% slower than its sibling \
+                         (allowed {:.0}%)",
+                        c.layout.name(),
+                        c.kernel.name(),
+                        c.log2n,
+                        (c.plain_kernel_secs / sibling - 1.0) * 100.0,
+                        max_loss * 100.0
+                    ));
+                }
+            }
+        }
         // Fused-path gate: the per-size FusedPolicy heuristic must not
         // systematically lose to the unfused baseline. Median across the
         // matrix: individual DRAM-bound cells swing ±10% with runner load.
@@ -541,25 +679,33 @@ fn check_gate(
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v4: v3 fields are unchanged; v4 adds
-/// the per-case `layout` column and the layout A/B timings
-/// (`plain_kernel_aos_secs` / `plain_kernel_soa_secs` / `soa_speedup`) —
-/// CI artifacts from different commits must stay diffable.
+/// Renders `BENCH_PR.json`. Schema v5: v4 fields are unchanged; v5 adds
+/// the top-level `threads`/`single_cpu` columns, the `parallel_strategy`
+/// matrix (two-halves DIT vs serial), and marks every unmeasurable
+/// `threads = N` column with the string `"skipped"` instead of a
+/// duplicated 1-worker number — CI artifacts from different commits must
+/// stay diffable.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     cases: &[Case],
     ccg: &[CcgCase],
     batches: &[BatchCase],
     streams: &[StreamCase],
+    pars: &[ParCase],
+    threads: usize,
+    single_cpu: bool,
     runs: usize,
     smoke: bool,
     verdict: Option<&GateVerdict>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 4,");
+    let _ = writeln!(s, "  \"schema_version\": 5,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"single_cpu\": {single_cpu},");
     let _ = writeln!(s, "  \"flop_convention\": \"5 n log2 n\",");
     s.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
@@ -611,12 +757,12 @@ fn render_json(
         let _ = write!(
             s,
             "\"log2n\": {}, \"batch\": {BATCH}, \"threads\": {}, \"t1_secs\": {:.9}, \
-             \"tn_secs\": {:.9}, \"speedup\": {:.6}",
+             \"tn_secs\": {}, \"speedup\": {}",
             b.log2n,
             b.threads,
             b.t1_secs,
-            b.tn_secs,
-            b.speedup()
+            json_opt(b.tn_secs, 9),
+            json_opt(b.speedup(), 6)
         );
         s.push_str(if i + 1 < batches.len() { "},\n" } else { "}\n" });
     }
@@ -628,18 +774,35 @@ fn render_json(
             s,
             "\"log2n\": {}, \"frames\": {}, \"threads\": {}, \
              \"plain_fps_t1\": {:.3}, \"optonline_fps_t1\": {:.3}, \
-             \"plain_fps_tn\": {:.3}, \"optonline_fps_tn\": {:.3}, \
+             \"plain_fps_tn\": {}, \"optonline_fps_tn\": {}, \
              \"overhead_t1\": {:.6}",
             c.log2n,
             c.frames,
             c.threads,
             c.fps(c.plain_t1_secs),
             c.fps(c.opt_t1_secs),
-            c.fps(c.plain_tn_secs),
-            c.fps(c.opt_tn_secs),
+            json_opt(c.plain_tn_secs.map(|t| c.fps(t)), 3),
+            json_opt(c.opt_tn_secs.map(|t| c.fps(t)), 3),
             c.overhead_t1()
         );
         s.push_str(if i + 1 < streams.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"parallel_strategy\": [\n");
+    for (i, p) in pars.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"log2n\": {}, \"threads\": {}, \"auto_picks\": \"{}\", \
+             \"serial_secs\": {:.9}, \"parallel_secs\": {}, \"speedup\": {}",
+            p.log2n,
+            p.threads,
+            p.strategy,
+            p.serial_secs,
+            json_opt(p.parallel_secs, 9),
+            json_opt(p.speedup(), 6)
+        );
+        s.push_str(if i + 1 < pars.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ],\n");
     match verdict {

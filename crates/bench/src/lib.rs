@@ -278,8 +278,9 @@ pub fn json_number(fields: &[(String, f64)], key: &str) -> Option<f64> {
 /// Only `overhead_optonline` and `tolerance` are required; every later
 /// gate rides in an optional field, so a newer perfgate binary keeps
 /// accepting older baselines (v2 without streaming, v3 without the SoA
-/// and fused-gain keys) and simply skips the gates the file doesn't
-/// carry. The unit tests pin this with a v3 fixture.
+/// and fused-gain keys, v4 without the sibling-loss key) and simply skips
+/// the gates the file doesn't carry. The unit tests pin this with v3 and
+/// v4 fixtures.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BaselineSpec {
     /// Worst tolerated `t(Opt-Online(m)) / t(Plain)` ratio.
@@ -296,6 +297,10 @@ pub struct BaselineSpec {
     /// Minimum *median* fused-vs-unfused gain across the kernel matrix
     /// (full mode; since v4).
     pub min_fused_gain: Option<f64>,
+    /// Largest fraction by which the heuristic-chosen layout of any
+    /// kernel-matrix cell at sizes ≥ 2¹⁶ may lose to its sibling layout
+    /// (full mode; since v5).
+    pub max_sibling_loss: Option<f64>,
 }
 
 impl BaselineSpec {
@@ -310,6 +315,7 @@ impl BaselineSpec {
             overhead_stream: json_number(&fields, "overhead_stream"),
             min_soa_speedup: json_number(&fields, "min_soa_speedup"),
             min_fused_gain: json_number(&fields, "min_fused_gain"),
+            max_sibling_loss: json_number(&fields, "max_sibling_loss"),
         })
     }
 }
@@ -538,6 +544,38 @@ mod tests {
         // Required keys stay required.
         assert_eq!(BaselineSpec::parse(r#"{"tolerance": 1.0}"#), None);
         assert_eq!(BaselineSpec::parse("not json"), None);
+    }
+
+    #[test]
+    fn baseline_spec_accepts_v4_fixture_without_sibling_key() {
+        // The exact key set of the committed v4 baseline: a v5 binary
+        // must keep accepting it, with the sibling gate simply absent.
+        let v4 = r#"{
+            "schema_version": 4,
+            "comment": "ratios, measured on the CI runner",
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_ccg_speedup": 1.15,
+            "overhead_stream": 2.0,
+            "min_soa_speedup": 1.15,
+            "min_fused_gain": 0.97
+        }"#;
+        let spec = BaselineSpec::parse(v4).expect("v4 baseline must parse");
+        assert_eq!(spec.overhead_optonline, 2.4);
+        assert_eq!(spec.min_soa_speedup, Some(1.15));
+        assert_eq!(spec.min_fused_gain, Some(0.97));
+        assert_eq!(spec.max_sibling_loss, None);
+    }
+
+    #[test]
+    fn baseline_spec_reads_v5_sibling_key() {
+        let v5 = r#"{
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "max_sibling_loss": 0.3
+        }"#;
+        let spec = BaselineSpec::parse(v5).expect("v5 baseline must parse");
+        assert_eq!(spec.max_sibling_loss, Some(0.3));
     }
 
     #[test]

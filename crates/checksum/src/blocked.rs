@@ -1,0 +1,158 @@
+//! Per-block CCG partials — chunk-granular checksum accumulation.
+//!
+//! The single-accumulator CCG (`combined_sum1` = one [`DotAcc`] over the
+//! whole vector) is the right shape for one thread, but its value depends
+//! on feeding the accumulator the elements in one unbroken sequence: two
+//! workers each summing half and adding the halves produce a *different*
+//! (equally valid) rounding. That makes naive work-splitting change
+//! checksum values with the worker count — exactly what the pooled
+//! executors must never do.
+//!
+//! This module fixes the grouping instead of the schedule (the TurboFFT
+//! per-chunk checksum idea): the vector is cut into fixed
+//! [`CCG_BLOCK`]-sized blocks, each block gets its own [`DotAcc`]
+//! partial, and the partials are merged by plain complex addition in
+//! block order. Any partition of *whole blocks* across any number of
+//! workers reproduces the identical bit pattern, because each partial is
+//! a pure function of its block and the merge order is fixed. The
+//! blocked sum is its own deterministic quantity — close to, but not
+//! bitwise equal to, the single-pass `combined_sum1` (floating-point
+//! addition is not associative); stored and observed checksums must both
+//! use the same variant.
+
+use ftfft_numeric::simd::DotAcc;
+use ftfft_numeric::Complex64;
+
+/// Block length of the partial accumulation: 256 complex elements (4 KB)
+/// — small enough that a block is always cache-resident while a worker
+/// holds it, large enough that the per-block lane reduction is noise.
+/// Even, as [`DotAcc::accumulate`] requires of every non-final feed.
+pub const CCG_BLOCK: usize = 256;
+
+/// Number of blocks covering an `n`-element vector (the last block may be
+/// short).
+#[inline]
+pub fn num_blocks(n: usize) -> usize {
+    n.div_ceil(CCG_BLOCK)
+}
+
+/// The CCG partial of block `block`: `Σ x_j·ra_j` over
+/// `j ∈ [block·CCG_BLOCK, min((block+1)·CCG_BLOCK, n))`. A pure function
+/// of the block's elements — workers computing disjoint blocks need no
+/// coordination to agree bitwise with a serial pass.
+pub fn sum1_block_partial(x: &[Complex64], ra: &[Complex64], block: usize) -> Complex64 {
+    debug_assert!(ra.len() >= x.len());
+    let start = block * CCG_BLOCK;
+    let end = (start + CCG_BLOCK).min(x.len());
+    debug_assert!(start < end, "block {block} out of range for n={}", x.len());
+    let mut acc = DotAcc::new();
+    acc.accumulate(&x[start..end], &ra[start..end]);
+    acc.finish()
+}
+
+/// Fills `partials[b]` with [`sum1_block_partial`] for every block of `x`.
+///
+/// # Panics
+/// Panics if `partials.len() < num_blocks(x.len())`.
+pub fn sum1_partials_into(x: &[Complex64], ra: &[Complex64], partials: &mut [Complex64]) {
+    let blocks = num_blocks(x.len());
+    assert!(partials.len() >= blocks, "need {blocks} partial slots, got {}", partials.len());
+    for (b, slot) in partials[..blocks].iter_mut().enumerate() {
+        *slot = sum1_block_partial(x, ra, b);
+    }
+}
+
+/// Merges block partials in block order — the one fixed reduction order
+/// that makes the blocked CCG independent of which worker produced which
+/// partial.
+#[inline]
+pub fn merge_partials(partials: &[Complex64]) -> Complex64 {
+    partials.iter().fold(Complex64::ZERO, |acc, &p| acc + p)
+}
+
+/// One-thread convenience: the blocked CCG of `x` under `ra`, bitwise
+/// equal to computing every [`sum1_block_partial`] on any worker
+/// partition and merging with [`merge_partials`]. Allocation-free.
+pub fn combined_sum1_blocked(x: &[Complex64], ra: &[Complex64]) -> Complex64 {
+    debug_assert!(ra.len() >= x.len());
+    let mut sum = Complex64::ZERO;
+    for b in 0..num_blocks(x.len()) {
+        sum += sum1_block_partial(x, ra, b);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::{combined_sum1, combined_sum1_ref};
+    use crate::input_vector::input_checksum_vector;
+    use ftfft_fft::{chunk_range, Direction};
+    use ftfft_numeric::{simd, uniform_signal};
+
+    fn setup(n: usize) -> (Vec<Complex64>, Vec<Complex64>) {
+        (uniform_signal(n, n as u64 + 7), input_checksum_vector(n, Direction::Forward))
+    }
+
+    #[test]
+    fn partition_invariant_across_worker_counts() {
+        // Ragged length: the last block is short.
+        let n = 5 * CCG_BLOCK + 37;
+        let (x, ra) = setup(n);
+        let want = combined_sum1_blocked(&x, &ra);
+        let blocks = num_blocks(n);
+        for workers in 1..=8 {
+            let mut partials = vec![Complex64::ZERO; blocks];
+            // Simulate each worker computing its block range independently
+            // (reverse worker order — the merge must not care who ran when).
+            for w in (0..workers).rev() {
+                for b in chunk_range(blocks, workers, w) {
+                    partials[b] = sum1_block_partial(&x, &ra, b);
+                }
+            }
+            assert_eq!(merge_partials(&partials), want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn partials_into_matches_per_block() {
+        let n = 3 * CCG_BLOCK + 1;
+        let (x, ra) = setup(n);
+        let mut partials = vec![Complex64::ZERO; num_blocks(n)];
+        sum1_partials_into(&x, &ra, &mut partials);
+        for (b, &p) in partials.iter().enumerate() {
+            assert_eq!(p, sum1_block_partial(&x, &ra, b), "block {b}");
+        }
+    }
+
+    #[test]
+    fn blocked_sum_is_simd_level_stable_and_accurate() {
+        let n = 2 * CCG_BLOCK + 100;
+        let (x, ra) = setup(n);
+        let scalar = {
+            simd::force_level(Some(simd::SimdLevel::Scalar));
+            let v = combined_sum1_blocked(&x, &ra);
+            simd::force_level(None);
+            v
+        };
+        let auto = combined_sum1_blocked(&x, &ra);
+        assert_eq!(scalar, auto, "blocked CCG must not depend on the SIMD level");
+        // Approximate (not bitwise) agreement with the single-pass CCG and
+        // the scalar reference: a different, equally valid rounding.
+        let single = combined_sum1(&x, &ra);
+        let reference = combined_sum1_ref(&x, &ra);
+        let scale = x.iter().map(|z| z.norm()).sum::<f64>();
+        assert!((auto - single).norm() <= 1e-12 * scale, "{auto:?} vs {single:?}");
+        assert!((auto - reference).norm() <= 1e-12 * scale, "{auto:?} vs {reference:?}");
+    }
+
+    #[test]
+    fn short_vectors_are_one_block_equal_to_single_pass() {
+        // Below one block the grouping coincides with the single DotAcc
+        // pass, so the values are bitwise identical there.
+        for n in [1usize, 2, 17, CCG_BLOCK] {
+            let (x, ra) = setup(n);
+            assert_eq!(combined_sum1_blocked(&x, &ra), combined_sum1(&x, &ra), "n={n}");
+        }
+    }
+}

@@ -15,13 +15,16 @@
 //! * [`fused`] — gather+CCG in one pass over the strided source (the
 //!   vectorized §4.4 hot path);
 //! * [`incremental`] — §4.3 per-column slot accumulation;
-//! * [`block`] — sealed communication blocks for the parallel scheme.
+//! * [`block`] — sealed communication blocks for the parallel scheme;
+//! * [`blocked`] — fixed-block CCG partials whose merged value is
+//!   independent of the worker partition (the multi-core substrate).
 //!
 //! The dot-product and weighted-sum cores dispatch through
 //! [`ftfft_numeric::simd`] (AVX+FMA with a bitwise-identical scalar
 //! fallback, `FTFFT_SIMD` override).
 
 pub mod block;
+pub mod blocked;
 pub mod ccv;
 pub mod combined;
 pub mod fused;
@@ -31,6 +34,10 @@ pub mod memory;
 pub mod weights;
 
 pub use block::{open_block, seal_block, sealed_message, BLOCK_CHECKSUM_WORDS};
+pub use blocked::{
+    combined_sum1_blocked, merge_partials, num_blocks, sum1_block_partial, sum1_partials_into,
+    CCG_BLOCK,
+};
 pub use ccv::{ccv, ccv_with_sum, CcvOutcome};
 pub use combined::{
     combined_checksum, combined_checksum_ref, combined_decode, combined_sum1, combined_sum1_ref,

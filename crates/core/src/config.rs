@@ -1,5 +1,7 @@
 //! Scheme selection and executor configuration.
 
+use ftfft_fft::Layout;
+
 /// Which fault-tolerance scheme wraps the FFT.
 ///
 /// The names mirror the bars of Fig 7 and the rows of Tables 1/5/6.
@@ -83,11 +85,14 @@ impl Scheme {
 /// always-fused default of PR 3 losing a few percent at mid sizes
 /// (radix2 @ 2¹²) where the gather buffer is L1-resident and the
 /// streaming-accumulator setup is pure overhead per tiny column — hence a
-/// per-size resolution instead of a global boolean.
+/// per-(size, layout) resolution instead of a global boolean.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FusedPolicy {
-    /// Per-size heuristic (the default): fused except for very short
-    /// checksum columns, where accumulator setup dominates the saved pass.
+    /// Per-(size, layout) heuristic (the default): fused except for very
+    /// short checksum columns, where accumulator setup dominates the
+    /// saved pass. Split-complex (SoA) sub-plans break even earlier —
+    /// their fused path folds the deinterleave into the same strided
+    /// sweep as the gather and checksum, saving two passes instead of one.
     Auto,
     /// Always the fused single-pass path (PR-3 behavior).
     Always,
@@ -97,13 +102,28 @@ pub enum FusedPolicy {
 }
 
 impl FusedPolicy {
-    /// Resolves the policy for a sub-FFT of `count` gathered elements.
-    pub fn resolve(self, count: usize) -> bool {
+    /// Resolves the policy for a sub-FFT of `count` gathered elements
+    /// whose sub-plan runs `layout`. `Auto` fuses from 16 elements for
+    /// AoS sub-plans but already from 8 for SoA ones (see the variant
+    /// doc); `Always`/`Never` ignore both arguments.
+    pub fn resolve_for(self, count: usize, layout: Layout) -> bool {
         match self {
             FusedPolicy::Always => true,
             FusedPolicy::Never => false,
-            FusedPolicy::Auto => count >= 16,
+            FusedPolicy::Auto => {
+                count
+                    >= match layout {
+                        Layout::Soa => 8,
+                        Layout::Aos => 16,
+                    }
+            }
         }
+    }
+
+    /// Layout-blind resolution: [`resolve_for`](Self::resolve_for) with
+    /// the conservative AoS threshold.
+    pub fn resolve(self, count: usize) -> bool {
+        self.resolve_for(count, Layout::Aos)
     }
 }
 
@@ -238,5 +258,21 @@ mod tests {
         assert!(!FusedPolicy::Auto.resolve(8));
         assert!(FusedPolicy::Auto.resolve(16));
         assert!(FusedPolicy::Auto.resolve(1 << 10));
+    }
+
+    #[test]
+    fn fused_policy_is_layout_aware() {
+        // Auto: SoA sub-plans fuse from 8 elements, AoS from 16.
+        assert!(FusedPolicy::Auto.resolve_for(8, Layout::Soa));
+        assert!(!FusedPolicy::Auto.resolve_for(8, Layout::Aos));
+        assert!(!FusedPolicy::Auto.resolve_for(4, Layout::Soa));
+        assert!(FusedPolicy::Auto.resolve_for(16, Layout::Aos));
+        // The pins ignore layout entirely.
+        for layout in [Layout::Aos, Layout::Soa] {
+            assert!(FusedPolicy::Always.resolve_for(1, layout));
+            assert!(!FusedPolicy::Never.resolve_for(1 << 20, layout));
+        }
+        // The layout-blind form is the conservative AoS threshold.
+        assert_eq!(FusedPolicy::Auto.resolve(8), FusedPolicy::Auto.resolve_for(8, Layout::Aos));
     }
 }

@@ -101,17 +101,20 @@ pub(crate) fn run(
             *p = CombinedChecksum { sum1: s1, sum2: s2 };
         }
     } else {
-        // PR-2-era element-wise pass (perf-harness A/B baseline).
-        for p in ws.in_ck.iter_mut() {
-            *p = CombinedChecksum::default();
+        // Unblocked row sweep (perf-harness A/B baseline): identical
+        // accumulation order and rounding to the blocked pass above —
+        // the fused flag may now resolve differently per layout, so it
+        // must change only the cache-blocking, never a single bit of
+        // the sums, or sibling-layout plans would diverge under faults.
+        ws.ck1[..k].fill(Complex64::ZERO);
+        ws.ck2[..k].fill(Complex64::ZERO);
+        for (t, row) in x.chunks_exact(k).enumerate() {
+            let w1 = ra_m[t];
+            let w2 = w1.scale((t + 1) as f64);
+            simd::axpy2(&mut ws.ck1[..k], &mut ws.ck2[..k], &row[..k], w1, w2);
         }
-        for (g, &v) in x.iter().enumerate() {
-            let n1 = g % k;
-            let t = g / k;
-            let w = ra_m[t];
-            let term = v * w;
-            ws.in_ck[n1].sum1 += term;
-            ws.in_ck[n1].sum2 += term.scale((t + 1) as f64);
+        for (p, (&s1, &s2)) in ws.in_ck.iter_mut().zip(ws.ck1.iter().zip(&ws.ck2)) {
+            *p = CombinedChecksum { sum1: s1, sum2: s2 };
         }
     }
     ws.slots.reset();

@@ -91,8 +91,12 @@ impl FtFftPlan {
         };
         let thresholds =
             scaled(thresholds_for_split(n, two.k(), two.m(), cfg.sigma0), cfg.threshold_scale);
-        let fused_part1 = cfg.fused.resolve(two.m());
-        let fused_part2 = cfg.fused.resolve(two.k());
+        // Resolve the fused policy per (size, layout) of each sub-plan:
+        // part 1 gathers m-element columns into the inner (m-point) plan,
+        // part 2 gathers k-element columns into the outer (k-point) plan,
+        // and the SoA fused path has a lower break-even than the AoS one.
+        let fused_part1 = cfg.fused.resolve_for(two.m(), two.inner_plan().layout());
+        let fused_part2 = cfg.fused.resolve_for(two.k(), two.outer_plan().layout());
         FtFftPlan { cfg, n, dir, two, thresholds, fused_part1, fused_part2 }
     }
 

@@ -35,6 +35,7 @@ pub mod direction;
 pub mod factor;
 pub mod mixed;
 pub mod naive;
+pub mod parallel_dit;
 pub mod planner;
 pub mod radix2;
 pub mod radix4;
@@ -51,8 +52,10 @@ pub use direction::{normalize, Direction};
 pub use factor::{factorize, is_power_of_two, split_balanced, split_three};
 pub use mixed::MixedPlan;
 pub use naive::dft_naive;
+pub use parallel_dit::{chunk_range, resolve_threads, ParallelDitPlan, THREADS_ENV};
 pub use planner::{
-    fft, force_layout, ifft, FftPlan, Layout, Planner, Pow2Kernel, KERNEL_ENV, LAYOUT_ENV,
+    fft, force_layout, force_strategy, ifft, FftPlan, Layout, Planner, Pow2Kernel, Strategy,
+    KERNEL_ENV, LAYOUT_ENV, PARALLEL_MIN, STRATEGY_ENV,
 };
 pub use real::{irfft, rfft, RealFftPlan};
 pub use three_layer::{ThreeLayerPlan, ThreeLayerScratch};

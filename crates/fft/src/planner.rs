@@ -18,6 +18,7 @@ use crate::bluestein::BluesteinPlan;
 use crate::direction::Direction;
 use crate::factor::{is_power_of_two, is_smooth};
 use crate::mixed::MixedPlan;
+use crate::parallel_dit::{resolve_threads, ParallelDitPlan};
 use crate::radix2::fft_radix2_inplace;
 use crate::radix4::fft_radix4_inplace;
 use crate::soa::{fft_radix2_soa, fft_radix4_soa, fft_split_radix_soa};
@@ -41,6 +42,80 @@ pub const KERNEL_ENV: &str = "FTFFT_KERNEL";
 /// (`soa` | `aos` | `auto`) — the A/B switch for the split-complex engine.
 pub const LAYOUT_ENV: &str = "FTFFT_LAYOUT";
 
+/// Environment variable overriding the execution-strategy heuristic
+/// (`parallel` | `serial` | `auto`) — the A/B switch for the two-halves
+/// parallel DIT on single large power-of-two transforms.
+pub const STRATEGY_ENV: &str = "FTFFT_STRATEGY";
+
+/// Smallest power-of-two size at which the `auto` strategy runs a single
+/// transform through the two-halves parallel DIT: below this the five-phase
+/// pipeline's extra permutation passes and per-execute worker spawns
+/// outweigh the butterfly-work split (each half is only `t/2 ≈ 9` stages
+/// at the cutoff).
+pub const PARALLEL_MIN: usize = 1 << 18;
+
+/// Execution strategy for a single power-of-two transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Size- and thread-aware heuristic: the two-halves parallel DIT for
+    /// `n ≥ 2^18` when more than one worker is available, serial kernels
+    /// otherwise.
+    Auto,
+    /// Always the serial kernel family ([`Pow2Kernel`] + [`Layout`]).
+    Serial,
+    /// Always the two-halves parallel DIT ([`crate::parallel_dit`]).
+    Parallel,
+}
+
+impl Strategy {
+    /// Stable lowercase name (accepted back through [`STRATEGY_ENV`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Serial => "serial",
+            Strategy::Parallel => "parallel",
+        }
+    }
+
+    /// Parses a strategy name.
+    pub fn parse(name: &str) -> Option<Strategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" | "" => Some(Strategy::Auto),
+            "serial" => Some(Strategy::Serial),
+            "parallel" => Some(Strategy::Parallel),
+            _ => None,
+        }
+    }
+
+    /// The strategy in force: a [`force_strategy`] override first, then
+    /// the `FTFFT_STRATEGY` variable (panicking on an unknown name — a
+    /// silent typo would invalidate an A/B run), [`Strategy::Auto`]
+    /// otherwise.
+    pub fn choose() -> Strategy {
+        match FORCED_STRATEGY.load(Ordering::Relaxed) {
+            1 => return Strategy::Auto,
+            2 => return Strategy::Serial,
+            3 => return Strategy::Parallel,
+            _ => {}
+        }
+        match std::env::var(STRATEGY_ENV) {
+            Ok(v) => Strategy::parse(&v)
+                .unwrap_or_else(|| panic!("{STRATEGY_ENV}={v:?} is not parallel|serial|auto")),
+            Err(_) => Strategy::Auto,
+        }
+    }
+
+    /// Whether this strategy routes an `n`-point power-of-two transform
+    /// with `threads` available workers to the parallel DIT.
+    pub fn picks_parallel(self, n: usize, threads: usize) -> bool {
+        match self {
+            Strategy::Serial => false,
+            Strategy::Parallel => true,
+            Strategy::Auto => n >= PARALLEL_MIN && threads > 1,
+        }
+    }
+}
+
 /// Smallest power-of-two size at which the layout heuristic picks the
 /// split-complex engine for the iterative kernels: below this the two O(n)
 /// boundary conversions eat the per-stage SIMD win (only ~log₂ n stages
@@ -63,6 +138,26 @@ pub enum Layout {
 
 /// 0 = no override, 1 = aos, 2 = soa.
 static FORCED_LAYOUT: AtomicU8 = AtomicU8::new(0);
+
+/// 0 = no override, 1 = auto, 2 = serial, 3 = parallel.
+static FORCED_STRATEGY: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide execution-strategy override: `Some(s)` makes every
+/// subsequent plan construction use `s` regardless of `FTFFT_STRATEGY`
+/// (`None` re-enables env + heuristic). Intended for tests that must pin
+/// the serial schedule — e.g. the no-allocation assertions, since the
+/// multi-worker parallel schedule spawns scoped threads per execute by
+/// design. Safe to flip concurrently because both strategies produce
+/// bitwise-identical transforms.
+pub fn force_strategy(strategy: Option<Strategy>) {
+    let v = match strategy {
+        None => 0,
+        Some(Strategy::Auto) => 1,
+        Some(Strategy::Serial) => 2,
+        Some(Strategy::Parallel) => 3,
+    };
+    FORCED_STRATEGY.store(v, Ordering::Relaxed);
+}
 
 impl Layout {
     /// Both layouts, in `BENCH_PR.json` reporting order.
@@ -104,6 +199,16 @@ impl Layout {
     /// variable (panicking on an unknown name — a silent typo would
     /// invalidate an A/B run), then the heuristic.
     pub fn choose(kernel: Pow2Kernel, n: usize) -> Layout {
+        // The recursive split-radix kernel loses over planes at *every*
+        // measured size (its strided leaf gathers and conjugate-pair index
+        // wraps defeat the plane kernels), so it is pinned AoS here — even
+        // under forcing or the env override — and not just in the
+        // heuristic: the planner must never select a cell that loses to
+        // its sibling. `new_with_kernel_layout` stays un-pinned as the
+        // explicit A/B primitive.
+        if kernel == Pow2Kernel::SplitRadix {
+            return Layout::Aos;
+        }
         match FORCED_LAYOUT.load(Ordering::Relaxed) {
             1 => return Layout::Aos,
             2 => return Layout::Soa,
@@ -214,6 +319,7 @@ enum Kernel {
     SplitRadixSoa(SoaSplitRadixTwiddles),
     Mixed(MixedPlan),
     Bluestein(BluesteinPlan),
+    ParallelDit(ParallelDitPlan),
 }
 
 /// An executable FFT plan for one size and direction.
@@ -226,10 +332,17 @@ pub struct FftPlan {
 
 impl FftPlan {
     /// Plans a transform of size `n ≥ 1`, picking the power-of-two kernel
-    /// via [`Pow2Kernel::choose`] (heuristic + `FTFFT_KERNEL` override).
+    /// via [`Pow2Kernel::choose`] (heuristic + `FTFFT_KERNEL` override)
+    /// and the execution strategy via [`Strategy::choose`] (heuristic +
+    /// `FTFFT_STRATEGY` override): single large power-of-two transforms go
+    /// to the two-halves parallel DIT when more than one worker is
+    /// available.
     pub fn new(n: usize, dir: Direction) -> Self {
         assert!(n > 0, "cannot plan a 0-point FFT");
         if is_power_of_two(n) {
+            if Strategy::choose().picks_parallel(n, resolve_threads(None)) {
+                return Self::new_parallel(n, dir, resolve_threads(None));
+            }
             Self::new_with_kernel(n, dir, Pow2Kernel::choose(n))
         } else if is_smooth(n, SMOOTH_LIMIT) {
             FftPlan { n, dir, kernel: Kernel::Mixed(MixedPlan::new(n, dir)) }
@@ -246,6 +359,18 @@ impl FftPlan {
     /// Panics if `n` is not a power of two.
     pub fn new_with_kernel(n: usize, dir: Direction, kernel: Pow2Kernel) -> Self {
         Self::new_with_kernel_layout(n, dir, kernel, Layout::choose(kernel, n))
+    }
+
+    /// Plans a power-of-two transform on the two-halves parallel DIT with
+    /// an explicit worker count (bypassing the strategy heuristic and the
+    /// `FTFFT_STRATEGY`/`FTFFT_THREADS` overrides) — the A/B primitive the
+    /// worker-count property tests use. `threads == 1` selects the
+    /// spawn-free inline path.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new_parallel(n: usize, dir: Direction, threads: usize) -> Self {
+        FftPlan { n, dir, kernel: Kernel::ParallelDit(ParallelDitPlan::new(n, dir, threads)) }
     }
 
     /// Plans a power-of-two transform with an explicit kernel *and*
@@ -301,6 +426,16 @@ impl FftPlan {
             Kernel::SplitRadix(_) | Kernel::SplitRadixSoa(_) => Pow2Kernel::SplitRadix.name(),
             Kernel::Mixed(_) => "mixed",
             Kernel::Bluestein(_) => "bluestein",
+            Kernel::ParallelDit(_) => "parallel-dit",
+        }
+    }
+
+    /// Worker count for the parallel-DIT strategy (`None` for the serial
+    /// kernels).
+    pub fn strategy_threads(&self) -> Option<usize> {
+        match &self.kernel {
+            Kernel::ParallelDit(p) => Some(p.threads()),
+            _ => None,
         }
     }
 
@@ -336,6 +471,8 @@ impl FftPlan {
             // Mixed and Bluestein stage an input copy for in-place runs.
             Kernel::Mixed(p) => self.n + p.scratch_len(),
             Kernel::Bluestein(p) => self.n + p.scratch_len(),
+            // The five-phase parallel pipeline stages through two buffers.
+            Kernel::ParallelDit(p) => p.scratch_len(),
         }
     }
 
@@ -365,6 +502,7 @@ impl FftPlan {
                 copy.copy_from_slice(data);
                 p.execute(copy, data, rest);
             }
+            Kernel::ParallelDit(p) => p.execute_inplace(data, scratch),
         }
     }
 
@@ -393,6 +531,7 @@ impl FftPlan {
             }
             Kernel::Mixed(p) => p.execute(src, dst, &mut scratch[..p.scratch_len()]),
             Kernel::Bluestein(p) => p.execute(src, dst, scratch),
+            Kernel::ParallelDit(p) => p.execute(src, dst, scratch),
         }
     }
 
@@ -659,6 +798,68 @@ mod tests {
         let mut dre = vec![0.0; 16];
         let mut dim = vec![0.0; 16];
         plan.execute_split(&re, &im, &mut dre, &mut dim);
+    }
+
+    #[test]
+    fn split_radix_layout_is_pinned_aos_in_choose() {
+        // The pin precedes the forcing and env checks, so it holds under
+        // any FTFFT_LAYOUT and any concurrent force_layout call.
+        assert_eq!(Layout::choose(Pow2Kernel::SplitRadix, 1 << 16), Layout::Aos);
+        assert_eq!(Layout::choose(Pow2Kernel::SplitRadix, 1 << 20), Layout::Aos);
+    }
+
+    #[test]
+    fn strategy_names_round_trip_and_heuristic() {
+        for s in [Strategy::Auto, Strategy::Serial, Strategy::Parallel] {
+            assert_eq!(Strategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(Strategy::parse("PARALLEL"), Some(Strategy::Parallel));
+        assert_eq!(Strategy::parse("threads"), None);
+        assert!(!Strategy::Serial.picks_parallel(1 << 20, 8));
+        assert!(Strategy::Parallel.picks_parallel(1 << 4, 1));
+        assert!(Strategy::Auto.picks_parallel(PARALLEL_MIN, 2));
+        assert!(!Strategy::Auto.picks_parallel(PARALLEL_MIN, 1));
+        assert!(!Strategy::Auto.picks_parallel(PARALLEL_MIN / 2, 8));
+    }
+
+    #[test]
+    fn force_strategy_overrides_env_and_heuristic() {
+        // The override must beat both the heuristic (Auto would say
+        // serial at this tiny size) and whatever FTFFT_STRATEGY the
+        // surrounding test run exported. Restore the default before
+        // returning so concurrent tests see no lasting pin (both
+        // strategies are bitwise-identical, so a transient flip is
+        // harmless to them).
+        force_strategy(Some(Strategy::Parallel));
+        assert_eq!(Strategy::choose(), Strategy::Parallel);
+        force_strategy(Some(Strategy::Serial));
+        assert_eq!(Strategy::choose(), Strategy::Serial);
+        force_strategy(None);
+    }
+
+    #[test]
+    fn parallel_plan_dispatches_and_matches_serial_radix2() {
+        let n = 1 << 10;
+        let x = uniform_signal(n, 5);
+        let serial =
+            FftPlan::new_with_kernel_layout(n, Direction::Forward, Pow2Kernel::Radix2, Layout::Aos);
+        let mut want = vec![Complex64::ZERO; n];
+        let mut s = vec![Complex64::ZERO; serial.scratch_len()];
+        serial.execute(&x, &mut want, &mut s);
+        for threads in [1usize, 4] {
+            let plan = FftPlan::new_parallel(n, Direction::Forward, threads);
+            assert_eq!(plan.kernel_name(), "parallel-dit");
+            assert_eq!(plan.layout(), Layout::Aos);
+            assert!(!plan.supports_split());
+            assert_eq!(plan.strategy_threads(), Some(threads));
+            let mut dst = vec![Complex64::ZERO; n];
+            let mut s = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.execute(&x, &mut dst, &mut s);
+            assert_eq!(dst, want, "threads={threads}");
+            let mut ip = x.clone();
+            plan.execute_inplace(&mut ip, &mut s);
+            assert_eq!(ip, want, "threads={threads} in-place");
+        }
     }
 
     #[test]

@@ -104,14 +104,38 @@ pub fn transpose_inplace(data: &mut [Complex64], rows: usize, cols: usize) {
     }
 }
 
+/// Cache-block edge for [`transpose_out_of_place`]: 16×16 `Complex64`
+/// tiles (4 KB working set per operand) keep both the read rows and the
+/// write columns L1-resident — the same blocking rationale as the COBRA
+/// bit-reversal tiles.
+const TRANSPOSE_BLOCK: usize = 16;
+
 /// Out-of-place transpose (`dst[c*rows + r] = src[r*cols + c]`).
+///
+/// Tiled into `TRANSPOSE_BLOCK`² blocks so that large matrices (the
+/// six-step engine's `p × b` frame matrices, the two-layer `k × m`
+/// stages) stream whole cache lines on both sides instead of striding
+/// `dst` by `rows` on every element — the cache-blocked fallback path of
+/// the two-halves parallel DIT for sizes where the z-space blocks
+/// outgrow L2.
 pub fn transpose_out_of_place(src: &[Complex64], dst: &mut [Complex64], rows: usize, cols: usize) {
     assert_eq!(src.len(), rows * cols);
     assert_eq!(dst.len(), rows * cols);
-    for r in 0..rows {
-        for (c, &v) in src[r * cols..(r + 1) * cols].iter().enumerate() {
-            dst[c * rows + r] = v;
+    let bs = TRANSPOSE_BLOCK;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + bs).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + bs).min(cols);
+            for r in r0..r1 {
+                for (c, &v) in src[r * cols + c0..r * cols + c1].iter().enumerate() {
+                    dst[(c0 + c) * rows + r] = v;
+                }
+            }
+            c0 = c1;
         }
+        r0 = r1;
     }
 }
 
@@ -155,6 +179,23 @@ mod tests {
             let mut got = src.clone();
             transpose_inplace(&mut got, r, c);
             assert_eq!(got, want, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn tiled_transpose_matches_naive_above_block_size() {
+        // Shapes straddling the 16×16 tile edge, including ragged tails.
+        for (r, c) in [(16usize, 16usize), (17, 16), (16, 17), (40, 24), (33, 17), (64, 64)] {
+            let src = uniform_signal(r * c, (r * 131 + c) as u64);
+            let mut naive = vec![Complex64::ZERO; r * c];
+            for rr in 0..r {
+                for cc in 0..c {
+                    naive[cc * r + rr] = src[rr * c + cc];
+                }
+            }
+            let mut got = vec![Complex64::ZERO; r * c];
+            transpose_out_of_place(&src, &mut got, r, c);
+            assert_eq!(got, naive, "{r}x{c}");
         }
     }
 

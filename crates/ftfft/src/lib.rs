@@ -56,8 +56,9 @@ pub mod prelude {
         RandomKind, ScriptedFault, ScriptedInjector, Site,
     };
     pub use ftfft_fft::{
-        dft_naive, fft, force_layout, ifft, irfft, normalize, rfft, Direction, FftPlan, Layout,
-        Planner, Pow2Kernel, RealFftPlan, KERNEL_ENV, LAYOUT_ENV,
+        dft_naive, fft, force_layout, force_strategy, ifft, irfft, normalize, rfft, Direction,
+        FftPlan, Layout, Planner, Pow2Kernel, RealFftPlan, Strategy, KERNEL_ENV, LAYOUT_ENV,
+        PARALLEL_MIN, STRATEGY_ENV,
     };
     pub use ftfft_numeric::{
         inf_norm, normal_signal, relative_error_inf, simd_level, uniform_signal, Complex64,

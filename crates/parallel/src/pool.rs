@@ -28,8 +28,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-/// Environment variable overriding the worker count for pooled executors.
-pub const THREADS_ENV: &str = "FTFFT_THREADS";
+pub use ftfft_fft::THREADS_ENV;
 
 type Job = Box<dyn FnOnce() + Send>;
 
@@ -202,28 +201,23 @@ impl Drop for WaitGuard<'_> {
 }
 
 /// The contiguous index range worker `w` of `t` owns when `items` items
-/// are split: `[w·items/t, (w+1)·items/t)`. Balanced to within one item,
-/// in worker order — the single chunking rule every pooled executor uses,
-/// so row/buffer pre-splits always line up with [`ThreadPool::run_chunks`].
+/// are split. Remainder-first balancing ([`ftfft_fft::chunk_range`] — the
+/// same rule the two-halves parallel DIT uses): the first `items % t`
+/// workers get one extra item, so chunk sizes never differ by more than
+/// one and the last worker is never idle while worker 0 double-loads.
+/// The single chunking rule every pooled executor uses, so row/buffer
+/// pre-splits always line up with [`ThreadPool::run_chunks`].
 pub fn chunk_range(items: usize, t: usize, w: usize) -> Range<usize> {
-    debug_assert!(w < t);
-    (w * items / t)..((w + 1) * items / t)
+    ftfft_fft::chunk_range(items, t, w)
 }
 
 /// Resolves a pooled executor's worker count: an explicit `cfg` value wins;
 /// else a positive [`THREADS_ENV`] value; else the machine's available
-/// parallelism; at least 1.
+/// parallelism; at least 1. Shared with the FFT planner's parallel
+/// strategy ([`ftfft_fft::resolve_threads`]) so both layers always agree
+/// on the worker count.
 pub fn resolve_threads(cfg: Option<usize>) -> usize {
-    if let Some(t) = cfg {
-        return t.max(1);
-    }
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        match v.parse::<usize>() {
-            Ok(t) if t >= 1 => return t,
-            _ => panic!("{THREADS_ENV}={v:?} is not a positive integer"),
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ftfft_fft::resolve_threads(cfg)
 }
 
 #[cfg(test)]
@@ -240,6 +234,25 @@ mod tests {
                 for w in 0..t {
                     let r = chunk_range(items, t, w);
                     assert_eq!(r.start, covered, "items={items} t={t} w={w}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, items);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced_for_one_to_eight_workers() {
+        // The remainder goes to the leading workers, one item each —
+        // no chunk ever differs from another by more than one item.
+        for items in [0usize, 1, 5, 8, 9, 17, 100, 1023] {
+            for t in 1..=8usize {
+                let (base, rem) = (items / t, items % t);
+                let mut covered = 0;
+                for w in 0..t {
+                    let r = chunk_range(items, t, w);
+                    assert_eq!(r.start, covered, "items={items} t={t} w={w}");
+                    assert_eq!(r.len(), base + usize::from(w < rem), "items={items} t={t} w={w}");
                     covered = r.end;
                 }
                 assert_eq!(covered, items);

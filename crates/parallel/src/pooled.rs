@@ -8,22 +8,30 @@
 //!   the computational online schemes (`OnlineComp`/`OnlineCompOpt`) only
 //!   *read* the shared input and write disjoint rows of the intermediate
 //!   matrix, so [`execute`](PooledFtFft::execute) fans them out with one
-//!   workspace per worker and runs part 2 (whose slot order matters)
-//!   serially. Outputs are **bitwise identical** to the single-threaded
-//!   executor, and so is the [`FtReport`] (counts are sums, residual
-//!   maxima are maxima — both order-free).
+//!   lane of scratch per worker.
+//! * **Part 2 across workers** — the `m` second-part k-point columns are
+//!   equally independent: each reads the shared intermediate matrix and
+//!   finishes one column. Workers land their columns in a staging buffer
+//!   (disjoint contiguous chunks, pre-split like part 1's rows) and a
+//!   serial pass scatters them into the caller's output in natural column
+//!   order, so the strided output writes never cross threads. Outputs are
+//!   **bitwise identical** to the single-threaded executor at any worker
+//!   count, and so is the [`FtReport`] (counts are sums, residual maxima
+//!   are maxima — both order-free).
 //! * **Batch items across workers** —
 //!   [`execute_batch`](PooledFtFft::execute_batch) runs whole independent
 //!   transforms of a batch concurrently under any scheme.
 //!
 //! Fault-injection determinism: sites that carry their own index
 //! (`SubFftCompute { index, .. }`) are visited in a deterministic per-row
-//! order, so scripted faults strike identically however rows are scheduled
-//! across workers. Sites shared between rows (`TwiddleDmrPass`) or between
-//! batch items (`InputMemory`, …) have *global occurrence counters*: under
-//! threading, which row/item a given occurrence lands on depends on
-//! scheduling, though every scripted fault still fires exactly once and
-//! the merged report totals are unchanged.
+//! (per-column) order, so scripted faults strike identically however rows
+//! and columns are scheduled across workers. Sites shared between rows or
+//! columns (`TwiddleDmrPass` — which the *unoptimized* scheme also visits
+//! once per part-2 column) or between batch items (`InputMemory`, …) have
+//! *global occurrence counters*: under threading, which row/column/item a
+//! given occurrence lands on depends on scheduling, though every scripted
+//! fault still fires exactly once and the merged report totals are
+//! unchanged.
 
 use ftfft_core::dmr::dmr_generate_ra_into;
 use ftfft_core::online::{part1_row, part2_col};
@@ -64,6 +72,10 @@ pub struct PooledWorkspace {
     pub main: Workspace,
     /// Per-worker lane scratch, indexed by pool worker id.
     pub lanes: Vec<LaneScratch>,
+    /// Column staging for the part-2 fan-out (`k·m = n` elements): worker
+    /// `w` writes its columns back-to-back into its pre-split chunk, and
+    /// the serial scatter pass reads column `j2` at `j2·k`.
+    pub cols: Vec<Complex64>,
 }
 
 impl PooledFtFft {
@@ -84,8 +96,8 @@ impl PooledFtFft {
     }
 
     /// Allocates the workspace for [`execute`](Self::execute): one full
-    /// main workspace plus lane-sized scratch per worker (workers never
-    /// need the n-sized buffers).
+    /// main workspace, lane-sized scratch per worker (workers never need
+    /// the n-sized buffers), and the n-sized part-2 column staging.
     pub fn make_workspace(&self) -> PooledWorkspace {
         let two = self.plan.two();
         let lane = two.k().max(two.m());
@@ -99,6 +111,7 @@ impl PooledFtFft {
                     fft: vec![Complex64::ZERO; fft_len],
                 })
                 .collect(),
+            cols: vec![Complex64::ZERO; two.k() * two.m()],
         }
     }
 
@@ -109,11 +122,13 @@ impl PooledFtFft {
         (0..self.pool.size()).map(|_| self.plan.make_workspace()).collect()
     }
 
-    /// Executes the protected transform with part 1 fanned across the
-    /// pool. Supported for the computational online schemes
-    /// (`OnlineComp`, `OnlineCompOpt`), whose part 1 never mutates shared
-    /// state; every other scheme (and a pool of size 1) falls back to the
-    /// serial [`FtFftPlan::execute`].
+    /// Executes the protected transform with part 1 (rows) and part 2
+    /// (columns) each fanned across the pool. Supported for the
+    /// computational online schemes (`OnlineComp`, `OnlineCompOpt`),
+    /// whose sub-FFT units never mutate shared state; every other scheme
+    /// (and a pool of size 1) falls back to the serial
+    /// [`FtFftPlan::execute`]. Output and report are bitwise identical to
+    /// the serial executor at any worker count.
     pub fn execute(
         &self,
         x: &mut [Complex64],
@@ -204,22 +219,51 @@ impl PooledFtFft {
 
         injector.inject(ctx, Site::IntermediateMemory, &mut ws.main.y);
 
-        // ---- part 2: m k-point FFTs, serial (slot order matters) --------
-        for j2 in 0..m {
-            part2_col(
-                plan,
-                &ws.main.y,
-                &ws.main.ra_k[..k],
-                j2,
-                optimized,
-                &mut ws.main.buf,
-                &mut ws.main.buf2,
-                &mut ws.main.fft,
-                injector,
-                ctx,
-                &mut rep,
-            );
-            two.scatter_output(out, j2, &ws.main.buf);
+        // ---- part 2: m k-point FFTs across the pool ---------------------
+        {
+            let t = self.pool.size().min(m).max(1);
+            let ra_k = &ws.main.ra_k[..k];
+            let y_shared: &[Complex64] = &ws.main.y[..k * m];
+            // Pre-split the column staging into each worker's chunk (the
+            // same contiguous column ranges run_chunks hands out).
+            let mut slots = Vec::with_capacity(t);
+            let mut rest = &mut ws.cols[..k * m];
+            for (w, lane) in ws.lanes.iter_mut().take(t).enumerate() {
+                let cols = chunk_range(m, t, w);
+                let (chunk, tail) = rest.split_at_mut(cols.len() * k);
+                rest = tail;
+                slots.push(Mutex::new((chunk, lane, FtReport::new())));
+            }
+            self.pool.run_chunks(m, |w, cols| {
+                let mut slot = slots[w].lock();
+                let (col_chunk, lane, local_rep) = &mut *slot;
+                for j2 in cols.clone() {
+                    part2_col(
+                        plan,
+                        y_shared,
+                        ra_k,
+                        j2,
+                        optimized,
+                        &mut lane.buf,
+                        &mut lane.buf2,
+                        &mut lane.fft,
+                        injector,
+                        ctx,
+                        local_rep,
+                    );
+                    let off = (j2 - cols.start) * k;
+                    col_chunk[off..off + k].copy_from_slice(&lane.buf[..k]);
+                }
+            });
+            for slot in slots {
+                rep.merge(&slot.into_inner().2);
+            }
+        }
+
+        // Serial scatter: column j2 lands on the strided output positions
+        // in natural order, so the interleaved writes stay on one thread.
+        for (j2, col) in ws.cols[..k * m].chunks_exact(k).enumerate() {
+            two.scatter_output(out, j2, col);
         }
 
         injector.inject(ctx, Site::OutputMemory, out);
@@ -323,7 +367,7 @@ mod tests {
     #[test]
     fn pooled_matches_serial_bitwise_clean() {
         for scheme in [Scheme::OnlineComp, Scheme::OnlineCompOpt] {
-            for threads in [1usize, 2, 3, 7] {
+            for threads in [1usize, 2, 3, 7, 8] {
                 let (want, want_rep) = serial_run(scheme, 1 << 10, &NoFaults);
                 let (got, got_rep) = pooled_run(scheme, 1 << 10, threads, &NoFaults);
                 assert_eq!(got, want, "{scheme:?} threads={threads}");
@@ -356,9 +400,40 @@ mod tests {
         };
         let serial_inj = ScriptedInjector::new(faults());
         let (want, want_rep) = serial_run(Scheme::OnlineCompOpt, 1 << 10, &serial_inj);
-        for threads in [2usize, 4] {
+        for threads in [2usize, 4, 8] {
             let inj = ScriptedInjector::new(faults());
             let (got, got_rep) = pooled_run(Scheme::OnlineCompOpt, 1 << 10, threads, &inj);
+            assert!(inj.exhausted(), "threads={threads}");
+            assert_eq!(got_rep, want_rep, "threads={threads}");
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_part2_faults_detected_identically_unoptimized() {
+        // Second-part columns carry their own site index, so scripted
+        // faults strike the same column at any worker count — including
+        // under the unoptimized scheme, whose part-2 path also runs the
+        // per-column twiddle DMR.
+        let faults = || {
+            vec![
+                ScriptedFault::new(
+                    Site::SubFftCompute { part: Part::Second, index: 0 },
+                    1,
+                    FaultKind::AddDelta { re: -3e-2, im: 0.0 },
+                ),
+                ScriptedFault::new(
+                    Site::SubFftCompute { part: Part::Second, index: 14 },
+                    2,
+                    FaultKind::AddDelta { re: 0.0, im: 4.0 },
+                ),
+            ]
+        };
+        let serial_inj = ScriptedInjector::new(faults());
+        let (want, want_rep) = serial_run(Scheme::OnlineComp, 1 << 10, &serial_inj);
+        for threads in [2usize, 3, 5, 8] {
+            let inj = ScriptedInjector::new(faults());
+            let (got, got_rep) = pooled_run(Scheme::OnlineComp, 1 << 10, threads, &inj);
             assert!(inj.exhausted(), "threads={threads}");
             assert_eq!(got_rep, want_rep, "threads={threads}");
             assert_eq!(got, want, "threads={threads}");
