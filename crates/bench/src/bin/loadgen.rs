@@ -1,0 +1,112 @@
+//! Multi-tenant service load generator.
+//!
+//! Drives the [`FftService`] admission queue with a mixed size × scheme
+//! workload from concurrent closed-loop tenants (optionally paced at a
+//! fixed per-tenant request rate) and reports sustained throughput,
+//! plan-cache hit rate, coalesced batch statistics, and p50/p99/p999
+//! request latency — the same [`ftfft_bench::run_service_load`] harness
+//! perfgate's schema-v6 `service` section and hit-rate gate ride on.
+//!
+//! ```text
+//! cargo run -p ftfft-bench --release --bin loadgen -- \
+//!     [--smoke] [--tenants N] [--requests N] [--log2ns 10,12,14] \
+//!     [--schemes plain,online-comp-opt,online-mem-opt] [--rate R] \
+//!     [--workers N] [--max-batch N] [--max-wait-us U] [--out FILE]
+//! ```
+//!
+//! On a single-CPU runner the worker pool degrades to one worker; the
+//! cache/coalescing statistics are scheduling-independent, so the run
+//! stays meaningful (latency percentiles then mostly measure queueing).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use ftfft::prelude::*;
+use ftfft_bench::{run_service_load, Args, ServiceLoad};
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.has_flag("smoke");
+    let tenants: usize = args.get("tenants").unwrap_or(if smoke { 4 } else { 8 });
+    let requests: usize = args.get("requests").unwrap_or(if smoke { 40 } else { 200 });
+    let log2ns: Vec<usize> =
+        args.get_list("log2ns").unwrap_or(if smoke { vec![8, 10] } else { vec![10, 12, 14] });
+    let schemes: Vec<Scheme> = args
+        .get::<String>("schemes")
+        .map(|list| {
+            list.split(',')
+                .map(|s| Scheme::parse(s).unwrap_or_else(|| panic!("unknown scheme {s:?}")))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![Scheme::Plain, Scheme::OnlineCompOpt, Scheme::OnlineMemOpt]);
+    let rate: Option<f64> = args.get("rate");
+    let workers: usize = args.get("workers").unwrap_or_else(|| resolve_threads(None).clamp(1, 4));
+    let max_batch: usize = args.get("max-batch").unwrap_or(4);
+    let max_wait_us: u64 = args.get("max-wait-us").unwrap_or(200);
+
+    let load = ServiceLoad {
+        tenants,
+        requests_per_tenant: requests,
+        log2ns: log2ns.clone(),
+        schemes: schemes.clone(),
+        rate,
+        service: ServiceConfig::default()
+            .with_workers(workers)
+            .with_max_batch(max_batch)
+            .with_max_wait(Duration::from_micros(max_wait_us)),
+    };
+    let rep = run_service_load(&load);
+    let st = &rep.stats;
+
+    println!(
+        "loadgen: {tenants} tenants x {requests} requests, sizes {:?} (log2), schemes {:?}, \
+         rate {}, {} workers, max_batch {max_batch}, max_wait {max_wait_us}us",
+        log2ns,
+        schemes.iter().map(|s| s.name()).collect::<Vec<_>>(),
+        rate.map_or("unpaced".to_string(), |r| format!("{r:.0} req/s/tenant")),
+        workers,
+    );
+    println!(
+        "  {} requests ({} frames) in {:.3}s -> {:.0} req/s sustained",
+        st.requests, st.frames, rep.elapsed, rep.throughput
+    );
+    println!(
+        "  plan cache: {} specs, {} hits / {} misses, hit rate {:.4}",
+        rep.distinct_specs, st.cache_hits, st.cache_misses, st.hit_rate
+    );
+    println!(
+        "  coalescing: {} batches, mean {:.2} req/batch, max {}",
+        st.batches, st.mean_batch, st.max_batch
+    );
+    println!(
+        "  latency: p50 {:.0}us, p99 {:.0}us, p999 {:.0}us, max {:.0}us",
+        st.latency.p50.as_secs_f64() * 1e6,
+        st.latency.p99.as_secs_f64() * 1e6,
+        st.latency.p999.as_secs_f64() * 1e6,
+        st.latency.max.as_secs_f64() * 1e6,
+    );
+    assert_eq!(st.report.uncorrectable, 0);
+
+    if let Some(out) = args.get::<String>("out") {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"tenants\": {tenants},");
+        let _ = writeln!(s, "  \"requests_per_tenant\": {requests},");
+        let _ = writeln!(s, "  \"workers\": {workers},");
+        let _ = writeln!(s, "  \"max_batch\": {max_batch},");
+        let _ = writeln!(s, "  \"requests\": {},", st.requests);
+        let _ = writeln!(s, "  \"distinct_specs\": {},", rep.distinct_specs);
+        let _ = writeln!(s, "  \"elapsed_secs\": {:.6},", rep.elapsed);
+        let _ = writeln!(s, "  \"throughput_rps\": {:.3},", rep.throughput);
+        let _ = writeln!(s, "  \"cache_hit_rate\": {:.6},", st.hit_rate);
+        let _ = writeln!(s, "  \"batches\": {},", st.batches);
+        let _ = writeln!(s, "  \"mean_batch\": {:.6},", st.mean_batch);
+        let _ = writeln!(s, "  \"p50_us\": {:.3},", st.latency.p50.as_secs_f64() * 1e6);
+        let _ = writeln!(s, "  \"p99_us\": {:.3},", st.latency.p99.as_secs_f64() * 1e6);
+        let _ = writeln!(s, "  \"p999_us\": {:.3},", st.latency.p999.as_secs_f64() * 1e6);
+        let _ = writeln!(s, "  \"max_us\": {:.3}", st.latency.max.as_secs_f64() * 1e6);
+        s.push_str("}\n");
+        std::fs::write(&out, &s).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!("wrote {out}");
+    }
+}

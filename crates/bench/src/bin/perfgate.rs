@@ -25,6 +25,10 @@
 //!    (`FftPlan::new_parallel`) against the serial radix-2 plan it is
 //!    bitwise-identical to, plus what the `FTFFT_STRATEGY=auto` heuristic
 //!    would pick at this `(n, threads)`.
+//! 6. **Service workload** — the multi-tenant [`FftService`] driven by
+//!    [`ftfft_bench::run_service_load`] with a mixed size × scheme
+//!    workload: requests/sec, plan-cache hit rate, coalesced batch
+//!    statistics, and p50/p99/p999 request latency.
 //!
 //! On a box with no parallelism to measure (`threads = 1`, e.g. a
 //! single-CPU runner), every `threads = N` column is **skipped** — recorded
@@ -54,7 +58,10 @@
 //!   sizes; a mis-resolved `FusedPolicy` drags the whole median);
 //! * if the baseline carries `overhead_stream`, every streaming 1-worker
 //!   Opt-Online overhead must stay within
-//!   `overhead_stream · (1 + tolerance)`.
+//!   `overhead_stream · (1 + tolerance)`;
+//! * if the baseline carries `min_cache_hit_rate`, the service workload's
+//!   plan-cache hit rate must meet it — any mode (the rate is a count
+//!   ratio, not a timing, so smoke runs gate it too).
 //!
 //! ```text
 //! cargo run -p ftfft-bench --release --bin perfgate -- \
@@ -63,8 +70,8 @@
 //! ```
 //!
 //! `--smoke` shrinks the matrix to 2¹⁰/2¹² (the CI and `bin_smoke`
-//! configuration); kernel selection is forced per column via the
-//! `FTFFT_KERNEL` environment variable, exactly the A/B switch users have.
+//! configuration); kernel selection is pinned per column via
+//! `PlanSpec::builder(..).kernel(..)`, exactly the A/B switch users have.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -73,8 +80,8 @@ use ftfft::checksum::{combined_sum1_ref, gather_sum1, input_checksum_vector};
 use ftfft::fft::strided::gather;
 use ftfft::prelude::*;
 use ftfft_bench::{
-    gflops, median_secs, time_pooled_batch, time_scheme, time_scheme_cfg, time_streaming, Args,
-    BaselineSpec,
+    gflops, median_secs, run_service_load, time_pooled_batch, time_scheme_spec, time_streaming,
+    Args, BaselineSpec, ServiceLoad, ServiceLoadReport,
 };
 
 /// One timed cell of the kernel matrix.
@@ -192,6 +199,39 @@ impl ParCase {
     }
 }
 
+/// The multi-tenant service workload row: configuration + the
+/// [`ServiceLoadReport`] it produced.
+struct ServiceCase {
+    tenants: usize,
+    requests_per_tenant: usize,
+    workers: usize,
+    max_batch: usize,
+    report: ServiceLoadReport,
+}
+
+/// Drives the mixed service workload. Worker count follows the machine
+/// (the batching/caching logic is what's under test, and a 1-worker
+/// single-CPU run still exercises all of it); the hit-rate gate is a
+/// count ratio, so the same bound applies in smoke and full mode.
+fn run_service_case(smoke: bool, threads: usize) -> ServiceCase {
+    let (tenants, requests_per_tenant, log2ns) =
+        if smoke { (4, 40, vec![8, 10]) } else { (8, 60, vec![10, 12, 14]) };
+    let workers = threads.clamp(1, 4);
+    let max_batch = 4;
+    let report = run_service_load(&ServiceLoad {
+        tenants,
+        requests_per_tenant,
+        log2ns,
+        schemes: vec![Scheme::Plain, Scheme::OnlineCompOpt, Scheme::OnlineMemOpt],
+        rate: None,
+        service: ServiceConfig::default()
+            .with_workers(workers)
+            .with_max_batch(max_batch)
+            .with_max_wait(std::time::Duration::from_micros(200)),
+    });
+    ServiceCase { tenants, requests_per_tenant, workers, max_batch, report }
+}
+
 /// Formats an optional seconds/ratio column for the JSON artifact:
 /// `"skipped"` when there was nothing to measure.
 fn json_opt(v: Option<f64>, decimals: usize) -> String {
@@ -233,8 +273,6 @@ fn main() -> ExitCode {
             cases.push(time_case(kernel, log2n, runs));
         }
     }
-    // Leave no override behind for anything running in-process after us.
-    std::env::remove_var(KERNEL_ENV);
 
     let ccg: Vec<CcgCase> = log2ns.iter().map(|&l| time_ccg(l, runs)).collect();
     let threads_n = resolve_threads(None);
@@ -252,17 +290,22 @@ fn main() -> ExitCode {
         log2ns.iter().map(|&l| time_stream(l, threads_n, single_cpu, runs)).collect();
     let pars: Vec<ParCase> =
         log2ns.iter().map(|&l| time_parallel_dit(l, threads_n, single_cpu, runs)).collect();
+    let service = run_service_case(smoke, threads_n);
 
-    print_tables(&cases, &ccg, &batches, &streams, &pars, runs, smoke);
+    print_tables(&cases, &ccg, &batches, &streams, &pars, &service, runs, smoke);
 
-    let verdict =
-        if gate { Some(check_gate(&cases, &ccg, &streams, smoke, &baseline_path)) } else { None };
+    let verdict = if gate {
+        Some(check_gate(&cases, &ccg, &streams, &service, smoke, &baseline_path))
+    } else {
+        None
+    };
     let json = render_json(
         &cases,
         &ccg,
         &batches,
         &streams,
         &pars,
+        &service,
         threads_n,
         single_cpu,
         runs,
@@ -298,14 +341,22 @@ fn main() -> ExitCode {
 
 /// Times one (kernel, size) cell. The bare kernel is timed through the
 /// explicit-kernel plan API in both layouts (the layout A/B the SoA gate
-/// rides on); the scheme rows force the same kernel onto every
-/// power-of-two sub-FFT via `FTFFT_KERNEL` and leave the layout to the
-/// heuristic — exactly the configuration users get.
+/// rides on); the scheme rows pin the same kernel onto every power-of-two
+/// sub-FFT via `PlanSpec::builder(..).kernel(..)` and leave the layout to
+/// the heuristic — exactly the configuration users get.
 fn time_case(kernel: Pow2Kernel, log2n: u32, runs: usize) -> Case {
     let n = 1usize << log2n;
 
     let time_layout = |layout: Layout| {
-        let plan = FftPlan::new_with_kernel_layout(n, Direction::Forward, kernel, layout);
+        // Strategy pinned serial: this is a kernel/layout A/B, and at the
+        // full-mode sizes the Auto heuristic would otherwise hand 2^18+
+        // to the parallel DIT (which ignores both knobs).
+        let plan = FftPlan::from_spec(
+            &FftSpec::new(n, Direction::Forward)
+                .with_kernel(kernel)
+                .with_layout(layout)
+                .with_strategy(Strategy::Serial),
+        );
         let x = uniform_signal(n, 42);
         let mut dst = vec![Complex64::ZERO; n];
         let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
@@ -319,13 +370,13 @@ fn time_case(kernel: Pow2Kernel, log2n: u32, runs: usize) -> Case {
         Layout::Soa => plain_kernel_soa_secs,
     };
 
-    // time_scheme builds its plans after this override is in force, so
-    // every power-of-two sub-FFT inside the scheme uses `kernel`.
-    std::env::set_var(KERNEL_ENV, kernel.name());
-    let plain_scheme_secs = time_scheme(n, Scheme::Plain, runs);
-    let opt_online_secs = time_scheme(n, Scheme::OnlineMemOpt, runs);
+    // The spec template propagates the pinned kernel into every
+    // power-of-two sub-FFT the scheme plans.
+    let base = PlanSpec::builder(n).kernel(kernel);
+    let plain_scheme_secs = time_scheme_spec(&base.scheme(Scheme::Plain).build(), runs);
+    let opt_online_secs = time_scheme_spec(&base.scheme(Scheme::OnlineMemOpt).build(), runs);
     let opt_online_unfused_secs =
-        time_scheme_cfg(n, FtConfig::new(Scheme::OnlineMemOpt).with_fused(false), runs);
+        time_scheme_spec(&base.scheme(Scheme::OnlineMemOpt).fused(false).build(), runs);
 
     Case {
         kernel,
@@ -404,13 +455,21 @@ fn time_parallel_dit(log2n: u32, threads: usize, single_cpu: bool, runs: usize) 
     let x = uniform_signal(n, 42);
     let mut dst = vec![Complex64::ZERO; n];
 
-    let serial_plan =
-        FftPlan::new_with_kernel_layout(n, Direction::Forward, Pow2Kernel::Radix2, Layout::Aos);
+    let serial_plan = FftPlan::from_spec(
+        &FftSpec::new(n, Direction::Forward)
+            .with_kernel(Pow2Kernel::Radix2)
+            .with_layout(Layout::Aos)
+            .with_strategy(Strategy::Serial),
+    );
     let mut scratch = vec![Complex64::ZERO; serial_plan.scratch_len()];
     let serial_secs = median_secs(runs, || serial_plan.execute(&x, &mut dst, &mut scratch));
 
     let parallel_secs = (!single_cpu).then(|| {
-        let plan = FftPlan::new_parallel(n, Direction::Forward, threads);
+        let plan = FftPlan::from_spec(
+            &FftSpec::new(n, Direction::Forward)
+                .with_strategy(Strategy::Parallel)
+                .with_threads(threads),
+        );
         let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
         median_secs(runs, || plan.execute(&x, &mut dst, &mut scratch))
     });
@@ -419,12 +478,14 @@ fn time_parallel_dit(log2n: u32, threads: usize, single_cpu: bool, runs: usize) 
     ParCase { log2n, threads, strategy, serial_secs, parallel_secs }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn print_tables(
     cases: &[Case],
     ccg: &[CcgCase],
     batches: &[BatchCase],
     streams: &[StreamCase],
     pars: &[ParCase],
+    service: &ServiceCase,
     runs: usize,
     smoke: bool,
 ) {
@@ -523,6 +584,29 @@ fn print_tables(
             table_opt(p.speedup(), 2),
         );
     }
+    let st = &service.report.stats;
+    println!(
+        "\nservice workload ({} tenants x {} reqs, {} distinct specs, {} workers, \
+         max_batch {}):",
+        service.tenants,
+        service.requests_per_tenant,
+        service.report.distinct_specs,
+        service.workers,
+        service.max_batch
+    );
+    println!(
+        "  {} requests in {:.3}s ({:.0} req/s), hit rate {:.4}, mean batch {:.2} \
+         (max {}), p50/p99/p999 {:.0}/{:.0}/{:.0} us",
+        st.requests,
+        service.report.elapsed,
+        service.report.throughput,
+        st.hit_rate,
+        st.mean_batch,
+        st.max_batch,
+        st.latency.p50.as_secs_f64() * 1e6,
+        st.latency.p99.as_secs_f64() * 1e6,
+        st.latency.p999.as_secs_f64() * 1e6,
+    );
 }
 
 struct GateVerdict {
@@ -540,6 +624,7 @@ fn check_gate(
     cases: &[Case],
     ccg: &[CcgCase],
     streams: &[StreamCase],
+    service: &ServiceCase,
     smoke: bool,
     baseline_path: &str,
 ) -> GateVerdict {
@@ -667,6 +752,19 @@ fn check_gate(
             }
         }
     }
+    // Service cache gate: a count ratio (hits / lookups), so it applies in
+    // every mode — a hit rate below the bound means the canonical-spec
+    // keying broke (same-spec tenants no longer share plans).
+    if let Some(min_hit_rate) = spec.min_cache_hit_rate {
+        let hit_rate = service.report.stats.hit_rate;
+        if hit_rate < min_hit_rate {
+            failures.push(format!(
+                "service plan-cache hit rate {hit_rate:.4} below required {min_hit_rate:.2} \
+                 ({} requests, {} distinct specs)",
+                service.report.stats.requests, service.report.distinct_specs
+            ));
+        }
+    }
     GateVerdict {
         baseline,
         tolerance,
@@ -679,12 +777,9 @@ fn check_gate(
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v5: v4 fields are unchanged; v5 adds
-/// the top-level `threads`/`single_cpu` columns, the `parallel_strategy`
-/// matrix (two-halves DIT vs serial), and marks every unmeasurable
-/// `threads = N` column with the string `"skipped"` instead of a
-/// duplicated 1-worker number — CI artifacts from different commits must
-/// stay diffable.
+/// Renders `BENCH_PR.json`. Schema v6: v5 fields are unchanged; v6 adds
+/// the `service` section — the multi-tenant workload's request/latency/
+/// cache statistics from [`run_service_load`].
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     cases: &[Case],
@@ -692,6 +787,7 @@ fn render_json(
     batches: &[BatchCase],
     streams: &[StreamCase],
     pars: &[ParCase],
+    service: &ServiceCase,
     threads: usize,
     single_cpu: bool,
     runs: usize,
@@ -700,7 +796,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 5,");
+    let _ = writeln!(s, "  \"schema_version\": 6,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
@@ -805,6 +901,38 @@ fn render_json(
         s.push_str(if i + 1 < pars.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ],\n");
+    {
+        let st = &service.report.stats;
+        s.push_str("  \"service\": {");
+        let _ = write!(
+            s,
+            "\"tenants\": {}, \"requests_per_tenant\": {}, \"workers\": {}, \
+             \"max_batch\": {}, \"requests\": {}, \"distinct_specs\": {}, \
+             \"elapsed_secs\": {:.6}, \"throughput_rps\": {:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.6}, \
+             \"batches\": {}, \"mean_batch\": {:.6}, \"max_batch_seen\": {}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"max_us\": {:.3}",
+            service.tenants,
+            service.requests_per_tenant,
+            service.workers,
+            service.max_batch,
+            st.requests,
+            service.report.distinct_specs,
+            service.report.elapsed,
+            service.report.throughput,
+            st.cache_hits,
+            st.cache_misses,
+            st.hit_rate,
+            st.batches,
+            st.mean_batch,
+            st.max_batch,
+            st.latency.p50.as_secs_f64() * 1e6,
+            st.latency.p99.as_secs_f64() * 1e6,
+            st.latency.p999.as_secs_f64() * 1e6,
+            st.latency.max.as_secs_f64() * 1e6,
+        );
+        s.push_str("},\n");
+    }
     match verdict {
         Some(v) => {
             s.push_str("  \"gate\": {");

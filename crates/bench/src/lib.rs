@@ -6,7 +6,7 @@
 //! same rows/series the paper reports, for transcription into
 //! `EXPERIMENTS.md`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ftfft::prelude::*;
 
@@ -116,7 +116,15 @@ pub fn time_scheme(n: usize, scheme: Scheme, runs: usize) -> f64 {
 /// Times one sequential scheme with an explicit config (median of `runs`)
 /// — the hook the perf harness uses to A/B `FtConfig::fused`.
 pub fn time_scheme_cfg(n: usize, cfg: FtConfig, runs: usize) -> f64 {
-    let plan = FtFftPlan::new(n, Direction::Forward, cfg);
+    time_scheme_spec(&PlanSpec::from_config(n, Direction::Forward, cfg), runs)
+}
+
+/// Times one sequential scheme from a full [`PlanSpec`] (median of
+/// `runs`) — the builder-API hook the perf harness uses to pin kernels
+/// and layouts per column without touching process environment.
+pub fn time_scheme_spec(spec: &PlanSpec, runs: usize) -> f64 {
+    let n = spec.n();
+    let plan = FtFftPlan::from_spec(spec);
     let mut ws = plan.make_workspace();
     let x = uniform_signal(n, 42);
     let mut xin = x.clone();
@@ -159,6 +167,88 @@ pub fn time_streaming(n: usize, scheme: Scheme, threads: usize, frames: usize, r
         let rep = sched.analyze(&plan, &x, &mut spec, &NoFaults, &mut wss);
         assert_eq!(rep.ft.uncorrectable, 0);
     })
+}
+
+/// Workload description for [`run_service_load`]: `tenants` closed-loop
+/// clients each issuing `requests_per_tenant` requests, cycling through
+/// the cartesian product of `log2ns` × `schemes`, optionally paced at
+/// `rate` requests/sec per tenant (unpaced when `None`).
+pub struct ServiceLoad {
+    /// Concurrent tenant threads.
+    pub tenants: usize,
+    /// Requests each tenant issues.
+    pub requests_per_tenant: usize,
+    /// Transform sizes as log₂(n).
+    pub log2ns: Vec<usize>,
+    /// Protection schemes in the mix.
+    pub schemes: Vec<Scheme>,
+    /// Per-tenant request rate in requests/sec (`None` = as fast as the
+    /// service completes them).
+    pub rate: Option<f64>,
+    /// Service tuning (workers, batch bound, coalescing deadline, shards).
+    pub service: ServiceConfig,
+}
+
+/// What [`run_service_load`] hands back to loadgen and perfgate.
+pub struct ServiceLoadReport {
+    /// Final service-wide counters and latency percentiles.
+    pub stats: ServiceStats,
+    /// Distinct specs in the workload (the expected cache-miss count).
+    pub distinct_specs: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed: f64,
+    /// Completed requests per second.
+    pub throughput: f64,
+}
+
+/// Drives a mixed multi-tenant workload through one [`FftService`] and
+/// returns the aggregate statistics. Every tenant validates its own
+/// responses (clean reports), so a run that returns also certifies the
+/// service path end to end.
+pub fn run_service_load(load: &ServiceLoad) -> ServiceLoadReport {
+    let specs: Vec<PlanSpec> = load
+        .log2ns
+        .iter()
+        .flat_map(|&l| {
+            load.schemes.iter().map(move |&s| PlanSpec::builder(1 << l).scheme(s).build())
+        })
+        .collect();
+    assert!(!specs.is_empty(), "empty workload");
+    let svc = FftService::new(load.service);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..load.tenants {
+            let (svc, specs) = (&svc, &specs);
+            let (reqs, rate) = (load.requests_per_tenant, load.rate);
+            scope.spawn(move || {
+                let tenant = format!("tenant-{t}");
+                let start = Instant::now();
+                for r in 0..reqs {
+                    if let Some(rate) = rate {
+                        let due = start + Duration::from_secs_f64(r as f64 / rate);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    // Offset by tenant so concurrent tenants overlap on
+                    // every spec rather than marching in lockstep.
+                    let spec = &specs[(t + r) % specs.len()];
+                    let input = uniform_signal(spec.n(), (t * 1009 + r) as u64);
+                    let resp = svc.submit(&tenant, spec, input).wait();
+                    assert_eq!(resp.report.uncorrectable, 0, "tenant {t} request {r}");
+                    assert_eq!(resp.output.len(), spec.n());
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = svc.stats();
+    ServiceLoadReport {
+        throughput: if elapsed > 0.0 { stats.requests as f64 / elapsed } else { 0.0 },
+        distinct_specs: specs.len(),
+        stats,
+        elapsed,
+    }
 }
 
 /// Times one sequential scheme with a scripted fault set built per run.
@@ -301,6 +391,9 @@ pub struct BaselineSpec {
     /// kernel-matrix cell at sizes ≥ 2¹⁶ may lose to its sibling layout
     /// (full mode; since v5).
     pub max_sibling_loss: Option<f64>,
+    /// Minimum plan-cache hit rate of the multi-tenant service workload
+    /// (all modes; since v6).
+    pub min_cache_hit_rate: Option<f64>,
 }
 
 impl BaselineSpec {
@@ -316,6 +409,7 @@ impl BaselineSpec {
             min_soa_speedup: json_number(&fields, "min_soa_speedup"),
             min_fused_gain: json_number(&fields, "min_fused_gain"),
             max_sibling_loss: json_number(&fields, "max_sibling_loss"),
+            min_cache_hit_rate: json_number(&fields, "min_cache_hit_rate"),
         })
     }
 }
@@ -369,6 +463,7 @@ pub const HARNESS_BINS: &[HarnessBin] = &[
         smoke_args: &["--log2n", "10", "--runs", "5"],
     },
     HarnessBin { name: "opcount", full_args: &[], smoke_args: &["--log2n", "10", "--runs", "1"] },
+    HarnessBin { name: "loadgen", full_args: &[], smoke_args: &["--smoke"] },
     HarnessBin { name: "perfgate", full_args: &[], smoke_args: &["--smoke"] },
 ];
 
@@ -576,6 +671,58 @@ mod tests {
         }"#;
         let spec = BaselineSpec::parse(v5).expect("v5 baseline must parse");
         assert_eq!(spec.max_sibling_loss, Some(0.3));
+    }
+
+    #[test]
+    fn baseline_spec_accepts_v5_fixture_without_cache_key() {
+        // The exact key set of the committed v5 baseline: a v6 binary
+        // must keep accepting it, with the cache gate simply absent.
+        let v5 = r#"{
+            "schema_version": 5,
+            "comment": "ratios, measured on the CI runner",
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_ccg_speedup": 1.15,
+            "overhead_stream": 2.0,
+            "min_soa_speedup": 1.15,
+            "min_fused_gain": 0.97,
+            "max_sibling_loss": 0.3
+        }"#;
+        let spec = BaselineSpec::parse(v5).expect("v5 baseline must parse");
+        assert_eq!(spec.max_sibling_loss, Some(0.3));
+        assert_eq!(spec.min_cache_hit_rate, None);
+    }
+
+    #[test]
+    fn baseline_spec_reads_v6_cache_key() {
+        let v6 = r#"{
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_cache_hit_rate": 0.9
+        }"#;
+        let spec = BaselineSpec::parse(v6).expect("v6 baseline must parse");
+        assert_eq!(spec.min_cache_hit_rate, Some(0.9));
+    }
+
+    #[test]
+    fn service_load_smoke() {
+        let rep = run_service_load(&ServiceLoad {
+            tenants: 2,
+            requests_per_tenant: 6,
+            log2ns: vec![8],
+            schemes: vec![Scheme::OnlineMemOpt],
+            rate: None,
+            service: ServiceConfig::default()
+                .with_workers(2)
+                .with_max_batch(2)
+                .with_max_wait(Duration::from_micros(100)),
+        });
+        assert_eq!(rep.stats.requests, 12);
+        assert_eq!(rep.distinct_specs, 1);
+        assert_eq!(rep.stats.cache_misses, 1);
+        assert!(rep.stats.hit_rate > 0.9, "11/12 lookups must hit: {}", rep.stats.hit_rate);
+        assert!(rep.throughput > 0.0);
+        assert!(rep.stats.latency.p50 <= rep.stats.latency.p999);
     }
 
     #[test]

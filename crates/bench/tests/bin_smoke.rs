@@ -77,6 +77,14 @@ fn opcount_smoke() {
 }
 
 #[test]
+fn loadgen_smoke() {
+    let out = run_ok("loadgen", env!("CARGO_BIN_EXE_loadgen"), smoke_args("loadgen"));
+    assert!(out.contains("hit rate"), "cache stats missing:\n{out}");
+    assert!(out.contains("p999"), "latency percentiles missing:\n{out}");
+    assert!(out.contains("req/s sustained"), "throughput missing:\n{out}");
+}
+
+#[test]
 fn perfgate_smoke() {
     // Write BENCH_PR.json into the test temp dir; assert the gate verdict
     // and the stable schema header are present.
@@ -88,7 +96,7 @@ fn perfgate_smoke() {
     assert!(stdout.contains("perf gate OK"), "unexpected output:\n{stdout}");
     let json = std::fs::read_to_string(&out).expect("perfgate wrote BENCH_PR.json");
     let _ = std::fs::remove_file(&out);
-    assert!(json.contains("\"schema_version\": 5"), "schema header missing:\n{json}");
+    assert!(json.contains("\"schema_version\": 6"), "schema header missing:\n{json}");
     assert!(json.contains("\"threads\""), "threads column missing:\n{json}");
     assert!(json.contains("\"single_cpu\""), "single_cpu column missing:\n{json}");
     assert!(json.contains("\"parallel_strategy\""), "parallel section missing:\n{json}");
@@ -101,6 +109,9 @@ fn perfgate_smoke() {
     assert!(json.contains("\"pooled_batch\""), "batch section missing:\n{json}");
     assert!(json.contains("\"streaming\""), "streaming section missing:\n{json}");
     assert!(json.contains("\"optonline_fps_t1\""), "streaming fps column missing:\n{json}");
+    assert!(json.contains("\"service\""), "service section missing:\n{json}");
+    assert!(json.contains("\"cache_hit_rate\""), "cache hit rate missing:\n{json}");
+    assert!(json.contains("\"p999_us\""), "latency percentiles missing:\n{json}");
     assert!(json.contains("\"pass\": true"), "gate block missing:\n{json}");
 }
 
@@ -115,7 +126,7 @@ fn smoke_tests_cover_every_orchestrated_binary() {
         names,
         [
             "fig7", "table1", "fig8", "table2", "table3", "table4", "table5", "table6", "opcount",
-            "perfgate"
+            "loadgen", "perfgate"
         ]
     );
 }

@@ -1,6 +1,10 @@
-//! Scheme selection and executor configuration.
+//! Scheme selection and executor configuration, and the canonical
+//! [`PlanSpec`] every protected plan is built from.
 
-use ftfft_fft::Layout;
+use std::hash::{Hash, Hasher};
+
+use ftfft_fft::{Direction, FftSpec, Layout, Pow2Kernel, Strategy};
+use ftfft_numeric::{simd_level, SimdLevel};
 
 /// Which fault-tolerance scheme wraps the FFT.
 ///
@@ -63,6 +67,27 @@ impl Scheme {
         }
     }
 
+    /// Stable lowercase name (accepted back by [`Scheme::parse`] — the
+    /// loadgen harness' `--schemes` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Plain => "plain",
+            Scheme::OfflineNaive => "offline-naive",
+            Scheme::Offline => "offline",
+            Scheme::OnlineComp => "online-comp",
+            Scheme::OnlineCompOpt => "online-comp-opt",
+            Scheme::OfflineMem => "offline-mem",
+            Scheme::OnlineMem => "online-mem",
+            Scheme::OnlineMemOpt => "online-mem-opt",
+        }
+    }
+
+    /// Parses a scheme name (accepts `-`/`_` interchangeably).
+    pub fn parse(name: &str) -> Option<Scheme> {
+        let name = name.to_ascii_lowercase().replace('_', "-");
+        Scheme::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
     /// All schemes, in Fig 7 presentation order.
     pub const ALL: [Scheme; 8] = [
         Scheme::Plain,
@@ -86,7 +111,7 @@ impl Scheme {
 /// (radix2 @ 2¹²) where the gather buffer is L1-resident and the
 /// streaming-accumulator setup is pure overhead per tiny column — hence a
 /// per-(size, layout) resolution instead of a global boolean.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FusedPolicy {
     /// Per-(size, layout) heuristic (the default): fused except for very
     /// short checksum columns, where accumulator setup dominates the
@@ -217,6 +242,358 @@ impl FtConfig {
     }
 }
 
+/// The canonical description of a protected FFT plan — size, direction,
+/// scheme, every planner knob, and every threshold knob — and the single
+/// public way to configure one: build it with [`PlanSpec::builder`], then
+/// hand it to any `from_spec` constructor (`FtFftPlan`, `RealFtFftPlan`,
+/// the stream plans) or to the `ftfft-service` layer, which uses the
+/// resolved spec as its plan-cache key.
+///
+/// Unset knobs resolve in the fixed order **explicit builder > env/forced
+/// override > heuristic**, applied once at plan-build time by
+/// [`PlanSpec::resolve`] — a built plan never re-reads the environment.
+/// `Hash`/`Eq` are bit-exact (the `f64` threshold knobs compare by bits),
+/// so two specs are equal exactly when they build interchangeable plans.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanSpec {
+    n: usize,
+    dir: Direction,
+    scheme: Scheme,
+    kernel: Option<Pow2Kernel>,
+    layout: Option<Layout>,
+    strategy: Option<Strategy>,
+    threads: Option<usize>,
+    fused: FusedPolicy,
+    /// SIMD dispatch level recorded at resolution (`FTFFT_SIMD` routes
+    /// through the same process-global detection every kernel uses; the
+    /// spec records it so cache keys and telemetry distinguish runs, not
+    /// to steer per-plan dispatch — that is process-wide by design).
+    simd: Option<SimdLevel>,
+    max_retries: u32,
+    batch_s: usize,
+    split_k: Option<usize>,
+    sigma0: f64,
+    threshold_scale: f64,
+}
+
+impl PlanSpec {
+    /// Starts a builder for an `n`-point forward transform of the
+    /// unprotected [`Scheme::Plain`]; every other knob starts at the
+    /// [`FtConfig::new`] defaults.
+    pub fn builder(n: usize) -> PlanSpecBuilder {
+        PlanSpecBuilder {
+            spec: PlanSpec::from_config(n, Direction::Forward, FtConfig::new(Scheme::Plain)),
+        }
+    }
+
+    /// Bridges a legacy [`FtConfig`] into a spec — what the thin
+    /// `FtFftPlan::new`-style wrappers call.
+    pub fn from_config(n: usize, dir: Direction, cfg: FtConfig) -> PlanSpec {
+        PlanSpec {
+            n,
+            dir,
+            scheme: cfg.scheme,
+            kernel: None,
+            layout: None,
+            strategy: None,
+            threads: cfg.threads,
+            fused: cfg.fused,
+            simd: None,
+            max_retries: cfg.max_retries,
+            batch_s: cfg.batch_s,
+            split_k: cfg.split_k,
+            sigma0: cfg.sigma0,
+            threshold_scale: cfg.threshold_scale,
+        }
+    }
+
+    /// The env/forced tier, and the **single point where the `FTFFT_*`
+    /// environment enters protected-plan resolution**: fills every
+    /// still-unset planner knob from `FTFFT_KERNEL` / `FTFFT_LAYOUT` /
+    /// `FTFFT_STRATEGY` / `FTFFT_THREADS` (via [`FftSpec::from_env_overrides`],
+    /// which also honors the `force_*` test overrides) and records the
+    /// `FTFFT_SIMD`-resolved dispatch level. Explicit builder choices are
+    /// never overwritten; knobs with no override stay unset for the
+    /// per-sub-plan heuristics.
+    pub fn from_env_overrides(mut self) -> PlanSpec {
+        let f = self.fft_template().from_env_overrides();
+        self.kernel = f.kernel;
+        self.layout = f.layout;
+        self.strategy = f.strategy;
+        self.threads = f.threads;
+        self.simd = self.simd.or_else(|| Some(simd_level()));
+        self
+    }
+
+    /// Canonical resolution: [`PlanSpec::from_env_overrides`] applied
+    /// exactly once, at plan-build time. The remaining `None` knobs are
+    /// deliberate — they mean "per-sub-plan heuristic", which the
+    /// decomposition applies per sub-FFT *size* through
+    /// [`FftSpec::resolve`] when each sub-plan is built. Because those
+    /// heuristics are pure functions of (size, resolved knobs), two specs
+    /// that are equal after `resolve` build bitwise-interchangeable plans
+    /// — which is why the service layer keys its plan cache on the
+    /// resolved spec.
+    pub fn resolve(self) -> PlanSpec {
+        self.from_env_overrides()
+    }
+
+    /// The raw-FFT half of this spec: the template every sub-FFT of the
+    /// decomposition inherits its pinned knobs from (`n`/`dir` are
+    /// replaced per sub-plan).
+    pub fn fft_template(&self) -> FftSpec {
+        FftSpec {
+            n: self.n,
+            dir: self.dir,
+            kernel: self.kernel,
+            layout: self.layout,
+            strategy: self.strategy,
+            threads: self.threads,
+        }
+    }
+
+    /// Reconstructs the executor configuration this spec describes.
+    pub fn ft_config(&self) -> FtConfig {
+        FtConfig {
+            scheme: self.scheme,
+            max_retries: self.max_retries,
+            sigma0: self.sigma0,
+            threshold_scale: self.threshold_scale,
+            split_k: self.split_k,
+            batch_s: self.batch_s,
+            fused: self.fused,
+            threads: self.threads,
+        }
+    }
+
+    /// Same spec for a different size (used by the real-input and stream
+    /// plans, which derive inner complex sizes from the caller's).
+    pub fn with_n(mut self, n: usize) -> PlanSpec {
+        self.n = n;
+        self
+    }
+
+    /// Same spec for a different direction.
+    pub fn with_direction(mut self, dir: Direction) -> PlanSpec {
+        self.dir = dir;
+        self
+    }
+
+    /// Same spec with a different σ₀ (the stream plans scale σ₀ by window
+    /// energy).
+    pub fn with_sigma0(mut self, sigma0: f64) -> PlanSpec {
+        self.sigma0 = sigma0;
+        self
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Transform direction.
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// Fault-tolerance scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Pinned power-of-two kernel, if any.
+    pub fn kernel(&self) -> Option<Pow2Kernel> {
+        self.kernel
+    }
+
+    /// Pinned data layout, if any.
+    pub fn layout(&self) -> Option<Layout> {
+        self.layout
+    }
+
+    /// Pinned execution strategy, if any.
+    pub fn strategy(&self) -> Option<Strategy> {
+        self.strategy
+    }
+
+    /// Pinned worker count, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Fused gather+checksum policy.
+    pub fn fused(&self) -> FusedPolicy {
+        self.fused
+    }
+
+    /// SIMD dispatch level recorded at resolution (`None` before
+    /// [`PlanSpec::resolve`]).
+    pub fn simd(&self) -> Option<SimdLevel> {
+        self.simd
+    }
+
+    /// Retry bound.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Second-part batch size `s`.
+    pub fn batch_s(&self) -> usize {
+        self.batch_s
+    }
+
+    /// Explicit first-layer split, if any.
+    pub fn split_k(&self) -> Option<usize> {
+        self.split_k
+    }
+
+    /// Input component standard deviation σ₀.
+    pub fn sigma0(&self) -> f64 {
+        self.sigma0
+    }
+
+    /// Threshold scale factor.
+    pub fn threshold_scale(&self) -> f64 {
+        self.threshold_scale
+    }
+
+    /// Everything that distinguishes two specs, with the `f64` knobs in
+    /// bit form so the derived-looking `Eq`/`Hash` below are total.
+    #[allow(clippy::type_complexity)]
+    fn key(
+        &self,
+    ) -> (
+        (usize, Direction, Scheme, Option<Pow2Kernel>, Option<Layout>, Option<Strategy>),
+        (Option<usize>, FusedPolicy, Option<SimdLevel>, u32, usize, Option<usize>),
+        (u64, u64),
+    ) {
+        (
+            (self.n, self.dir, self.scheme, self.kernel, self.layout, self.strategy),
+            (self.threads, self.fused, self.simd, self.max_retries, self.batch_s, self.split_k),
+            (self.sigma0.to_bits(), self.threshold_scale.to_bits()),
+        )
+    }
+}
+
+impl PartialEq for PlanSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for PlanSpec {}
+
+impl Hash for PlanSpec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+/// Fluent constructor for [`PlanSpec`] — the builder API every example
+/// and harness goes through. Knobs left untouched resolve from the env
+/// overrides and the planner heuristics at build time.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanSpecBuilder {
+    spec: PlanSpec,
+}
+
+impl PlanSpecBuilder {
+    /// Sets the transform direction (default forward).
+    pub fn direction(mut self, dir: Direction) -> Self {
+        self.spec.dir = dir;
+        self
+    }
+
+    /// Sets the fault-tolerance scheme (default [`Scheme::Plain`]).
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.spec.scheme = scheme;
+        self
+    }
+
+    /// Pins the power-of-two kernel for every sub-FFT (default: the
+    /// `FTFFT_KERNEL` override, then the size heuristic per sub-plan).
+    pub fn kernel(mut self, kernel: Pow2Kernel) -> Self {
+        self.spec.kernel = Some(kernel);
+        self
+    }
+
+    /// Pins the data layout (default: `FTFFT_LAYOUT`, then the size
+    /// heuristic per sub-plan). Explicit layouts are honored verbatim —
+    /// the A/B primitive.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.spec.layout = Some(layout);
+        self
+    }
+
+    /// Pins the execution strategy (default: `FTFFT_STRATEGY`, then
+    /// [`Strategy::Auto`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.spec.strategy = Some(strategy);
+        self
+    }
+
+    /// Pins the worker count (default: `FTFFT_THREADS`, then hardware
+    /// parallelism). Feeds both the pooled executors and the parallel-DIT
+    /// strategy decision.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.spec.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Pins the fused gather+checksum hot path on or off, mirroring
+    /// [`FtConfig::with_fused`]: `true` maps to [`FusedPolicy::Always`],
+    /// `false` to [`FusedPolicy::Never`]. The per-size default
+    /// ([`FusedPolicy::Auto`]) is only reachable by *not* calling this —
+    /// or explicitly via [`PlanSpecBuilder::fused_policy`].
+    pub fn fused(self, fused: bool) -> Self {
+        self.fused_policy(if fused { FusedPolicy::Always } else { FusedPolicy::Never })
+    }
+
+    /// Sets the fused-path policy directly, making [`FusedPolicy::Auto`]
+    /// reachable without env vars.
+    pub fn fused_policy(mut self, policy: FusedPolicy) -> Self {
+        self.spec.fused = policy;
+        self
+    }
+
+    /// Overrides the retry bound.
+    pub fn max_retries(mut self, r: u32) -> Self {
+        self.spec.max_retries = r;
+        self
+    }
+
+    /// Overrides the input σ₀.
+    pub fn sigma0(mut self, sigma0: f64) -> Self {
+        self.spec.sigma0 = sigma0;
+        self
+    }
+
+    /// Overrides the threshold scale factor.
+    pub fn threshold_scale(mut self, s: f64) -> Self {
+        self.spec.threshold_scale = s;
+        self
+    }
+
+    /// Overrides the first-layer split.
+    pub fn split_k(mut self, k: usize) -> Self {
+        self.spec.split_k = Some(k);
+        self
+    }
+
+    /// Overrides the second-part batch size `s`.
+    pub fn batch_s(mut self, s: usize) -> Self {
+        self.spec.batch_s = s;
+        self
+    }
+
+    /// Finishes the build. The spec is *not* yet resolved — resolution
+    /// (env + heuristics) happens once, inside the `from_spec`
+    /// constructor that consumes it.
+    pub fn build(self) -> PlanSpec {
+        self.spec
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +626,121 @@ mod tests {
         assert_eq!(FtConfig::new(Scheme::Plain).fused, FusedPolicy::Auto);
         assert_eq!(FtConfig::new(Scheme::Plain).with_fused(true).fused, FusedPolicy::Always);
         assert_eq!(FtConfig::new(Scheme::Plain).with_threads(0).threads, Some(1));
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scheme::parse("online_mem_opt"), Some(Scheme::OnlineMemOpt));
+        assert_eq!(Scheme::parse("ONLINE-COMP"), Some(Scheme::OnlineComp));
+        assert_eq!(Scheme::parse("fftw"), None);
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let spec = PlanSpec::builder(1 << 12)
+            .direction(Direction::Inverse)
+            .scheme(Scheme::OnlineMemOpt)
+            .kernel(Pow2Kernel::Radix4)
+            .layout(Layout::Soa)
+            .strategy(Strategy::Serial)
+            .threads(4)
+            .fused_policy(FusedPolicy::Auto)
+            .max_retries(5)
+            .sigma0(1.0)
+            .threshold_scale(2.0)
+            .split_k(64)
+            .batch_s(16)
+            .build();
+        assert_eq!(spec.n(), 1 << 12);
+        assert_eq!(spec.direction(), Direction::Inverse);
+        assert_eq!(spec.scheme(), Scheme::OnlineMemOpt);
+        assert_eq!(spec.kernel(), Some(Pow2Kernel::Radix4));
+        assert_eq!(spec.layout(), Some(Layout::Soa));
+        assert_eq!(spec.strategy(), Some(Strategy::Serial));
+        assert_eq!(spec.threads(), Some(4));
+        assert_eq!(spec.fused(), FusedPolicy::Auto);
+        assert_eq!(spec.max_retries(), 5);
+        assert_eq!(spec.sigma0(), 1.0);
+        assert_eq!(spec.threshold_scale(), 2.0);
+        assert_eq!(spec.split_k(), Some(64));
+        assert_eq!(spec.batch_s(), 16);
+        let cfg = spec.ft_config();
+        assert_eq!(cfg.scheme, Scheme::OnlineMemOpt);
+        assert_eq!(cfg.fused, FusedPolicy::Auto);
+        assert_eq!(cfg.split_k, Some(64));
+        assert_eq!(cfg.threads, Some(4));
+    }
+
+    #[test]
+    fn builder_fused_bool_maps_to_always_never() {
+        // The documented with_fused(bool) contract, on both APIs:
+        // true → Always, false → Never, untouched → Auto.
+        assert_eq!(PlanSpec::builder(8).fused(true).build().fused(), FusedPolicy::Always);
+        assert_eq!(PlanSpec::builder(8).fused(false).build().fused(), FusedPolicy::Never);
+        assert_eq!(PlanSpec::builder(8).build().fused(), FusedPolicy::Auto);
+        assert_eq!(FtConfig::new(Scheme::Plain).with_fused(true).fused, FusedPolicy::Always);
+        assert_eq!(FtConfig::new(Scheme::Plain).with_fused(false).fused, FusedPolicy::Never);
+        // Auto is reachable without env vars through either policy setter.
+        assert_eq!(
+            FtConfig::new(Scheme::Plain)
+                .with_fused(false)
+                .with_fused_policy(FusedPolicy::Auto)
+                .fused,
+            FusedPolicy::Auto
+        );
+    }
+
+    #[test]
+    fn spec_precedence_explicit_beats_forced_beats_heuristic() {
+        use ftfft_fft::force_layout;
+        // Heuristic tier: nothing set, nothing forced — resolution leaves
+        // the knob for the per-sub-plan heuristic.
+        let heuristic = PlanSpec::builder(1 << 12).build();
+        // Env/forced tier beats heuristic…
+        force_layout(Some(Layout::Aos));
+        assert_eq!(heuristic.resolve().layout(), Some(Layout::Aos));
+        // …but never an explicit builder choice.
+        let explicit = PlanSpec::builder(1 << 12).layout(Layout::Soa).build();
+        assert_eq!(explicit.resolve().layout(), Some(Layout::Soa));
+        force_layout(None);
+    }
+
+    #[test]
+    fn spec_resolution_records_simd_and_is_idempotent() {
+        let spec = PlanSpec::builder(256).scheme(Scheme::OnlineCompOpt).build();
+        assert_eq!(spec.simd(), None);
+        let r = spec.resolve();
+        assert!(r.simd().is_some(), "resolution records the dispatch level");
+        assert!(r.threads().is_some(), "resolution pins the worker count");
+        assert_eq!(r, r.resolve(), "resolve is a fixpoint");
+    }
+
+    #[test]
+    fn spec_hash_eq_distinguish_every_knob() {
+        use std::collections::HashSet;
+        let base = || PlanSpec::builder(1 << 10).scheme(Scheme::OnlineMemOpt);
+        let specs = [
+            base().build(),
+            base().direction(Direction::Inverse).build(),
+            base().scheme(Scheme::Plain).build(),
+            base().kernel(Pow2Kernel::Radix2).build(),
+            base().layout(Layout::Aos).build(),
+            base().strategy(Strategy::Serial).build(),
+            base().threads(2).build(),
+            base().fused(true).build(),
+            base().fused(false).build(),
+            base().max_retries(9).build(),
+            base().sigma0(0.25).build(),
+            base().threshold_scale(3.0).build(),
+            base().split_k(32).build(),
+            base().batch_s(4).build(),
+        ];
+        let set: HashSet<PlanSpec> = specs.iter().copied().collect();
+        assert_eq!(set.len(), specs.len(), "every knob must key the hash");
+        assert_eq!(specs[0], base().build(), "equal specs stay equal");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod plan;
 pub mod real;
 pub mod report;
 
-pub use config::{FtConfig, FusedPolicy, Scheme};
+pub use config::{FtConfig, FusedPolicy, PlanSpec, PlanSpecBuilder, Scheme};
 pub use inplace::{InPlaceFtPlan, InPlaceWorkspace};
 pub use plan::{FtFftPlan, Workspace};
 pub use real::{RealFtFftPlan, RealWorkspace};

@@ -6,7 +6,7 @@ use ftfft_fft::{Direction, Planner, TwoLayerPlan, TwoLayerScratch};
 use ftfft_numeric::Complex64;
 use ftfft_roundoff::{scaled, thresholds_for_split, Thresholds};
 
-use crate::config::{FtConfig, Scheme};
+use crate::config::{FtConfig, PlanSpec, Scheme};
 use crate::report::FtReport;
 use crate::{memory_ft, memory_ft_opt, offline, online};
 
@@ -36,6 +36,9 @@ pub struct FtFftPlan {
     fused_part1: bool,
     /// `cfg.fused` resolved for the k-element part-2 columns.
     fused_part2: bool,
+    /// The resolved spec this plan was built from (env overrides already
+    /// applied) — the canonical cache key for plan-sharing layers.
+    spec: PlanSpec,
 }
 
 /// Reusable working storage for [`FtFftPlan::execute`]. Allocation-free in
@@ -79,12 +82,21 @@ pub struct Workspace {
 }
 
 impl FtFftPlan {
-    /// Plans a protected transform of size `n`.
+    /// Plans the protected transform described by `spec` — the primary
+    /// constructor. The spec is resolved here (env overrides applied
+    /// exactly once, at build time); its pinned kernel/layout/strategy
+    /// knobs propagate into every sub-FFT of the decomposition through a
+    /// spec-templated [`Planner`], and whatever is left unset falls to the
+    /// per-sub-plan-size heuristics.
     ///
     /// # Panics
-    /// Panics if `n == 0` or an explicit `split_k` does not divide `n`.
-    pub fn new(n: usize, dir: Direction, cfg: FtConfig) -> Self {
-        let planner = Planner::new();
+    /// Panics if `spec.n() == 0` or an explicit `split_k` does not divide
+    /// `n`.
+    pub fn from_spec(spec: &PlanSpec) -> Self {
+        let spec = spec.resolve();
+        let cfg = spec.ft_config();
+        let (n, dir) = (spec.n(), spec.direction());
+        let planner = Planner::with_spec(spec.fft_template());
         let two = match cfg.split_k {
             Some(k) => TwoLayerPlan::with_split(&planner, n, k, dir),
             None => TwoLayerPlan::new(&planner, n, dir),
@@ -97,7 +109,24 @@ impl FtFftPlan {
         // and the SoA fused path has a lower break-even than the AoS one.
         let fused_part1 = cfg.fused.resolve_for(two.m(), two.inner_plan().layout());
         let fused_part2 = cfg.fused.resolve_for(two.k(), two.outer_plan().layout());
-        FtFftPlan { cfg, n, dir, two, thresholds, fused_part1, fused_part2 }
+        FtFftPlan { cfg, n, dir, two, thresholds, fused_part1, fused_part2, spec }
+    }
+
+    /// Plans a protected transform of size `n` — a thin wrapper bridging
+    /// `cfg` into a [`PlanSpec`] (see [`PlanSpec::from_config`]) for
+    /// [`FtFftPlan::from_spec`].
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or an explicit `split_k` does not divide `n`.
+    pub fn new(n: usize, dir: Direction, cfg: FtConfig) -> Self {
+        Self::from_spec(&PlanSpec::from_config(n, dir, cfg))
+    }
+
+    /// The resolved spec this plan was built from — equal specs (after
+    /// [`PlanSpec::resolve`]) build bitwise-interchangeable plans, which
+    /// is what plan-sharing layers key on.
+    pub fn spec(&self) -> &PlanSpec {
+        &self.spec
     }
 
     /// Transform size.

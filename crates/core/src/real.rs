@@ -23,7 +23,7 @@ use ftfft_fft::real::{pack_real, repack_spectrum, split_twiddles, unpack_real, u
 use ftfft_fft::Direction;
 use ftfft_numeric::Complex64;
 
-use crate::config::FtConfig;
+use crate::config::{FtConfig, PlanSpec};
 use crate::plan::{FtFftPlan, Workspace};
 use crate::report::FtReport;
 
@@ -61,17 +61,36 @@ impl RealWorkspace {
 }
 
 impl RealFtFftPlan {
-    /// Plans a protected real transform of even size `n ≥ 4`.
+    /// Plans the protected real transform described by `spec`, whose `n`
+    /// is the *real* frame length: the wrapped complex plan is built from
+    /// the same spec at size `n/2`, so pinned kernel/layout/strategy
+    /// knobs carry into the packed transform's sub-plans.
     ///
     /// # Panics
-    /// Panics if `n` is odd or smaller than 4 (the half-size protected
-    /// transform needs at least 2 points).
-    pub fn new(n: usize, dir: Direction, cfg: FtConfig) -> Self {
+    /// Panics if `spec.n()` is odd or smaller than 4 (the half-size
+    /// protected transform needs at least 2 points).
+    pub fn from_spec(spec: &PlanSpec) -> Self {
+        let (n, dir) = (spec.n(), spec.direction());
         assert!(
             n >= 4 && n.is_multiple_of(2),
             "protected real FFT needs even length >= 4, got {n}"
         );
-        RealFtFftPlan { n, dir, plan: FtFftPlan::new(n / 2, dir, cfg), w: split_twiddles(n, dir) }
+        RealFtFftPlan {
+            n,
+            dir,
+            plan: FtFftPlan::from_spec(&spec.with_n(n / 2)),
+            w: split_twiddles(n, dir),
+        }
+    }
+
+    /// Plans a protected real transform of even size `n ≥ 4` — a thin
+    /// wrapper bridging `cfg` into a [`PlanSpec`] for
+    /// [`RealFtFftPlan::from_spec`].
+    ///
+    /// # Panics
+    /// Panics if `n` is odd or smaller than 4.
+    pub fn new(n: usize, dir: Direction, cfg: FtConfig) -> Self {
+        Self::from_spec(&PlanSpec::from_config(n, dir, cfg))
     }
 
     /// Signal length `n`.

@@ -55,7 +55,7 @@ pub const STRATEGY_ENV: &str = "FTFFT_STRATEGY";
 pub const PARALLEL_MIN: usize = 1 << 18;
 
 /// Execution strategy for a single power-of-two transform.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Size- and thread-aware heuristic: the two-halves parallel DIT for
     /// `n ≥ 2^18` when more than one worker is available, serial kernels
@@ -87,22 +87,30 @@ impl Strategy {
         }
     }
 
-    /// The strategy in force: a [`force_strategy`] override first, then
-    /// the `FTFFT_STRATEGY` variable (panicking on an unknown name — a
-    /// silent typo would invalidate an A/B run), [`Strategy::Auto`]
-    /// otherwise.
-    pub fn choose() -> Strategy {
+    /// The override tier of strategy resolution: a [`force_strategy`]
+    /// pin first, then the `FTFFT_STRATEGY` variable (panicking on an
+    /// unknown name — a silent typo would invalidate an A/B run), `None`
+    /// when neither is set and the heuristic should decide.
+    pub fn env_or_forced() -> Option<Strategy> {
         match FORCED_STRATEGY.load(Ordering::Relaxed) {
-            1 => return Strategy::Auto,
-            2 => return Strategy::Serial,
-            3 => return Strategy::Parallel,
+            1 => return Some(Strategy::Auto),
+            2 => return Some(Strategy::Serial),
+            3 => return Some(Strategy::Parallel),
             _ => {}
         }
         match std::env::var(STRATEGY_ENV) {
-            Ok(v) => Strategy::parse(&v)
-                .unwrap_or_else(|| panic!("{STRATEGY_ENV}={v:?} is not parallel|serial|auto")),
-            Err(_) => Strategy::Auto,
+            Ok(v) => Some(
+                Strategy::parse(&v)
+                    .unwrap_or_else(|| panic!("{STRATEGY_ENV}={v:?} is not parallel|serial|auto")),
+            ),
+            Err(_) => None,
         }
+    }
+
+    /// The strategy in force: [`Strategy::env_or_forced`] when set,
+    /// [`Strategy::Auto`] otherwise.
+    pub fn choose() -> Strategy {
+        Strategy::env_or_forced().unwrap_or(Strategy::Auto)
     }
 
     /// Whether this strategy routes an `n`-point power-of-two transform
@@ -194,34 +202,42 @@ impl Layout {
         }
     }
 
+    /// The override tier of layout resolution: a [`force_layout`] pin
+    /// first, then the `FTFFT_LAYOUT` variable (panicking on an unknown
+    /// name — a silent typo would invalidate an A/B run; `auto` and the
+    /// empty string defer), `None` when the heuristic should decide.
+    pub fn env_or_forced() -> Option<Layout> {
+        match FORCED_LAYOUT.load(Ordering::Relaxed) {
+            1 => return Some(Layout::Aos),
+            2 => return Some(Layout::Soa),
+            _ => {}
+        }
+        match std::env::var(LAYOUT_ENV) {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "auto" | "" => None,
+                other => Some(
+                    Layout::parse(other)
+                        .unwrap_or_else(|| panic!("{LAYOUT_ENV}={v:?} is not soa|aos|auto")),
+                ),
+            },
+            Err(_) => None,
+        }
+    }
+
     /// The layout the planner will use for `kernel` at a power-of-two size
-    /// `n`: a [`force_layout`] override first, then the `FTFFT_LAYOUT`
-    /// variable (panicking on an unknown name — a silent typo would
-    /// invalidate an A/B run), then the heuristic.
+    /// `n`: [`Layout::env_or_forced`] when set, then the heuristic.
     pub fn choose(kernel: Pow2Kernel, n: usize) -> Layout {
         // The recursive split-radix kernel loses over planes at *every*
         // measured size (its strided leaf gathers and conjugate-pair index
         // wraps defeat the plane kernels), so it is pinned AoS here — even
         // under forcing or the env override — and not just in the
         // heuristic: the planner must never select a cell that loses to
-        // its sibling. `new_with_kernel_layout` stays un-pinned as the
-        // explicit A/B primitive.
+        // its sibling. `new_with_kernel_layout` and an explicit
+        // [`FftSpec::layout`] stay un-pinned as the A/B primitives.
         if kernel == Pow2Kernel::SplitRadix {
             return Layout::Aos;
         }
-        match FORCED_LAYOUT.load(Ordering::Relaxed) {
-            1 => return Layout::Aos,
-            2 => return Layout::Soa,
-            _ => {}
-        }
-        match std::env::var(LAYOUT_ENV) {
-            Ok(v) => match v.to_ascii_lowercase().as_str() {
-                "auto" | "" => Layout::heuristic(kernel, n),
-                other => Layout::parse(other)
-                    .unwrap_or_else(|| panic!("{LAYOUT_ENV}={v:?} is not soa|aos|auto")),
-            },
-            Err(_) => Layout::heuristic(kernel, n),
-        }
+        Layout::env_or_forced().unwrap_or_else(|| Layout::heuristic(kernel, n))
     }
 }
 
@@ -287,25 +303,167 @@ impl Pow2Kernel {
     /// 2¹⁴–2²⁰); when the layout is pinned to AoS, split-radix's lower
     /// multiplication count and depth-first locality keep the old win.
     pub fn heuristic(n: usize) -> Pow2Kernel {
+        Pow2Kernel::heuristic_for(n, None)
+    }
+
+    /// [`Pow2Kernel::heuristic`] with the large-size layout coupling
+    /// resolved against an already-pinned layout instead of
+    /// [`Layout::choose`] — used by [`FftSpec::resolve`] so an explicit
+    /// builder layout steers the kernel pick the same way an env override
+    /// would.
+    pub fn heuristic_for(n: usize, layout: Option<Layout>) -> Pow2Kernel {
         debug_assert!(is_power_of_two(n));
         if n <= 8 {
             Pow2Kernel::Radix2
-        } else if n <= 1 << 13 || Layout::choose(Pow2Kernel::Radix4, n) == Layout::Soa {
+        } else if n <= 1 << 13
+            || layout.unwrap_or_else(|| Layout::choose(Pow2Kernel::Radix4, n)) == Layout::Soa
+        {
             Pow2Kernel::Radix4
         } else {
             Pow2Kernel::SplitRadix
         }
     }
 
-    /// The kernel the planner will use for size `n`: the `FTFFT_KERNEL`
-    /// override when set (panicking on an unknown name — a silent typo
-    /// would invalidate an A/B run), the heuristic otherwise.
-    pub fn choose(n: usize) -> Pow2Kernel {
+    /// The override tier of kernel resolution: the `FTFFT_KERNEL`
+    /// variable when set (panicking on an unknown name — a silent typo
+    /// would invalidate an A/B run), `None` when the heuristic should
+    /// decide.
+    pub fn env_override() -> Option<Pow2Kernel> {
         match std::env::var(KERNEL_ENV) {
-            Ok(v) => Pow2Kernel::parse(&v)
-                .unwrap_or_else(|| panic!("{KERNEL_ENV}={v:?} is not radix2|radix4|split-radix")),
-            Err(_) => Pow2Kernel::heuristic(n),
+            Ok(v) => {
+                Some(Pow2Kernel::parse(&v).unwrap_or_else(|| {
+                    panic!("{KERNEL_ENV}={v:?} is not radix2|radix4|split-radix")
+                }))
+            }
+            Err(_) => None,
         }
+    }
+
+    /// The kernel the planner will use for size `n`:
+    /// [`Pow2Kernel::env_override`] when set, the heuristic otherwise.
+    pub fn choose(n: usize) -> Pow2Kernel {
+        Pow2Kernel::env_override().unwrap_or_else(|| Pow2Kernel::heuristic(n))
+    }
+}
+
+/// A canonical, hashable description of one FFT plan: size and direction
+/// plus every planner knob, each either pinned explicitly (the builder
+/// tier) or left `None` for the env/heuristic tiers to fill.
+///
+/// `FftSpec` is the raw-FFT half of the unified spec API; the protected
+/// plans in `ftfft-core` wrap it in a `PlanSpec` that adds the scheme and
+/// threshold knobs. Resolution order is **explicit > env/forced >
+/// heuristic**, applied by [`FftSpec::resolve`] when the plan is built —
+/// after construction a plan never re-reads the environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FftSpec {
+    /// Transform size (`n ≥ 1`).
+    pub n: usize,
+    /// Transform direction.
+    pub dir: Direction,
+    /// Power-of-two kernel; `None` defers to `FTFFT_KERNEL`, then the
+    /// size heuristic.
+    pub kernel: Option<Pow2Kernel>,
+    /// Data layout; `None` defers to `force_layout`/`FTFFT_LAYOUT`, then
+    /// the size heuristic. An explicit layout is honored verbatim (the
+    /// A/B primitive), including split-radix SoA, which the env and
+    /// heuristic tiers pin away from.
+    pub layout: Option<Layout>,
+    /// Execution strategy; `None` defers to
+    /// `force_strategy`/`FTFFT_STRATEGY`, then [`Strategy::Auto`].
+    pub strategy: Option<Strategy>,
+    /// Worker count for the parallel strategy; `None` defers to
+    /// `FTFFT_THREADS`, then hardware parallelism.
+    pub threads: Option<usize>,
+}
+
+impl FftSpec {
+    /// A spec with every knob unset: resolution reproduces exactly what
+    /// [`FftPlan::new`] picks.
+    pub fn new(n: usize, dir: Direction) -> FftSpec {
+        FftSpec { n, dir, kernel: None, layout: None, strategy: None, threads: None }
+    }
+
+    /// Pins the power-of-two kernel.
+    pub fn with_kernel(mut self, kernel: Pow2Kernel) -> FftSpec {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Pins the data layout.
+    pub fn with_layout(mut self, layout: Layout) -> FftSpec {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Pins the execution strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> FftSpec {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Pins the worker count.
+    pub fn with_threads(mut self, threads: usize) -> FftSpec {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The env/forced tier of resolution: fills every still-unset knob
+    /// from its `FTFFT_*` variable or `force_*` override (and the thread
+    /// count from `FTFFT_THREADS`/hardware parallelism), leaving knobs
+    /// with no override unset for the heuristic tier. This is the single
+    /// point where the environment enters spec resolution; explicit
+    /// builder choices are never overwritten.
+    pub fn from_env_overrides(mut self) -> FftSpec {
+        if is_power_of_two(self.n) {
+            self.kernel = self.kernel.or_else(Pow2Kernel::env_override);
+            self.layout = self.layout.or_else(Layout::env_or_forced);
+            self.strategy = self.strategy.or_else(Strategy::env_or_forced);
+        }
+        self.threads = self.threads.or_else(|| Some(resolve_threads(None)));
+        self
+    }
+
+    /// Full resolution: [`FftSpec::from_env_overrides`], then the planner
+    /// heuristics fill whatever is still unset. The result is canonical —
+    /// every knob that matters for the built plan is `Some`, and knobs
+    /// that cannot matter are cleared (`kernel`/`layout` under the
+    /// parallel strategy, all three for non-power-of-two sizes), so equal
+    /// resolved specs build identical plans.
+    pub fn resolve(self) -> FftSpec {
+        let explicit_layout = self.layout;
+        let mut s = self.from_env_overrides();
+        if !is_power_of_two(s.n) {
+            s.kernel = None;
+            s.layout = None;
+            s.strategy = None;
+            return s;
+        }
+        let threads = s.threads.unwrap_or(1);
+        let strategy = s.strategy.unwrap_or(Strategy::Auto);
+        let strategy = if strategy.picks_parallel(s.n, threads) {
+            Strategy::Parallel
+        } else {
+            Strategy::Serial
+        };
+        s.strategy = Some(strategy);
+        if strategy == Strategy::Parallel {
+            s.kernel = None;
+            s.layout = None;
+            return s;
+        }
+        let kernel = s.kernel.unwrap_or_else(|| Pow2Kernel::heuristic_for(s.n, s.layout));
+        s.kernel = Some(kernel);
+        s.layout = Some(match explicit_layout {
+            // The builder tier is the A/B primitive: honored verbatim,
+            // even split-radix SoA.
+            Some(layout) => layout,
+            // Env/forced/heuristic tiers go through `Layout::choose`,
+            // which pins split-radix AoS ahead of them (the planner must
+            // never select a cell that loses to its sibling).
+            None => Layout::choose(kernel, s.n),
+        });
+        s
     }
 }
 
@@ -331,54 +489,91 @@ pub struct FftPlan {
 }
 
 impl FftPlan {
-    /// Plans a transform of size `n ≥ 1`, picking the power-of-two kernel
-    /// via [`Pow2Kernel::choose`] (heuristic + `FTFFT_KERNEL` override)
-    /// and the execution strategy via [`Strategy::choose`] (heuristic +
-    /// `FTFFT_STRATEGY` override): single large power-of-two transforms go
-    /// to the two-halves parallel DIT when more than one worker is
-    /// available.
-    pub fn new(n: usize, dir: Direction) -> Self {
-        assert!(n > 0, "cannot plan a 0-point FFT");
-        if is_power_of_two(n) {
-            if Strategy::choose().picks_parallel(n, resolve_threads(None)) {
-                return Self::new_parallel(n, dir, resolve_threads(None));
+    /// Plans the transform described by `spec`: unset knobs are filled
+    /// from the `FTFFT_*` environment and the planner heuristics by
+    /// [`FftSpec::resolve`] — exactly once, here — then the plan is built
+    /// with every choice pinned. This is the primary constructor; the
+    /// legacy constructor zoo forwards here as thin wrappers.
+    ///
+    /// # Panics
+    /// Panics if `spec.n == 0`, or if an explicit kernel/layout is pinned
+    /// for a non-power-of-two size.
+    pub fn from_spec(spec: &FftSpec) -> Self {
+        assert!(spec.n > 0, "cannot plan a 0-point FFT");
+        if !is_power_of_two(spec.n) {
+            assert!(
+                spec.kernel.is_none() && spec.layout.is_none(),
+                "explicit kernel/layout needs a power of two, got {}",
+                spec.n
+            );
+        }
+        let r = spec.resolve();
+        if is_power_of_two(r.n) {
+            if r.strategy == Some(Strategy::Parallel) {
+                return Self::new_parallel(r.n, r.dir, r.threads.unwrap_or(1));
             }
-            Self::new_with_kernel(n, dir, Pow2Kernel::choose(n))
-        } else if is_smooth(n, SMOOTH_LIMIT) {
-            FftPlan { n, dir, kernel: Kernel::Mixed(MixedPlan::new(n, dir)) }
+            Self::new_with_kernel_layout(
+                r.n,
+                r.dir,
+                r.kernel.expect("resolved serial spec pins a kernel"),
+                r.layout.expect("resolved serial spec pins a layout"),
+            )
+        } else if is_smooth(r.n, SMOOTH_LIMIT) {
+            FftPlan { n: r.n, dir: r.dir, kernel: Kernel::Mixed(MixedPlan::new(r.n, r.dir)) }
         } else {
-            FftPlan { n, dir, kernel: Kernel::Bluestein(BluesteinPlan::new(n, dir)) }
+            FftPlan {
+                n: r.n,
+                dir: r.dir,
+                kernel: Kernel::Bluestein(BluesteinPlan::new(r.n, r.dir)),
+            }
         }
     }
 
-    /// Plans a power-of-two transform with an explicit kernel (bypassing
-    /// the kernel heuristic and environment override; the layout is still
-    /// picked by [`Layout::choose`]).
+    /// Plans a transform of size `n ≥ 1` with every knob resolved by the
+    /// env overrides and heuristics — shorthand for
+    /// [`FftPlan::from_spec`] on [`FftSpec::new`]: single large
+    /// power-of-two transforms go to the two-halves parallel DIT when
+    /// more than one worker is available, everything else to the fastest
+    /// serial kernel for the size.
+    pub fn new(n: usize, dir: Direction) -> Self {
+        Self::from_spec(&FftSpec::new(n, dir))
+    }
+
+    /// Legacy wrapper: an explicit kernel with everything else resolved,
+    /// pinned serial. Prefer [`FftPlan::from_spec`] with
+    /// [`FftSpec::with_kernel`].
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
+    #[doc(hidden)]
     pub fn new_with_kernel(n: usize, dir: Direction, kernel: Pow2Kernel) -> Self {
-        Self::new_with_kernel_layout(n, dir, kernel, Layout::choose(kernel, n))
+        assert!(is_power_of_two(n), "explicit kernel {kernel:?} needs a power of two, got {n}");
+        Self::from_spec(&FftSpec::new(n, dir).with_kernel(kernel).with_strategy(Strategy::Serial))
     }
 
     /// Plans a power-of-two transform on the two-halves parallel DIT with
     /// an explicit worker count (bypassing the strategy heuristic and the
     /// `FTFFT_STRATEGY`/`FTFFT_THREADS` overrides) — the A/B primitive the
     /// worker-count property tests use. `threads == 1` selects the
-    /// spawn-free inline path.
+    /// spawn-free inline path. Prefer [`FftPlan::from_spec`] with
+    /// [`FftSpec::with_strategy`] + [`FftSpec::with_threads`].
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
+    #[doc(hidden)]
     pub fn new_parallel(n: usize, dir: Direction, threads: usize) -> Self {
         FftPlan { n, dir, kernel: Kernel::ParallelDit(ParallelDitPlan::new(n, dir, threads)) }
     }
 
     /// Plans a power-of-two transform with an explicit kernel *and*
     /// layout (bypassing every heuristic and override) — the A/B primitive
-    /// the property tests and the perf harness use.
+    /// the property tests and the perf harness use. Prefer
+    /// [`FftPlan::from_spec`] with [`FftSpec::with_kernel`] +
+    /// [`FftSpec::with_layout`].
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
+    #[doc(hidden)]
     pub fn new_with_kernel_layout(
         n: usize,
         dir: Direction,
@@ -608,18 +803,35 @@ impl FftPlan {
 #[derive(Default)]
 pub struct Planner {
     cache: Mutex<HashMap<(usize, Direction), Arc<FftPlan>>>,
+    template: Option<FftSpec>,
 }
 
 impl Planner {
-    /// Creates an empty planner.
+    /// Creates an empty planner whose plans resolve every knob from the
+    /// env overrides and heuristics.
     pub fn new() -> Self {
-        Planner { cache: Mutex::new(HashMap::new()) }
+        Planner::default()
+    }
+
+    /// Creates an empty planner whose plans inherit `template`'s pinned
+    /// knobs (kernel, layout, strategy, threads); the template's `n` and
+    /// `dir` are replaced per [`Planner::plan`] call, and unset knobs
+    /// still resolve per size. This is how a `PlanSpec`'s choices
+    /// propagate into every sub-FFT of a decomposition.
+    pub fn with_spec(template: FftSpec) -> Self {
+        Planner { cache: Mutex::new(HashMap::new()), template: Some(template) }
     }
 
     /// Returns (building if needed) the plan for `(n, dir)`.
     pub fn plan(&self, n: usize, dir: Direction) -> Arc<FftPlan> {
         let mut cache = self.cache.lock();
-        cache.entry((n, dir)).or_insert_with(|| Arc::new(FftPlan::new(n, dir))).clone()
+        cache
+            .entry((n, dir))
+            .or_insert_with(|| match self.template {
+                Some(t) => Arc::new(FftPlan::from_spec(&FftSpec { n, dir, ..t })),
+                None => Arc::new(FftPlan::new(n, dir)),
+            })
+            .clone()
     }
 
     /// Number of distinct plans currently cached.
@@ -710,8 +922,14 @@ mod tests {
         }
     }
 
+    /// Serializes the tests that flip the process-global
+    /// [`force_layout`] override *and* assert layout-dependent outcomes,
+    /// so they cannot observe each other's transient pins.
+    static FORCE_LAYOUT_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn heuristic_covers_every_size_class() {
+        let _guard = FORCE_LAYOUT_LOCK.lock();
         assert_eq!(Pow2Kernel::heuristic(2), Pow2Kernel::Radix2);
         assert_eq!(Pow2Kernel::heuristic(8), Pow2Kernel::Radix2);
         assert_eq!(Pow2Kernel::heuristic(16), Pow2Kernel::Radix4);
@@ -860,6 +1078,106 @@ mod tests {
             plan.execute_inplace(&mut ip, &mut s);
             assert_eq!(ip, want, "threads={threads} in-place");
         }
+    }
+
+    #[test]
+    fn spec_resolution_prefers_explicit_over_heuristic() {
+        // Heuristic at 2^16 would pick radix-4 (SoA engine in force by
+        // default); an explicit builder kernel wins.
+        let spec = FftSpec::new(1 << 16, Direction::Forward)
+            .with_kernel(Pow2Kernel::Radix2)
+            .with_strategy(Strategy::Serial);
+        let r = spec.resolve();
+        assert_eq!(r.kernel, Some(Pow2Kernel::Radix2));
+        assert_eq!(r.strategy, Some(Strategy::Serial));
+        assert!(r.layout.is_some() && r.threads.is_some(), "resolution is total");
+    }
+
+    #[test]
+    fn spec_resolution_honors_forced_tier_only_when_unset() {
+        // force_layout sits in the env/forced tier: it fills an unset
+        // layout but must not overwrite an explicit builder layout.
+        let _guard = FORCE_LAYOUT_LOCK.lock();
+        force_layout(Some(Layout::Aos));
+        let forced = FftSpec::new(1 << 12, Direction::Forward)
+            .with_kernel(Pow2Kernel::Radix4)
+            .with_strategy(Strategy::Serial)
+            .resolve();
+        assert_eq!(forced.layout, Some(Layout::Aos));
+        let explicit = FftSpec::new(1 << 12, Direction::Forward)
+            .with_kernel(Pow2Kernel::Radix4)
+            .with_layout(Layout::Soa)
+            .with_strategy(Strategy::Serial)
+            .resolve();
+        assert_eq!(explicit.layout, Some(Layout::Soa));
+        force_layout(None);
+    }
+
+    #[test]
+    fn spec_resolution_is_idempotent_and_canonical() {
+        for n in [8usize, 1 << 12, 1 << 19, 360, 997] {
+            let r = FftSpec::new(n, Direction::Forward).resolve();
+            assert_eq!(r, r.resolve(), "n={n} resolve must be a fixpoint");
+            if !is_power_of_two(n) {
+                assert_eq!((r.kernel, r.layout, r.strategy), (None, None, None), "n={n}");
+            }
+        }
+        // Parallel resolutions clear the serial-only knobs so equal
+        // resolved specs build identical plans.
+        let par = FftSpec::new(1 << 10, Direction::Forward)
+            .with_strategy(Strategy::Parallel)
+            .with_threads(2)
+            .resolve();
+        assert_eq!(par.strategy, Some(Strategy::Parallel));
+        assert_eq!((par.kernel, par.layout), (None, None));
+    }
+
+    #[test]
+    fn from_spec_matches_legacy_constructors() {
+        let n = 1 << 10;
+        let x = uniform_signal(n, 77);
+        let via_spec = FftPlan::from_spec(
+            &FftSpec::new(n, Direction::Forward)
+                .with_kernel(Pow2Kernel::SplitRadix)
+                .with_strategy(Strategy::Serial),
+        );
+        let legacy = FftPlan::new_with_kernel(n, Direction::Forward, Pow2Kernel::SplitRadix);
+        assert_eq!(via_spec.kernel_name(), legacy.kernel_name());
+        assert_eq!(via_spec.layout(), legacy.layout());
+        let mut a = vec![Complex64::ZERO; n];
+        let mut b = vec![Complex64::ZERO; n];
+        let mut s = vec![Complex64::ZERO; via_spec.scratch_len().max(legacy.scratch_len())];
+        via_spec.execute(&x, &mut a, &mut s);
+        legacy.execute(&x, &mut b, &mut s);
+        assert_eq!(a, b);
+
+        let par_spec = FftPlan::from_spec(
+            &FftSpec::new(n, Direction::Forward).with_strategy(Strategy::Parallel).with_threads(3),
+        );
+        assert_eq!(par_spec.kernel_name(), "parallel-dit");
+        assert_eq!(par_spec.strategy_threads(), Some(3));
+    }
+
+    #[test]
+    fn planner_with_spec_pins_sub_plan_knobs() {
+        let template = FftSpec::new(0, Direction::Forward)
+            .with_kernel(Pow2Kernel::Radix2)
+            .with_layout(Layout::Aos)
+            .with_strategy(Strategy::Serial);
+        let p = Planner::with_spec(template);
+        for n in [64usize, 4096] {
+            let plan = p.plan(n, Direction::Forward);
+            assert_eq!(plan.kernel_name(), "radix2", "n={n}");
+            assert_eq!(plan.layout(), Layout::Aos, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a power of two")]
+    fn from_spec_rejects_explicit_kernel_for_non_pow2() {
+        let _ = FftPlan::from_spec(
+            &FftSpec::new(360, Direction::Forward).with_kernel(Pow2Kernel::Radix4),
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!
 //! // Plan a protected transform (the paper's "Opt-Online" scheme:
 //! // computational + memory fault tolerance, all §4 optimizations).
-//! let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+//! let plan = FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(Scheme::OnlineMemOpt).build());
 //! let mut ws = plan.make_workspace();
 //! let report = plan.execute(&mut signal, &mut spectrum, &NoFaults, &mut ws);
 //! assert!(report.is_clean());
@@ -35,6 +35,7 @@
 //! | [`core`] | the protected sequential schemes (offline/online × comp/mem) |
 //! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap; thread pool + pooled executors |
 //! | [`stream`] | streaming engines: overlap-save protected convolution, STFT/spectrogram, frame scheduler |
+//! | [`service`] | multi-tenant service layer: `PlanSpec`-keyed plan cache, coalescing admission queue, per-tenant telemetry |
 
 pub use ftfft_checksum as checksum;
 pub use ftfft_core as core;
@@ -43,13 +44,14 @@ pub use ftfft_fft as fft;
 pub use ftfft_numeric as numeric;
 pub use ftfft_parallel as parallel;
 pub use ftfft_roundoff as roundoff;
+pub use ftfft_service as service;
 pub use ftfft_stream as stream;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use ftfft_core::{
-        FtConfig, FtFftPlan, FtReport, FusedPolicy, InPlaceFtPlan, RealFtFftPlan, RealWorkspace,
-        Scheme, Workspace,
+        FtConfig, FtFftPlan, FtReport, FusedPolicy, InPlaceFtPlan, PlanSpec, PlanSpecBuilder,
+        RealFtFftPlan, RealWorkspace, Scheme, Workspace,
     };
     pub use ftfft_fault::{
         Component, FaultInjector, FaultKind, InjectionCtx, NoFaults, Part, RandomInjector,
@@ -57,8 +59,8 @@ pub mod prelude {
     };
     pub use ftfft_fft::{
         dft_naive, fft, force_layout, force_strategy, ifft, irfft, normalize, rfft, Direction,
-        FftPlan, Layout, Planner, Pow2Kernel, RealFftPlan, Strategy, KERNEL_ENV, LAYOUT_ENV,
-        PARALLEL_MIN, STRATEGY_ENV,
+        FftPlan, FftSpec, Layout, Planner, Pow2Kernel, RealFftPlan, Strategy, KERNEL_ENV,
+        LAYOUT_ENV, PARALLEL_MIN, STRATEGY_ENV,
     };
     pub use ftfft_numeric::{
         inf_norm, normal_signal, relative_error_inf, simd_level, uniform_signal, Complex64,
@@ -69,6 +71,10 @@ pub mod prelude {
         ThreadPool, THREADS_ENV,
     };
     pub use ftfft_roundoff::{thresholds_for_split, throughput, Calibrator, Thresholds};
+    pub use ftfft_service::{
+        FftService, LatencySummary, PlanCache, ServiceConfig, ServiceResponse, ServiceStats,
+        TenantStats, Ticket,
+    };
     pub use ftfft_stream::{
         ComplexStreamingConvolver, FrameScheduler, StftPlan, StftWorkspace, StreamReport,
         StreamingConvolver, Window,

@@ -31,7 +31,7 @@ use crate::complex::{c64, Complex64};
 pub const SIMD_ENV: &str = "FTFFT_SIMD";
 
 /// Available dispatch levels.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SimdLevel {
     /// Portable scalar mirror (exact same results as the vector path).
     Scalar,

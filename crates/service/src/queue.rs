@@ -1,0 +1,576 @@
+//! The admission queue and worker pool behind [`FftService`].
+//!
+//! Requests enter `submit`, which looks up (or builds) the shared plan
+//! and parks the request in a per-spec pending batch. A batch is
+//! dispatched to the worker pool when it reaches `max_batch` requests or
+//! its `max_wait` deadline expires, whichever comes first. Workers pull
+//! whole batches, so every request in a batch runs against one warm
+//! workspace — the plan/twiddle/workspace amortization the paper's
+//! throughput model assumes.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ftfft_core::{FtFftPlan, FtReport, PlanSpec, Workspace};
+use ftfft_fault::{FaultInjector, NoFaults};
+use ftfft_fft::resolve_threads;
+use ftfft_numeric::Complex64;
+
+use crate::cache::PlanCache;
+use crate::telemetry::{LatencySummary, Telemetry, TenantStats};
+
+/// A fault injector that can be shared across the submit thread and the
+/// worker executing the request.
+pub type SharedInjector = Arc<dyn FaultInjector + Send + Sync>;
+
+/// Tuning knobs for [`FftService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing batches. Defaults to the `FTFFT_THREADS` /
+    /// available-parallelism resolution used by the parallel planner.
+    pub workers: usize,
+    /// Requests coalesced into one dispatch per spec before the queue
+    /// stops waiting. `1` disables coalescing entirely.
+    pub max_batch: usize,
+    /// How long the first request of a batch may wait for companions.
+    pub max_wait: Duration,
+    /// Shard count for the plan cache.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: resolve_threads(None),
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+            cache_shards: 16,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the coalescing bound (clamped to ≥ 1).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the coalescing deadline.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the plan-cache shard count (clamped to ≥ 1).
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+}
+
+/// What a tenant gets back for one request.
+#[derive(Clone, Debug)]
+pub struct ServiceResponse {
+    /// Transformed frames, same layout as the submitted input.
+    pub output: Vec<Complex64>,
+    /// Merged fault report across this request's frames only.
+    pub report: FtReport,
+    /// Submit-to-completion wall time.
+    pub latency: Duration,
+    /// Requests dispatched in the same coalesced batch (including this one).
+    pub batched_with: usize,
+    /// Whether the plan was already cached at submit time.
+    pub cache_hit: bool,
+}
+
+#[derive(Default)]
+struct ResponseSlot {
+    filled: Mutex<Option<ServiceResponse>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn deliver(&self, resp: ServiceResponse) {
+        *self.filled.lock().unwrap() = Some(resp);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to an in-flight request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the service has executed the request.
+    pub fn wait(self) -> ServiceResponse {
+        let mut g = self.slot.filled.lock().unwrap();
+        loop {
+            match g.take() {
+                Some(resp) => return resp,
+                None => g = self.slot.cv.wait(g).unwrap(),
+            }
+        }
+    }
+
+    /// Returns the response if it is already available.
+    pub fn try_take(&self) -> Option<ServiceResponse> {
+        self.slot.filled.lock().unwrap().take()
+    }
+}
+
+struct Request {
+    tenant: String,
+    input: Vec<Complex64>,
+    injector: Option<SharedInjector>,
+    slot: Arc<ResponseSlot>,
+    submitted: Instant,
+    cache_hit: bool,
+}
+
+struct PendingBatch {
+    spec: PlanSpec,
+    plan: Arc<FtFftPlan>,
+    reqs: Vec<Request>,
+    deadline: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: HashMap<PlanSpec, PendingBatch>,
+    ready: VecDeque<PendingBatch>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cache: PlanCache,
+    telemetry: Telemetry,
+    cfg: ServiceConfig,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch_seen: AtomicU64,
+}
+
+/// Cross-service aggregate snapshot (see [`FftService::stats`]).
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Requests completed across all tenants.
+    pub requests: u64,
+    /// Transform frames executed.
+    pub frames: u64,
+    /// Dispatched batches.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch: f64,
+    /// Largest batch dispatched.
+    pub max_batch: u64,
+    /// Plan-cache hits at submit time.
+    pub cache_hits: u64,
+    /// Plan-cache misses (plan builds).
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+    /// Distinct plans resident in the cache.
+    pub distinct_plans: usize,
+    /// Cross-tenant latency percentiles.
+    pub latency: LatencySummary,
+    /// All tenants' fault reports merged.
+    pub report: FtReport,
+}
+
+/// Multi-tenant FFT front end: plan cache + coalescing admission queue +
+/// worker pool. See the crate docs for the execution model and the
+/// bitwise-identity contract.
+pub struct FftService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FftService {
+    /// Spawns the worker pool and returns the service handle. Dropping
+    /// the handle drains every queued request, then joins the workers.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let cfg = ServiceConfig {
+            workers: cfg.workers.max(1),
+            max_batch: cfg.max_batch.max(1),
+            max_wait: cfg.max_wait,
+            cache_shards: cfg.cache_shards.max(1),
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            cache: PlanCache::new(cfg.cache_shards),
+            telemetry: Telemetry::default(),
+            cfg,
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("ftfft-svc-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        FftService { inner, workers }
+    }
+
+    /// Submits `input` (one or more back-to-back frames of `spec.n()`
+    /// samples) for a clean run.
+    ///
+    /// # Panics
+    /// Panics if `input` is empty or not a multiple of the spec size.
+    pub fn submit(&self, tenant: &str, spec: &PlanSpec, input: Vec<Complex64>) -> Ticket {
+        self.submit_impl(tenant, spec, input, None)
+    }
+
+    /// Like [`submit`](FftService::submit), but every frame of this
+    /// request runs under `injector`. The injector sees this request's
+    /// frames as consecutive executions (never interleaved with other
+    /// tenants), so scripted campaigns behave exactly as they would
+    /// against a private plan.
+    pub fn submit_injected(
+        &self,
+        tenant: &str,
+        spec: &PlanSpec,
+        input: Vec<Complex64>,
+        injector: SharedInjector,
+    ) -> Ticket {
+        self.submit_impl(tenant, spec, input, Some(injector))
+    }
+
+    fn submit_impl(
+        &self,
+        tenant: &str,
+        spec: &PlanSpec,
+        input: Vec<Complex64>,
+        injector: Option<SharedInjector>,
+    ) -> Ticket {
+        let resolved = spec.resolve();
+        let n = resolved.n();
+        assert!(!input.is_empty(), "empty submission");
+        assert!(
+            input.len().is_multiple_of(n),
+            "submission length {} is not a multiple of spec size {n}",
+            input.len()
+        );
+        let (plan, cache_hit) = self.inner.cache.get(&resolved);
+        let slot = Arc::new(ResponseSlot::default());
+        let req = Request {
+            tenant: tenant.to_owned(),
+            input,
+            injector,
+            slot: slot.clone(),
+            submitted: Instant::now(),
+            cache_hit,
+        };
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            assert!(!st.shutdown, "submit on a shut-down service");
+            if self.inner.cfg.max_batch <= 1 {
+                st.ready.push_back(PendingBatch {
+                    spec: resolved,
+                    plan,
+                    reqs: vec![req],
+                    deadline: req_deadline(self.inner.cfg.max_wait),
+                });
+            } else {
+                match st.pending.entry(resolved) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().reqs.push(req);
+                        if e.get().reqs.len() >= self.inner.cfg.max_batch {
+                            let b = e.remove();
+                            st.ready.push_back(b);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(PendingBatch {
+                            spec: resolved,
+                            plan,
+                            reqs: vec![req],
+                            deadline: req_deadline(self.inner.cfg.max_wait),
+                        });
+                    }
+                }
+            }
+        }
+        self.inner.cv.notify_all();
+        Ticket { slot }
+    }
+
+    /// Global plan-cache hit rate so far.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.inner.cache.hit_rate()
+    }
+
+    /// Telemetry for one tenant, if it has completed any requests.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.inner.telemetry.tenant(tenant)
+    }
+
+    /// All tenants' telemetry, sorted by tenant name.
+    pub fn all_tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        self.inner.telemetry.all()
+    }
+
+    /// Aggregate snapshot across tenants, the cache, and the batcher.
+    pub fn stats(&self) -> ServiceStats {
+        let g = self.inner.telemetry.global();
+        let batches = self.inner.batches.load(Ordering::Relaxed);
+        let batched = self.inner.batched_requests.load(Ordering::Relaxed);
+        ServiceStats {
+            requests: g.requests,
+            frames: g.frames,
+            batches,
+            mean_batch: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            max_batch: self.inner.max_batch_seen.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+            hit_rate: self.inner.cache.hit_rate(),
+            distinct_plans: self.inner.cache.len(),
+            latency: g.latency(),
+            report: g.report,
+        }
+    }
+
+    /// Blocks until every request submitted so far has completed.
+    pub fn quiesce(&self) {
+        loop {
+            {
+                let st = self.inner.state.lock().unwrap();
+                if st.pending.is_empty() && st.ready.is_empty() {
+                    // Queue empty; in-flight batches are counted below.
+                    let submitted = self.inner.cache.hits() + self.inner.cache.misses();
+                    if self.inner.telemetry.global().requests == submitted {
+                        return;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn req_deadline(max_wait: Duration) -> Instant {
+    Instant::now().checked_add(max_wait).unwrap_or_else(Instant::now)
+}
+
+impl Drop for FftService {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    // One workspace per spec this worker has executed, reused across
+    // batches — the whole point of coalescing.
+    let mut workspaces: HashMap<PlanSpec, Workspace> = HashMap::new();
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if let Some(b) = st.ready.pop_front() {
+                    break b;
+                }
+                let now = Instant::now();
+                let expired: Vec<PlanSpec> = st
+                    .pending
+                    .iter()
+                    .filter(|(_, b)| b.deadline <= now || st.shutdown)
+                    .map(|(k, _)| *k)
+                    .collect();
+                if !expired.is_empty() {
+                    for k in expired {
+                        let b = st.pending.remove(&k).expect("expired key present");
+                        st.ready.push_back(b);
+                    }
+                    continue;
+                }
+                if st.shutdown {
+                    return;
+                }
+                match st.pending.values().map(|b| b.deadline).min() {
+                    Some(d) => {
+                        let (g, _) =
+                            inner.cv.wait_timeout(st, d.saturating_duration_since(now)).unwrap();
+                        st = g;
+                    }
+                    None => st = inner.cv.wait(st).unwrap(),
+                }
+            }
+        };
+        run_batch(inner, batch, &mut workspaces);
+    }
+}
+
+fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSpec, Workspace>) {
+    let plan = &batch.plan;
+    let n = batch.spec.n();
+    let ws = workspaces.entry(batch.spec).or_insert_with(|| plan.make_workspace());
+    let size = batch.reqs.len();
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    inner.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+    inner.max_batch_seen.fetch_max(size as u64, Ordering::Relaxed);
+    for mut req in batch.reqs {
+        let frames = (req.input.len() / n) as u64;
+        let mut output = vec![Complex64::ZERO; req.input.len()];
+        let report = match &req.injector {
+            Some(inj) => plan.execute_batch(&mut req.input, &mut output, inj.as_ref(), ws),
+            None => plan.execute_batch(&mut req.input, &mut output, &NoFaults, ws),
+        };
+        let latency = req.submitted.elapsed();
+        inner.telemetry.record(&req.tenant, latency, frames, req.cache_hit, &report);
+        req.slot.deliver(ServiceResponse {
+            output,
+            report,
+            latency,
+            batched_with: size,
+            cache_hit: req.cache_hit,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_core::Scheme;
+    use ftfft_numeric::uniform_signal;
+
+    fn direct(spec: &PlanSpec, input: &[Complex64]) -> (Vec<Complex64>, FtReport) {
+        let plan = FtFftPlan::from_spec(spec);
+        let mut ws = plan.make_workspace();
+        let mut x = input.to_vec();
+        let mut out = vec![Complex64::ZERO; x.len()];
+        let rep = plan.execute_batch(&mut x, &mut out, &NoFaults, &mut ws);
+        (out, rep)
+    }
+
+    #[test]
+    fn single_request_matches_direct_execution() {
+        let svc = FftService::new(ServiceConfig::default().with_workers(1));
+        let spec = PlanSpec::builder(128).scheme(Scheme::OnlineCompOpt).build();
+        let input = uniform_signal(128, 42);
+        let resp = svc.submit("t0", &spec, input.clone()).wait();
+        let (want, want_rep) = direct(&spec, &input);
+        assert_eq!(resp.output, want, "service output must be bitwise identical");
+        assert_eq!(resp.report, want_rep);
+        assert!(!resp.cache_hit);
+    }
+
+    #[test]
+    fn multi_frame_request_is_one_request_many_frames() {
+        let svc = FftService::new(ServiceConfig::default().with_workers(2));
+        let spec = PlanSpec::builder(64).scheme(Scheme::Offline).build();
+        let input = uniform_signal(64 * 5, 3);
+        let resp = svc.submit("t0", &spec, input.clone()).wait();
+        let (want, _) = direct(&spec, &input);
+        assert_eq!(resp.output, want);
+        svc.quiesce();
+        let stats = svc.tenant_stats("t0").unwrap();
+        assert_eq!((stats.requests, stats.frames), (1, 5));
+    }
+
+    #[test]
+    fn coalescing_respects_max_batch() {
+        // One worker + long max_wait: first submit parks, next submits
+        // coalesce; max_batch=4 forces dispatch without waiting out the
+        // deadline.
+        let svc = FftService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_max_batch(4)
+                .with_max_wait(Duration::from_secs(5)),
+        );
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineMemOpt).build();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| svc.submit(&format!("t{i}"), &spec, uniform_signal(64, i as u64)))
+            .collect();
+        for t in tickets {
+            let resp = t.wait();
+            assert!(resp.batched_with <= 4, "batch bound violated: {}", resp.batched_with);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 8);
+        assert!(stats.max_batch <= 4);
+        assert!(stats.batches >= 2, "8 requests can't fit one batch of 4");
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batches() {
+        let svc = FftService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_max_batch(64)
+                .with_max_wait(Duration::from_millis(5)),
+        );
+        let spec = PlanSpec::builder(64).scheme(Scheme::Plain).build();
+        // A single request can never fill max_batch; only the deadline
+        // (or drop-drain) can dispatch it. wait() returning proves the
+        // deadline path works.
+        let resp = svc.submit("t0", &spec, uniform_signal(64, 0)).wait();
+        assert_eq!(resp.batched_with, 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_requests() {
+        let svc = FftService::new(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_max_batch(16)
+                .with_max_wait(Duration::from_secs(30)),
+        );
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineComp).build();
+        let t = svc.submit("t0", &spec, uniform_signal(64, 9));
+        drop(svc); // must flush the parked batch, not strand the ticket
+        let resp = t.wait();
+        assert_eq!(resp.output.len(), 64);
+    }
+
+    #[test]
+    fn per_tenant_attribution_is_separate() {
+        let svc = FftService::new(ServiceConfig::default().with_workers(2));
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineMemOpt).build();
+        let ta: Vec<Ticket> =
+            (0..3).map(|i| svc.submit("alice", &spec, uniform_signal(64, i))).collect();
+        let tb: Vec<Ticket> =
+            (0..5).map(|i| svc.submit("bob", &spec, uniform_signal(64, 100 + i))).collect();
+        ta.into_iter().for_each(|t| drop(t.wait()));
+        tb.into_iter().for_each(|t| drop(t.wait()));
+        svc.quiesce();
+        assert_eq!(svc.tenant_stats("alice").unwrap().requests, 3);
+        assert_eq!(svc.tenant_stats("bob").unwrap().requests, 5);
+        assert!(svc.tenant_stats("carol").is_none());
+        let names: Vec<String> = svc.all_tenant_stats().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alice", "bob"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_misaligned_input() {
+        let svc = FftService::new(ServiceConfig::default().with_workers(1));
+        let spec = PlanSpec::builder(64).scheme(Scheme::Plain).build();
+        let _ = svc.submit("t0", &spec, vec![Complex64::ZERO; 63]);
+    }
+}

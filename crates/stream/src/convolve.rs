@@ -20,7 +20,7 @@
 //! stream position and the batched executors are bitwise equal to looped
 //! single executions.
 
-use ftfft_core::{FtConfig, FtFftPlan, RealFtFftPlan, RealWorkspace, Workspace};
+use ftfft_core::{FtConfig, FtFftPlan, PlanSpec, RealFtFftPlan, RealWorkspace, Workspace};
 use ftfft_fault::{FaultInjector, NoFaults};
 use ftfft_fft::Direction;
 use ftfft_numeric::{simd, Complex64};
@@ -74,20 +74,42 @@ pub struct StreamingConvolver {
 
 impl StreamingConvolver {
     /// Builds a convolver with an automatic FFT size
-    /// (`max(16, 4·taps.len())` rounded up to a power of two).
+    /// (`max(16, 4·taps.len())` rounded up to a power of two) — a thin
+    /// wrapper bridging `cfg` into a [`PlanSpec`] for
+    /// [`StreamingConvolver::from_spec`].
     pub fn new(taps: &[f64], cfg: FtConfig) -> Self {
-        let n = (4 * taps.len()).next_power_of_two().max(16);
-        Self::with_fft_size(taps, n, cfg)
+        Self::from_spec(taps, &PlanSpec::from_config(0, Direction::Forward, cfg))
     }
 
-    /// Builds a convolver over `fft_size`-sample frames
-    /// (`hop = fft_size − taps.len() + 1` fresh samples per frame).
+    /// Builds a convolver from a spec with an automatic FFT size
+    /// (`max(16, 4·taps.len())` rounded up to a power of two). The
+    /// spec's `n` and direction are ignored — the frame size comes from
+    /// the taps, and both directions are built.
+    pub fn from_spec(taps: &[f64], spec: &PlanSpec) -> Self {
+        let n = (4 * taps.len()).next_power_of_two().max(16);
+        Self::from_spec_with_fft_size(taps, n, spec)
+    }
+
+    /// Builds a convolver over `fft_size`-sample frames — a thin wrapper
+    /// bridging `cfg` into a [`PlanSpec`] for
+    /// [`StreamingConvolver::from_spec_with_fft_size`].
+    pub fn with_fft_size(taps: &[f64], fft_size: usize, cfg: FtConfig) -> Self {
+        Self::from_spec_with_fft_size(
+            taps,
+            fft_size,
+            &PlanSpec::from_config(fft_size, Direction::Forward, cfg),
+        )
+    }
+
+    /// Builds a convolver from a spec over `fft_size`-sample frames
+    /// (`hop = fft_size − taps.len() + 1` fresh samples per frame). The
+    /// spec's `n` and direction are ignored.
     ///
     /// # Panics
     /// Panics if `taps` is empty, or `fft_size` is odd, `< 4`, or not
     /// larger than `taps.len()` (the hop must be ≥ 1; a hop of at least
     /// `taps.len()` is what makes the FFT pay for itself).
-    pub fn with_fft_size(taps: &[f64], fft_size: usize, cfg: FtConfig) -> Self {
+    pub fn from_spec_with_fft_size(taps: &[f64], fft_size: usize, spec: &PlanSpec) -> Self {
         assert!(!taps.is_empty(), "need at least one tap");
         assert!(
             fft_size >= 4 && fft_size.is_multiple_of(2) && fft_size > taps.len(),
@@ -97,7 +119,7 @@ impl StreamingConvolver {
         let n = fft_size;
         let taps_len = taps.len();
         let hop = n - taps_len + 1;
-        let fwd = RealFtFftPlan::new(n, Direction::Forward, cfg);
+        let fwd = RealFtFftPlan::from_spec(&spec.with_n(n).with_direction(Direction::Forward));
         let bins = fwd.spectrum_len();
 
         // Protected transform of the zero-padded taps (setup; may allocate).
@@ -110,9 +132,11 @@ impl StreamingConvolver {
 
         // The inverse plan's thresholds must see the scale of its actual
         // input: a product spectrum, ~√(n/2)·rms|H| louder per component
-        // than the time-domain samples the config's σ₀ describes.
-        let sigma_inv = cfg.sigma0 * ((n / 2) as f64).sqrt() * rms_magnitude(&h_spec);
-        let inv = RealFtFftPlan::new(n, Direction::Inverse, cfg.with_sigma0(sigma_inv));
+        // than the time-domain samples the spec's σ₀ describes.
+        let sigma_inv = spec.sigma0() * ((n / 2) as f64).sqrt() * rms_magnitude(&h_spec);
+        let inv = RealFtFftPlan::from_spec(
+            &spec.with_n(n).with_direction(Direction::Inverse).with_sigma0(sigma_inv),
+        );
 
         StreamingConvolver {
             taps_len,
@@ -315,23 +339,44 @@ pub struct ComplexStreamingConvolver {
 }
 
 impl ComplexStreamingConvolver {
-    /// Builds a complex convolver with an automatic power-of-two FFT size.
+    /// Builds a complex convolver with an automatic power-of-two FFT size
+    /// — a thin wrapper bridging `cfg` into a [`PlanSpec`] for
+    /// [`ComplexStreamingConvolver::from_spec`].
     pub fn new(taps: &[Complex64], cfg: FtConfig) -> Self {
-        let n = (4 * taps.len()).next_power_of_two().max(16);
-        Self::with_fft_size(taps, n, cfg)
+        Self::from_spec(taps, &PlanSpec::from_config(0, Direction::Forward, cfg))
     }
 
-    /// Builds a complex convolver over `fft_size`-sample frames.
+    /// Builds a complex convolver from a spec with an automatic
+    /// power-of-two FFT size. The spec's `n` and direction are ignored —
+    /// the frame size comes from the taps, and both directions are built.
+    pub fn from_spec(taps: &[Complex64], spec: &PlanSpec) -> Self {
+        let n = (4 * taps.len()).next_power_of_two().max(16);
+        Self::from_spec_with_fft_size(taps, n, spec)
+    }
+
+    /// Builds a complex convolver over `fft_size`-sample frames — a thin
+    /// wrapper bridging `cfg` into a [`PlanSpec`] for
+    /// [`ComplexStreamingConvolver::from_spec_with_fft_size`].
+    pub fn with_fft_size(taps: &[Complex64], fft_size: usize, cfg: FtConfig) -> Self {
+        Self::from_spec_with_fft_size(
+            taps,
+            fft_size,
+            &PlanSpec::from_config(fft_size, Direction::Forward, cfg),
+        )
+    }
+
+    /// Builds a complex convolver from a spec over `fft_size`-sample
+    /// frames. The spec's `n` and direction are ignored.
     ///
     /// # Panics
     /// Panics if `taps` is empty or `fft_size <= taps.len()`.
-    pub fn with_fft_size(taps: &[Complex64], fft_size: usize, cfg: FtConfig) -> Self {
+    pub fn from_spec_with_fft_size(taps: &[Complex64], fft_size: usize, spec: &PlanSpec) -> Self {
         assert!(!taps.is_empty(), "need at least one tap");
         assert!(fft_size > taps.len(), "fft_size {fft_size} must exceed taps.len()");
         let n = fft_size;
         let taps_len = taps.len();
         let hop = n - taps_len + 1;
-        let fwd = FtFftPlan::new(n, Direction::Forward, cfg);
+        let fwd = FtFftPlan::from_spec(&spec.with_n(n).with_direction(Direction::Forward));
 
         let mut padded = vec![Complex64::ZERO; n];
         padded[..taps_len].copy_from_slice(taps);
@@ -340,8 +385,10 @@ impl ComplexStreamingConvolver {
         let rep = fwd.execute(&mut padded, &mut h_spec, &NoFaults, &mut setup_ws);
         assert_eq!(rep.uncorrectable, 0);
 
-        let sigma_inv = cfg.sigma0 * (n as f64).sqrt() * rms_magnitude(&h_spec);
-        let inv = FtFftPlan::new(n, Direction::Inverse, cfg.with_sigma0(sigma_inv));
+        let sigma_inv = spec.sigma0() * (n as f64).sqrt() * rms_magnitude(&h_spec);
+        let inv = FtFftPlan::from_spec(
+            &spec.with_n(n).with_direction(Direction::Inverse).with_sigma0(sigma_inv),
+        );
 
         ComplexStreamingConvolver {
             taps_len,

@@ -13,7 +13,7 @@
 //! `FtFftPlan::execute_batch` in groups (bitwise identical to one-at-a-
 //! time execution).
 
-use ftfft_core::{FtConfig, RealFtFftPlan, RealWorkspace};
+use ftfft_core::{FtConfig, PlanSpec, RealFtFftPlan, RealWorkspace};
 use ftfft_fault::FaultInjector;
 use ftfft_fft::Direction;
 use ftfft_numeric::Complex64;
@@ -55,13 +55,28 @@ pub struct StftWorkspace {
 }
 
 impl StftPlan {
-    /// Plans an STFT over `fft_size`-sample frames advancing by `hop`.
+    /// Plans an STFT over `fft_size`-sample frames advancing by `hop` — a
+    /// thin wrapper bridging `cfg` into a [`PlanSpec`] for
+    /// [`StftPlan::from_spec`].
     ///
     /// # Panics
     /// Panics if `fft_size` is odd or `< 4`, `hop` is zero or exceeds
     /// `fft_size`, or the window/hop pair fails the COLA test (overlap-add
     /// resynthesis would ripple).
     pub fn new(fft_size: usize, hop: usize, window: Window, cfg: FtConfig) -> Self {
+        Self::from_spec(&PlanSpec::from_config(fft_size, Direction::Forward, cfg), hop, window)
+    }
+
+    /// Plans the STFT described by `spec` (whose `n` is the frame/FFT
+    /// size), advancing by `hop`. Both the analysis and synthesis plans
+    /// are built from the spec — its direction is ignored — with σ₀
+    /// recalibrated per direction for the windowed frames and their
+    /// spectra.
+    ///
+    /// # Panics
+    /// Same conditions as [`StftPlan::new`].
+    pub fn from_spec(spec: &PlanSpec, hop: usize, window: Window) -> Self {
+        let fft_size = spec.n();
         assert!(
             fft_size >= 4 && fft_size.is_multiple_of(2),
             "fft_size must be even and >= 4, got {fft_size}"
@@ -81,10 +96,13 @@ impl StftPlan {
         // (σ₀·rms(w) per component), and the inverse sees their spectra
         // (another √(n/2) louder).
         let rms_w = (w.iter().map(|x| x * x).sum::<f64>() / fft_size as f64).sqrt();
-        let fwd =
-            RealFtFftPlan::new(fft_size, Direction::Forward, cfg.with_sigma0(cfg.sigma0 * rms_w));
-        let sigma_inv = cfg.sigma0 * rms_w * ((fft_size / 2) as f64).sqrt();
-        let inv = RealFtFftPlan::new(fft_size, Direction::Inverse, cfg.with_sigma0(sigma_inv));
+        let fwd = RealFtFftPlan::from_spec(
+            &spec.with_direction(Direction::Forward).with_sigma0(spec.sigma0() * rms_w),
+        );
+        let sigma_inv = spec.sigma0() * rms_w * ((fft_size / 2) as f64).sqrt();
+        let inv = RealFtFftPlan::from_spec(
+            &spec.with_direction(Direction::Inverse).with_sigma0(sigma_inv),
+        );
         let bins = fwd.spectrum_len();
         StftPlan {
             n: fft_size,

@@ -36,7 +36,7 @@ fn convolve_protected(a: &[f64], b: &[f64], injector: &dyn FaultInjector) -> (Ve
         c
     };
 
-    let fwd = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+    let fwd = FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(Scheme::OnlineMemOpt).build());
     let mut ws = fwd.make_workspace();
     let mut report = FtReport::new();
 
@@ -53,10 +53,12 @@ fn convolve_protected(a: &[f64], b: &[f64], injector: &dyn FaultInjector) -> (Ve
     let mut prod: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
     let sigma_prod =
         (prod.iter().map(|z| z.norm_sqr()).sum::<f64>() / (2.0 * n as f64)).sqrt().max(1e-30);
-    let inv = FtFftPlan::new(
-        n,
-        Direction::Inverse,
-        FtConfig::new(Scheme::OnlineMemOpt).with_sigma0(sigma_prod),
+    let inv = FtFftPlan::from_spec(
+        &PlanSpec::builder(n)
+            .direction(Direction::Inverse)
+            .scheme(Scheme::OnlineMemOpt)
+            .sigma0(sigma_prod)
+            .build(),
     );
     let mut time = vec![Complex64::ZERO; n];
     let mut ws_inv = inv.make_workspace();

@@ -17,7 +17,7 @@ fn main() {
     println!("fault campaign: {runs} runs of a 2^{log2n}-point online ABFT FFT");
     println!("one random high-bit flip per run (bits 52..=62, memory regions)\n");
 
-    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+    let plan = FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(Scheme::OnlineMemOpt).build());
     let mut ws = plan.make_workspace();
 
     // Clean reference.

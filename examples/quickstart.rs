@@ -14,14 +14,14 @@ fn main() {
     let signal = uniform_signal(n, 42);
 
     // 1. Plain, unprotected transform (the "FFTW" baseline).
-    let plain = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::Plain));
+    let plain = FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(Scheme::Plain).build());
     let mut x = signal.clone();
     let mut reference = vec![Complex64::ZERO; n];
     plain.execute_alloc(&mut x, &mut reference, &NoFaults);
 
     // 2. Protected transform: online ABFT with memory fault tolerance and
     //    all of the paper's §4 optimizations.
-    let plan = FtFftPlan::new(n, Direction::Forward, FtConfig::new(Scheme::OnlineMemOpt));
+    let plan = FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(Scheme::OnlineMemOpt).build());
     let mut ws = plan.make_workspace();
 
     let mut x = signal.clone();

@@ -51,12 +51,12 @@ fn main() {
     // value; widen the thresholds accordingly. Injected faults are many
     // orders of magnitude above even the widened η.
     let sigma0 = (signal.iter().map(|z| z.norm_sqr()).sum::<f64>() / (2.0 * n as f64)).sqrt();
-    let plan = FtFftPlan::new(
-        n,
-        Direction::Forward,
-        FtConfig::new(Scheme::OnlineMemOpt)
-            .with_sigma0(sigma0)
-            .with_threshold_scale((n as f64).sqrt()),
+    let plan = FtFftPlan::from_spec(
+        &PlanSpec::builder(n)
+            .scheme(Scheme::OnlineMemOpt)
+            .sigma0(sigma0)
+            .threshold_scale((n as f64).sqrt())
+            .build(),
     );
     let mut ws = plan.make_workspace();
     let mut x = signal.clone();

@@ -42,8 +42,11 @@ fn main() {
     // the √N·σ a random signal puts there), so widen the model thresholds
     // like every tonal pipeline must; injected faults sit many orders of
     // magnitude above even the widened η.
-    let cfg = FtConfig::new(Scheme::OnlineMemOpt).with_threshold_scale((n as f64).sqrt());
-    let plan = StftPlan::new(n, hop, Window::Hann, cfg);
+    let spec = PlanSpec::builder(n)
+        .scheme(Scheme::OnlineMemOpt)
+        .threshold_scale((n as f64).sqrt())
+        .build();
+    let plan = StftPlan::from_spec(&spec, hop, Window::Hann);
 
     let frames = 40;
     let len = plan.signal_len(frames);
