@@ -29,6 +29,11 @@
 //!    [`ftfft_bench::run_service_load`] with a mixed size × scheme
 //!    workload: requests/sec, plan-cache hit rate, coalesced batch
 //!    statistics, and p50/p99/p999 request latency.
+//! 7. **Pipeline matrix** — the end-to-end protected telemetry pipeline
+//!    ([`ftfft_bench::time_pipeline`]): sustained frames/sec with the
+//!    cold-buffer CRC guard off, on, and on under a seeded fault
+//!    campaign, at sizes capped to 2¹⁴ (the pipeline is a frame path,
+//!    not a big-transform path).
 //!
 //! On a box with no parallelism to measure (`threads = 1`, e.g. a
 //! single-CPU runner), every `threads = N` column is **skipped** — recorded
@@ -61,7 +66,14 @@
 //!   `overhead_stream · (1 + tolerance)`;
 //! * if the baseline carries `min_cache_hit_rate`, the service workload's
 //!   plan-cache hit rate must meet it — any mode (the rate is a count
-//!   ratio, not a timing, so smoke runs gate it too).
+//!   ratio, not a timing, so smoke runs gate it too);
+//! * if the baseline carries `overhead_pipeline_crc`, every pipeline
+//!   row's CRC-on/CRC-off throughput ratio must stay within
+//!   `overhead_pipeline_crc · (1 + tolerance)` — any mode, but only in
+//!   **optimized** builds (both sides of the ratio time in one process,
+//!   so runner *speed* cancels, but the debug profile inflates the
+//!   byte-level CRC ~5× relative to the f64 transform and the ratio
+//!   stops meaning anything).
 //!
 //! ```text
 //! cargo run -p ftfft-bench --release --bin perfgate -- \
@@ -80,8 +92,8 @@ use ftfft::checksum::{combined_sum1_ref, gather_sum1, input_checksum_vector};
 use ftfft::fft::strided::gather;
 use ftfft::prelude::*;
 use ftfft_bench::{
-    gflops, median_secs, run_service_load, time_pooled_batch, time_scheme_spec, time_streaming,
-    Args, BaselineSpec, ServiceLoad, ServiceLoadReport,
+    gflops, median_secs, run_service_load, time_pipeline, time_pooled_batch, time_scheme_spec,
+    time_streaming, Args, BaselineSpec, ServiceLoad, ServiceLoadReport,
 };
 
 /// One timed cell of the kernel matrix.
@@ -199,6 +211,37 @@ impl ParCase {
     }
 }
 
+/// One timed protected-pipeline row (per size): sustained frames/sec
+/// through sync → protected STFT → CRC-guarded cold ring → sink, with the
+/// CRC guard off, on, and on under a seeded fault campaign.
+struct PipelineCase {
+    log2n: u32,
+    frames: usize,
+    nocrc_secs: f64,
+    crc_secs: f64,
+    campaign_secs: f64,
+}
+
+impl PipelineCase {
+    fn fps(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.frames as f64 / secs
+        }
+    }
+
+    /// Cost of the cold-buffer CRC guard (the gated ratio).
+    fn crc_overhead(&self) -> f64 {
+        self.crc_secs / self.nocrc_secs
+    }
+
+    /// Cost of guard + an active fault campaign's recovery ladder.
+    fn campaign_overhead(&self) -> f64 {
+        self.campaign_secs / self.nocrc_secs
+    }
+}
+
 /// The multi-tenant service workload row: configuration + the
 /// [`ServiceLoadReport`] it produced.
 struct ServiceCase {
@@ -255,6 +298,13 @@ const BATCH: usize = 4;
 /// Frames per timed stream in the streaming matrix.
 const STREAM_FRAMES: usize = 24;
 
+/// Frames per timed run in the pipeline matrix.
+const PIPE_FRAMES: usize = 24;
+
+/// The pipeline is a frame path (telemetry frames, not big transforms);
+/// rows above this size would only time memory traffic.
+const PIPE_MAX_LOG2N: u32 = 14;
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let smoke = args.has_flag("smoke");
@@ -291,11 +341,16 @@ fn main() -> ExitCode {
     let pars: Vec<ParCase> =
         log2ns.iter().map(|&l| time_parallel_dit(l, threads_n, single_cpu, runs)).collect();
     let service = run_service_case(smoke, threads_n);
+    let pipes: Vec<PipelineCase> = log2ns
+        .iter()
+        .filter(|&&l| l <= PIPE_MAX_LOG2N)
+        .map(|&l| time_pipeline_case(l, runs))
+        .collect();
 
-    print_tables(&cases, &ccg, &batches, &streams, &pars, &service, runs, smoke);
+    print_tables(&cases, &ccg, &batches, &streams, &pars, &service, &pipes, runs, smoke);
 
     let verdict = if gate {
-        Some(check_gate(&cases, &ccg, &streams, &service, smoke, &baseline_path))
+        Some(check_gate(&cases, &ccg, &streams, &service, &pipes, smoke, &baseline_path))
     } else {
         None
     };
@@ -306,6 +361,7 @@ fn main() -> ExitCode {
         &streams,
         &pars,
         &service,
+        &pipes,
         threads_n,
         single_cpu,
         runs,
@@ -478,6 +534,17 @@ fn time_parallel_dit(log2n: u32, threads: usize, single_cpu: bool, runs: usize) 
     ParCase { log2n, threads, strategy, serial_secs, parallel_secs }
 }
 
+/// Times one pipeline row. All three columns share one process (and the
+/// non-campaign pair shares one built pipeline pair), so the gated ratio
+/// is insensitive to runner speed.
+fn time_pipeline_case(log2n: u32, runs: usize) -> PipelineCase {
+    let n = 1usize << log2n;
+    let nocrc_secs = time_pipeline(n, PIPE_FRAMES, false, false, runs);
+    let crc_secs = time_pipeline(n, PIPE_FRAMES, true, false, runs);
+    let campaign_secs = time_pipeline(n, PIPE_FRAMES, true, true, runs);
+    PipelineCase { log2n, frames: PIPE_FRAMES, nocrc_secs, crc_secs, campaign_secs }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn print_tables(
     cases: &[Case],
@@ -486,6 +553,7 @@ fn print_tables(
     streams: &[StreamCase],
     pars: &[ParCase],
     service: &ServiceCase,
+    pipes: &[PipelineCase],
     runs: usize,
     smoke: bool,
 ) {
@@ -607,6 +675,25 @@ fn print_tables(
         st.latency.p99.as_secs_f64() * 1e6,
         st.latency.p999.as_secs_f64() * 1e6,
     );
+    println!(
+        "\nprotected pipeline ({PIPE_FRAMES} frames, Opt-Online(m) STFT stage), frames/sec, \
+         CRC guard off vs on vs on+campaign:"
+    );
+    println!(
+        "{:>7}{:>13}{:>13}{:>13}{:>10}{:>11}",
+        "n", "nocrc", "crc", "campaign", "crc ovh", "camp ovh"
+    );
+    for p in pipes {
+        println!(
+            "{:>7}{:>13.1}{:>13.1}{:>13.1}{:>9.2}x{:>10.2}x",
+            format!("2^{}", p.log2n),
+            p.fps(p.nocrc_secs),
+            p.fps(p.crc_secs),
+            p.fps(p.campaign_secs),
+            p.crc_overhead(),
+            p.campaign_overhead()
+        );
+    }
 }
 
 struct GateVerdict {
@@ -620,11 +707,13 @@ struct GateVerdict {
     ccg_note: Option<String>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_gate(
     cases: &[Case],
     ccg: &[CcgCase],
     streams: &[StreamCase],
     service: &ServiceCase,
+    pipes: &[PipelineCase],
     smoke: bool,
     baseline_path: &str,
 ) -> GateVerdict {
@@ -765,6 +854,30 @@ fn check_gate(
             ));
         }
     }
+    // Pipeline CRC gate: the cold-buffer guard must stay cheap relative
+    // to the transform work it protects. A ratio, so it applies in every
+    // mode; blowing the bound means the guard started re-hashing hot-path
+    // data (or the ring stopped amortizing) rather than runner noise.
+    // Optimized builds only: debug slows the byte-level CRC far more than
+    // the f64 transform (measured ~5× ratio inflation), so an unoptimized
+    // run would fail on profile, not regression.
+    let pipe_gate = if cfg!(debug_assertions) { None } else { spec.overhead_pipeline_crc };
+    if let Some(pipe_baseline) = pipe_gate {
+        let pipe_limit = pipe_baseline * (1.0 + tolerance);
+        for p in pipes {
+            if p.crc_overhead() > pipe_limit {
+                failures.push(format!(
+                    "pipeline CRC overhead {:.2}x at 2^{} exceeds limit {:.2}x \
+                     (baseline {:.2}x, tolerance {:.0}%)",
+                    p.crc_overhead(),
+                    p.log2n,
+                    pipe_limit,
+                    pipe_baseline,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
     GateVerdict {
         baseline,
         tolerance,
@@ -777,9 +890,10 @@ fn check_gate(
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v6: v5 fields are unchanged; v6 adds
-/// the `service` section — the multi-tenant workload's request/latency/
-/// cache statistics from [`run_service_load`].
+/// Renders `BENCH_PR.json`. Schema v7: v6 fields are unchanged; v7 adds
+/// the `pipeline` section — the protected telemetry pipeline's sustained
+/// frames/sec with the CRC guard off/on/on+campaign from
+/// [`time_pipeline`].
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     cases: &[Case],
@@ -788,6 +902,7 @@ fn render_json(
     streams: &[StreamCase],
     pars: &[ParCase],
     service: &ServiceCase,
+    pipes: &[PipelineCase],
     threads: usize,
     single_cpu: bool,
     runs: usize,
@@ -796,7 +911,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 6,");
+    let _ = writeln!(s, "  \"schema_version\": 7,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
@@ -933,6 +1048,24 @@ fn render_json(
         );
         s.push_str("},\n");
     }
+    s.push_str("  \"pipeline\": [\n");
+    for (i, p) in pipes.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"log2n\": {}, \"frames\": {}, \"fps_nocrc\": {:.3}, \"fps_crc\": {:.3}, \
+             \"fps_campaign\": {:.3}, \"crc_overhead\": {:.6}, \"campaign_overhead\": {:.6}",
+            p.log2n,
+            p.frames,
+            p.fps(p.nocrc_secs),
+            p.fps(p.crc_secs),
+            p.fps(p.campaign_secs),
+            p.crc_overhead(),
+            p.campaign_overhead()
+        );
+        s.push_str(if i + 1 < pipes.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
     match verdict {
         Some(v) => {
             s.push_str("  \"gate\": {");

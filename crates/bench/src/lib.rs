@@ -251,6 +251,43 @@ pub fn run_service_load(load: &ServiceLoad) -> ServiceLoadReport {
     }
 }
 
+/// Times the end-to-end protected telemetry pipeline: `frames` frames of
+/// `n` samples, CCSDS-style encoded, through sync → protected STFT stage
+/// (Opt-Online(m)) → CRC-guarded cold ring → sink (median of `runs`).
+/// `crc` toggles the cold-buffer guard (the overhead the perf gate
+/// bounds); `campaign` additionally runs a seeded compute-fault +
+/// cold-strike campaign per timed run, pricing the recovery ladder
+/// itself. The pipeline is built once and reused; injectors are recreated
+/// per run so every run pays the same fault load.
+pub fn time_pipeline(n: usize, frames: usize, crc: bool, campaign: bool, runs: usize) -> f64 {
+    let spec = PlanSpec::builder(n).scheme(Scheme::OnlineMemOpt).build();
+    let signal: Vec<f64> = uniform_signal(n * frames, 42).iter().map(|z| z.re * 0.5).collect();
+    let stream = encode_stream(&signal, n);
+    let mut p =
+        PipelineBuilder::new(&spec).queue_capacity(frames).ring_capacity(frames).crc(crc).build();
+    let mut sink = Vec::new();
+    let mut run_seed = 0u64;
+    median_secs(runs, || {
+        sink.clear();
+        if campaign {
+            run_seed += 1;
+            let comp = RandomInjector::new(
+                42 ^ run_seed,
+                0.05,
+                RandomKind::BitFlipInRange { lo: 52, hi: 62 },
+                8,
+            )
+            .with_site_filter(|site| matches!(site, Site::SubFftCompute { .. }));
+            let mem = RandomByteInjector::new(99 ^ run_seed, 0.25, ByteFaultKind::BitFlip, 8)
+                .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+            p.process(&stream, &comp, &mem, &mut sink);
+        } else {
+            p.process(&stream, &NoFaults, &NoByteFaults, &mut sink);
+        }
+        assert_eq!(sink.len(), frames, "pipeline must deliver every frame");
+    })
+}
+
 /// Times one sequential scheme with a scripted fault set built per run.
 pub fn time_scheme_with_faults(
     n: usize,
@@ -368,9 +405,9 @@ pub fn json_number(fields: &[(String, f64)], key: &str) -> Option<f64> {
 /// Only `overhead_optonline` and `tolerance` are required; every later
 /// gate rides in an optional field, so a newer perfgate binary keeps
 /// accepting older baselines (v2 without streaming, v3 without the SoA
-/// and fused-gain keys, v4 without the sibling-loss key) and simply skips
-/// the gates the file doesn't carry. The unit tests pin this with v3 and
-/// v4 fixtures.
+/// and fused-gain keys, v4 without the sibling-loss key, v6 without the
+/// pipeline key) and simply skips the gates the file doesn't carry. The
+/// unit tests pin this with per-version fixtures.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BaselineSpec {
     /// Worst tolerated `t(Opt-Online(m)) / t(Plain)` ratio.
@@ -394,6 +431,9 @@ pub struct BaselineSpec {
     /// Minimum plan-cache hit rate of the multi-tenant service workload
     /// (all modes; since v6).
     pub min_cache_hit_rate: Option<f64>,
+    /// Largest tolerated CRC-on/CRC-off throughput ratio of the protected
+    /// telemetry pipeline (all modes; since v7).
+    pub overhead_pipeline_crc: Option<f64>,
 }
 
 impl BaselineSpec {
@@ -410,6 +450,7 @@ impl BaselineSpec {
             min_fused_gain: json_number(&fields, "min_fused_gain"),
             max_sibling_loss: json_number(&fields, "max_sibling_loss"),
             min_cache_hit_rate: json_number(&fields, "min_cache_hit_rate"),
+            overhead_pipeline_crc: json_number(&fields, "overhead_pipeline_crc"),
         })
     }
 }
@@ -464,6 +505,7 @@ pub const HARNESS_BINS: &[HarnessBin] = &[
     },
     HarnessBin { name: "opcount", full_args: &[], smoke_args: &["--log2n", "10", "--runs", "1"] },
     HarnessBin { name: "loadgen", full_args: &[], smoke_args: &["--smoke"] },
+    HarnessBin { name: "downlink_demo", full_args: &[], smoke_args: &["--smoke"] },
     HarnessBin { name: "perfgate", full_args: &[], smoke_args: &["--smoke"] },
 ];
 
@@ -702,6 +744,44 @@ mod tests {
         }"#;
         let spec = BaselineSpec::parse(v6).expect("v6 baseline must parse");
         assert_eq!(spec.min_cache_hit_rate, Some(0.9));
+    }
+
+    #[test]
+    fn baseline_spec_accepts_v6_fixture_without_pipeline_key() {
+        // The exact key set of the committed v6 baseline: a v7 binary
+        // must keep accepting it, with the pipeline gate simply absent.
+        let v6 = r#"{
+            "schema_version": 6,
+            "comment": "ratios, measured on the CI runner",
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_ccg_speedup": 1.15,
+            "overhead_stream": 2.0,
+            "min_soa_speedup": 1.15,
+            "min_fused_gain": 0.97,
+            "max_sibling_loss": 0.3,
+            "min_cache_hit_rate": 0.9
+        }"#;
+        let spec = BaselineSpec::parse(v6).expect("v6 baseline must parse");
+        assert_eq!(spec.min_cache_hit_rate, Some(0.9));
+        assert_eq!(spec.overhead_pipeline_crc, None);
+    }
+
+    #[test]
+    fn baseline_spec_reads_v7_pipeline_key() {
+        let v7 = r#"{
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "overhead_pipeline_crc": 1.3
+        }"#;
+        let spec = BaselineSpec::parse(v7).expect("v7 baseline must parse");
+        assert_eq!(spec.overhead_pipeline_crc, Some(1.3));
+    }
+
+    #[test]
+    fn pipeline_timer_smoke() {
+        let t = time_pipeline(1 << 6, 4, true, true, 1);
+        assert!(t > 0.0);
     }
 
     #[test]

@@ -85,6 +85,14 @@ fn loadgen_smoke() {
 }
 
 #[test]
+fn downlink_demo_smoke() {
+    let out =
+        run_ok("downlink_demo", env!("CARGO_BIN_EXE_downlink_demo"), smoke_args("downlink_demo"));
+    assert!(out.contains("bitwise identical to reference: yes"), "identity proof missing:\n{out}");
+    assert!(out.contains("zero undetected corruptions"), "verdict line missing:\n{out}");
+}
+
+#[test]
 fn perfgate_smoke() {
     // Write BENCH_PR.json into the test temp dir; assert the gate verdict
     // and the stable schema header are present.
@@ -96,7 +104,7 @@ fn perfgate_smoke() {
     assert!(stdout.contains("perf gate OK"), "unexpected output:\n{stdout}");
     let json = std::fs::read_to_string(&out).expect("perfgate wrote BENCH_PR.json");
     let _ = std::fs::remove_file(&out);
-    assert!(json.contains("\"schema_version\": 6"), "schema header missing:\n{json}");
+    assert!(json.contains("\"schema_version\": 7"), "schema header missing:\n{json}");
     assert!(json.contains("\"threads\""), "threads column missing:\n{json}");
     assert!(json.contains("\"single_cpu\""), "single_cpu column missing:\n{json}");
     assert!(json.contains("\"parallel_strategy\""), "parallel section missing:\n{json}");
@@ -112,6 +120,9 @@ fn perfgate_smoke() {
     assert!(json.contains("\"service\""), "service section missing:\n{json}");
     assert!(json.contains("\"cache_hit_rate\""), "cache hit rate missing:\n{json}");
     assert!(json.contains("\"p999_us\""), "latency percentiles missing:\n{json}");
+    assert!(json.contains("\"pipeline\""), "pipeline section missing:\n{json}");
+    assert!(json.contains("\"fps_crc\""), "pipeline fps column missing:\n{json}");
+    assert!(json.contains("\"crc_overhead\""), "pipeline overhead column missing:\n{json}");
     assert!(json.contains("\"pass\": true"), "gate block missing:\n{json}");
 }
 
@@ -125,8 +136,18 @@ fn smoke_tests_cover_every_orchestrated_binary() {
     assert_eq!(
         names,
         [
-            "fig7", "table1", "fig8", "table2", "table3", "table4", "table5", "table6", "opcount",
-            "loadgen", "perfgate"
+            "fig7",
+            "table1",
+            "fig8",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "opcount",
+            "loadgen",
+            "downlink_demo",
+            "perfgate"
         ]
     );
 }

@@ -11,6 +11,9 @@
 //! * [`input_vector`] — `rA` in closed form, naive/optimized/oracle;
 //! * [`mod@ccv`] — computational checksum verification;
 //! * [`memory`] — classic `r₁/r₂` memory checksums with locate+repair;
+//! * [`crc32`](mod@crc32) — CRC-32 integrity words for *cold* buffered
+//!   data (detect-and-recompute, bitwise; complements the arithmetic
+//!   memory checksums that repair *hot* resident data);
 //! * [`combined`] — §4.1 combined weights `r′₁ = rA`, `r′₂ = j·(rA)_j`;
 //! * [`fused`] — gather+CCG in one pass over the strided source (the
 //!   vectorized §4.4 hot path);
@@ -27,6 +30,7 @@ pub mod block;
 pub mod blocked;
 pub mod ccv;
 pub mod combined;
+pub mod crc32;
 pub mod fused;
 pub mod incremental;
 pub mod input_vector;
@@ -43,6 +47,7 @@ pub use combined::{
     combined_checksum, combined_checksum_ref, combined_decode, combined_sum1, combined_sum1_ref,
     combined_sum1_strided, combined_verify, CombinedChecksum,
 };
+pub use crc32::{crc32, crc32_f64s, Crc32};
 pub use fused::{gather_combined, gather_sum1, gather_sum1_split};
 pub use incremental::IncrementalSlots;
 pub use input_vector::{

@@ -1,0 +1,281 @@
+//! Byte-level fault injection for *raw* buffers — the representation-level
+//! counterpart of the element-level [`FaultInjector`](crate::FaultInjector).
+//!
+//! The element injectors model soft errors striking values inside a
+//! protected transform; this module models corruption of data **at rest or
+//! in flight outside** the transforms: the raw downlink byte stream before
+//! frame sync, and cold ring-buffered words guarded by CRC rather than
+//! arithmetic checksums (Elliott et al.'s "exploit the data
+//! representation" regime). Strikes flip bits of the stored
+//! representation — single flips or short bursts — deterministically under
+//! the repo-wide seeding convention of [`crate::random`].
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which raw buffer a byte-level strike targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ByteRegion {
+    /// The raw downlink byte stream, before frame synchronization.
+    RawStream,
+    /// A cold ring slot's processed output words (CRC-guarded).
+    ColdSlot {
+        /// Sequence number of the guarded frame.
+        seq: u64,
+    },
+    /// A cold ring slot's retained *input* words (the recompute source).
+    Retention {
+        /// Sequence number of the guarded frame.
+        seq: u64,
+    },
+}
+
+/// What a byte-level strike does to its victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByteFaultKind {
+    /// Flip one uniformly chosen bit.
+    BitFlip,
+    /// Flip a run of consecutive bits (clamped at the buffer/word end).
+    Burst {
+        /// Run length in bits.
+        bits: u8,
+    },
+}
+
+/// One injected byte-level fault, for end-to-end accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ByteFaultEvent {
+    /// Which buffer was struck.
+    pub region: ByteRegion,
+    /// First flipped bit, as an absolute bit offset into the buffer.
+    pub bit_offset: u64,
+    /// Number of bits actually flipped.
+    pub bits: u8,
+}
+
+/// A source of byte-level corruption. Pipelines call
+/// [`corrupt_bytes`](ByteFaultInjector::corrupt_bytes) /
+/// [`corrupt_words`](ByteFaultInjector::corrupt_words) at each defined
+/// region touch point; implementations decide whether to strike. At most
+/// one fault is injected per call, so each guarded slot sees at most one
+/// strike per residency — the accounting tests rely on that.
+pub trait ByteFaultInjector: Sync {
+    /// Possibly corrupts a raw byte buffer at `region`. Returns the
+    /// number of faults injected (0 or 1).
+    fn corrupt_bytes(&self, region: ByteRegion, bytes: &mut [u8]) -> usize {
+        let _ = (region, bytes);
+        0
+    }
+
+    /// Possibly corrupts an `f64` word buffer at `region`, striking the
+    /// IEEE-754 bit representation of one word. Returns the number of
+    /// faults injected (0 or 1).
+    fn corrupt_words(&self, region: ByteRegion, words: &mut [f64]) -> usize {
+        let _ = (region, words);
+        0
+    }
+}
+
+/// The corruption-free injector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoByteFaults;
+
+impl ByteFaultInjector for NoByteFaults {}
+
+impl<T: ByteFaultInjector + ?Sized> ByteFaultInjector for &T {
+    fn corrupt_bytes(&self, region: ByteRegion, bytes: &mut [u8]) -> usize {
+        (**self).corrupt_bytes(region, bytes)
+    }
+    fn corrupt_words(&self, region: ByteRegion, words: &mut [f64]) -> usize {
+        (**self).corrupt_words(region, words)
+    }
+}
+
+/// Seeded random byte-level injector: each eligible call strikes with
+/// probability `rate`, up to `max_faults` total, following the repo-wide
+/// explicit-seeding convention (see [`crate::random`]).
+pub struct RandomByteInjector {
+    rate: f64,
+    kind: ByteFaultKind,
+    max_faults: usize,
+    region_filter: Option<fn(ByteRegion) -> bool>,
+    state: Mutex<ByteState>,
+}
+
+struct ByteState {
+    rng: StdRng,
+    fired: usize,
+    log: Vec<ByteFaultEvent>,
+}
+
+impl RandomByteInjector {
+    /// Creates an injector striking with probability `rate` per call.
+    pub fn new(seed: u64, rate: f64, kind: ByteFaultKind, max_faults: usize) -> Self {
+        RandomByteInjector {
+            rate,
+            kind,
+            max_faults,
+            region_filter: None,
+            state: Mutex::new(ByteState {
+                rng: StdRng::seed_from_u64(seed),
+                fired: 0,
+                log: Vec::new(),
+            }),
+        }
+    }
+
+    /// Restricts injection to regions accepted by `filter`.
+    pub fn with_region_filter(mut self, filter: fn(ByteRegion) -> bool) -> Self {
+        self.region_filter = Some(filter);
+        self
+    }
+
+    /// Number of faults injected so far.
+    pub fn fired(&self) -> usize {
+        self.state.lock().fired
+    }
+
+    /// Snapshot of every injected fault.
+    pub fn events(&self) -> Vec<ByteFaultEvent> {
+        self.state.lock().log.clone()
+    }
+
+    /// Rolls for a strike over `total_bits`; returns the starting bit and
+    /// run length when one fires.
+    fn roll(&self, region: ByteRegion, total_bits: u64) -> Option<(u64, u8)> {
+        if total_bits == 0 {
+            return None;
+        }
+        if let Some(f) = self.region_filter {
+            if !f(region) {
+                return None;
+            }
+        }
+        let mut st = self.state.lock();
+        if st.fired >= self.max_faults || st.rng.gen::<f64>() >= self.rate {
+            return None;
+        }
+        st.fired += 1;
+        let start = st.rng.gen_range(0..total_bits);
+        let run = match self.kind {
+            ByteFaultKind::BitFlip => 1,
+            ByteFaultKind::Burst { bits } => bits.max(1),
+        };
+        Some((start, run))
+    }
+}
+
+impl ByteFaultInjector for RandomByteInjector {
+    fn corrupt_bytes(&self, region: ByteRegion, bytes: &mut [u8]) -> usize {
+        let Some((start, run)) = self.roll(region, bytes.len() as u64 * 8) else {
+            return 0;
+        };
+        let end = (start + run as u64).min(bytes.len() as u64 * 8);
+        for bit in start..end {
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        self.state.lock().log.push(ByteFaultEvent {
+            region,
+            bit_offset: start,
+            bits: (end - start) as u8,
+        });
+        1
+    }
+
+    fn corrupt_words(&self, region: ByteRegion, words: &mut [f64]) -> usize {
+        // One victim word, a run of bits inside its 64-bit representation
+        // (clamped at the word end, mirroring a burst inside one DRAM
+        // word).
+        let Some((start, run)) = self.roll(region, words.len() as u64 * 64) else {
+            return 0;
+        };
+        let word = (start / 64) as usize;
+        let first = start % 64;
+        let end = (first + run as u64).min(64);
+        let mut mask = 0u64;
+        for bit in first..end {
+            mask |= 1 << bit;
+        }
+        words[word] = f64::from_bits(words[word].to_bits() ^ mask);
+        self.state.lock().log.push(ByteFaultEvent {
+            region,
+            bit_offset: start,
+            bits: (end - first) as u8,
+        });
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_max_faults_and_logs() {
+        let inj = RandomByteInjector::new(1, 1.0, ByteFaultKind::BitFlip, 3);
+        let mut buf = [0u8; 16];
+        let mut hits = 0;
+        for _ in 0..50 {
+            hits += inj.corrupt_bytes(ByteRegion::RawStream, &mut buf);
+        }
+        assert_eq!(hits, 3);
+        assert_eq!(inj.fired(), 3);
+        assert_eq!(inj.events().len(), 3);
+        // 3 single-bit flips on a zero buffer leave exactly 3 set bits
+        // (distinct positions are overwhelmingly likely but not certain;
+        // count parity instead: each flip toggles one bit).
+        let set: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert!((1..=3).contains(&set), "unexpected flip count {set}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let inj = RandomByteInjector::new(seed, 0.7, ByteFaultKind::Burst { bits: 4 }, 8);
+            let mut words = [1.5f64; 6];
+            for _ in 0..20 {
+                inj.corrupt_words(ByteRegion::ColdSlot { seq: 0 }, &mut words);
+            }
+            (words.map(f64::to_bits), inj.events())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn region_filter_limits_targets() {
+        let inj = RandomByteInjector::new(2, 1.0, ByteFaultKind::BitFlip, 100)
+            .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+        let mut words = [1.0f64; 4];
+        assert_eq!(inj.corrupt_words(ByteRegion::Retention { seq: 3 }, &mut words), 0);
+        assert_eq!(words, [1.0; 4]);
+        assert_eq!(inj.corrupt_words(ByteRegion::ColdSlot { seq: 3 }, &mut words), 1);
+        assert_ne!(words, [1.0; 4]);
+    }
+
+    #[test]
+    fn rate_zero_never_fires() {
+        let inj = RandomByteInjector::new(3, 0.0, ByteFaultKind::BitFlip, 100);
+        let mut buf = [0xA5u8; 8];
+        for _ in 0..50 {
+            assert_eq!(inj.corrupt_bytes(ByteRegion::RawStream, &mut buf), 0);
+        }
+        assert_eq!(buf, [0xA5; 8]);
+    }
+
+    #[test]
+    fn burst_stays_inside_the_word() {
+        let inj = RandomByteInjector::new(4, 1.0, ByteFaultKind::Burst { bits: 16 }, 64);
+        for _ in 0..64 {
+            let mut words = [0.0f64; 3];
+            if inj.corrupt_words(ByteRegion::ColdSlot { seq: 1 }, &mut words) == 1 {
+                // Exactly one word changed, the others untouched.
+                let changed = words.iter().filter(|w| w.to_bits() != 0).count();
+                assert_eq!(changed, 1);
+            }
+        }
+        for ev in inj.events() {
+            assert!(ev.bits >= 1 && ev.bits <= 16);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Injected stage panics — the chaos-engineering rung of the fault model.
+//!
+//! Soft errors corrupt *data*; a realistic campaign also has to survive
+//! *control-flow* failure: a worker that panics mid-transform. The
+//! [`PanicInjector`] wraps any inner [`FaultInjector`] and panics at
+//! scripted occurrence counts of the injection callbacks — i.e. from
+//! *inside* a protected executor, exactly where a latent bug or a
+//! corrupted index would blow up. Each panic point fires once (it is
+//! marked fired *before* unwinding), so a supervisor that catches the
+//! unwind and retries the stage succeeds on the next attempt — the
+//! behavior an escalating recovery ladder needs to be testable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use ftfft_numeric::Complex64;
+
+use crate::injector::FaultInjector;
+use crate::site::{InjectionCtx, Site};
+
+/// One scripted panic: fires when the wrapper's injection-callback count
+/// reaches `occurrence` (1-based), optionally only at a specific site.
+#[derive(Clone, Copy, Debug)]
+pub struct PanicPoint {
+    site: Option<Site>,
+    occurrence: usize,
+}
+
+impl PanicPoint {
+    /// Panics at the `occurrence`-th injection callback, whatever its site.
+    pub fn any(occurrence: usize) -> Self {
+        PanicPoint { site: None, occurrence: occurrence.max(1) }
+    }
+
+    /// Panics at the `occurrence`-th injection callback whose site is
+    /// exactly `site`.
+    pub fn at(site: Site, occurrence: usize) -> Self {
+        PanicPoint { site: Some(site), occurrence: occurrence.max(1) }
+    }
+}
+
+/// Wraps an inner injector and panics at scripted callback occurrences.
+///
+/// Occurrences count *all* callbacks this wrapper sees (both `inject` and
+/// `inject_value`, any site); site-scoped points count only callbacks at
+/// their site. The inner injector still runs for every callback that does
+/// not panic, so data faults and panics compose in one campaign.
+pub struct PanicInjector<I> {
+    inner: I,
+    points: Mutex<Vec<PointState>>,
+    seen: AtomicUsize,
+}
+
+struct PointState {
+    point: PanicPoint,
+    site_seen: usize,
+    fired: bool,
+}
+
+impl<I: FaultInjector> PanicInjector<I> {
+    /// Wraps `inner` with the given panic script.
+    pub fn new(inner: I, points: Vec<PanicPoint>) -> Self {
+        PanicInjector {
+            inner,
+            points: Mutex::new(
+                points
+                    .into_iter()
+                    .map(|point| PointState { point, site_seen: 0, fired: false })
+                    .collect(),
+            ),
+            seen: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped injector (e.g. to read its fault log after a run).
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Number of panic points that have fired.
+    pub fn panics_fired(&self) -> usize {
+        self.points.lock().iter().filter(|p| p.fired).count()
+    }
+
+    /// `true` once every scripted panic has fired.
+    pub fn exhausted(&self) -> bool {
+        self.points.lock().iter().all(|p| p.fired)
+    }
+
+    /// Marks any point due at this callback as fired, then panics.
+    fn tick(&self, site: Site) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut points = self.points.lock();
+        let mut due = false;
+        for p in points.iter_mut() {
+            if p.fired {
+                continue;
+            }
+            match p.point.site {
+                None => {
+                    if n == p.point.occurrence {
+                        p.fired = true;
+                        due = true;
+                    }
+                }
+                Some(s) => {
+                    if s == site {
+                        p.site_seen += 1;
+                        if p.site_seen == p.point.occurrence {
+                            p.fired = true;
+                            due = true;
+                        }
+                    }
+                }
+            }
+        }
+        drop(points);
+        if due {
+            panic!("injected stage panic at callback {n} ({site:?})");
+        }
+    }
+}
+
+impl<I: FaultInjector> FaultInjector for PanicInjector<I> {
+    fn inject(&self, ctx: InjectionCtx, site: Site, data: &mut [Complex64]) -> bool {
+        self.tick(site);
+        self.inner.inject(ctx, site, data)
+    }
+
+    fn inject_value(&self, ctx: InjectionCtx, site: Site, value: &mut Complex64) -> bool {
+        self.tick(site);
+        self.inner.inject_value(ctx, site, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::NoFaults;
+    use crate::site::Part;
+    use ftfft_numeric::complex::c64;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn fires_once_then_passes_through() {
+        let inj = PanicInjector::new(NoFaults, vec![PanicPoint::any(2)]);
+        let mut data = [c64(1.0, 0.0); 2];
+        // Callback 1: no panic.
+        assert!(!inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
+        // Callback 2: panics, marked fired before unwinding.
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data)
+        }));
+        assert!(r.is_err());
+        assert_eq!(inj.panics_fired(), 1);
+        assert!(inj.exhausted());
+        // Callback 3 (the "retry"): runs clean.
+        assert!(!inj.inject(InjectionCtx::default(), Site::InputMemory, &mut data));
+    }
+
+    #[test]
+    fn site_scoped_point_counts_only_its_site() {
+        let site = Site::SubFftCompute { part: Part::First, index: 1 };
+        let inj = PanicInjector::new(NoFaults, vec![PanicPoint::at(site, 2)]);
+        let mut v = c64(0.0, 0.0);
+        // Other sites never trigger it.
+        for _ in 0..5 {
+            assert!(!inj.inject_value(InjectionCtx::default(), Site::OutputMemory, &mut v));
+        }
+        assert!(!inj.inject_value(InjectionCtx::default(), site, &mut v));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            inj.inject_value(InjectionCtx::default(), site, &mut v)
+        }));
+        assert!(r.is_err());
+        assert!(inj.exhausted());
+    }
+}

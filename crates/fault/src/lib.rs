@@ -7,6 +7,8 @@
 //! that the protected executors expose, so experiments are deterministic
 //! and every injected fault is logged for end-to-end accounting.
 
+pub mod bytes;
+pub mod chaos;
 pub mod injector;
 pub mod kind;
 pub mod log;
@@ -14,6 +16,10 @@ pub mod random;
 pub mod scripted;
 pub mod site;
 
+pub use bytes::{
+    ByteFaultEvent, ByteFaultInjector, ByteFaultKind, ByteRegion, NoByteFaults, RandomByteInjector,
+};
+pub use chaos::{PanicInjector, PanicPoint};
 pub use injector::{FaultInjector, NoFaults};
 pub use kind::{Component, FaultKind};
 pub use log::{FaultEvent, FaultLog};

@@ -29,12 +29,12 @@
 //! |---|---|
 //! | [`numeric`] | complex arithmetic, SIMD micro-kernels, statistics, `erf`/Φ, signal generators |
 //! | [`fft`] | the FFT library (planner, kernels, two-/three-layer plans) |
-//! | [`checksum`] | ABFT encodings (computational, memory, combined, blocks) |
-//! | [`fault`] | soft-error injection framework |
+//! | [`checksum`] | ABFT encodings (computational, memory, combined, blocks) + CRC-32 for cold buffers |
+//! | [`fault`] | soft-error injection framework: element faults, byte/bit strikes on raw buffers, scripted stage panics |
 //! | [`roundoff`] | §8 threshold model and throughput analysis |
 //! | [`core`] | the protected sequential schemes (offline/online × comp/mem) |
 //! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap; thread pool + pooled executors |
-//! | [`stream`] | streaming engines: overlap-save protected convolution, STFT/spectrogram, frame scheduler |
+//! | [`stream`] | streaming engines: overlap-save protected convolution, STFT/spectrogram, frame scheduler, end-to-end protected telemetry pipeline |
 //! | [`service`] | multi-tenant service layer: `PlanSpec`-keyed plan cache, coalescing admission queue, per-tenant telemetry |
 
 pub use ftfft_checksum as checksum;
@@ -49,13 +49,15 @@ pub use ftfft_stream as stream;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use ftfft_checksum::{crc32, crc32_f64s, Crc32};
     pub use ftfft_core::{
         FtConfig, FtFftPlan, FtReport, FusedPolicy, InPlaceFtPlan, PlanSpec, PlanSpecBuilder,
         RealFtFftPlan, RealWorkspace, Scheme, Workspace,
     };
     pub use ftfft_fault::{
-        Component, FaultInjector, FaultKind, InjectionCtx, NoFaults, Part, RandomInjector,
-        RandomKind, ScriptedFault, ScriptedInjector, Site,
+        ByteFaultInjector, ByteFaultKind, ByteRegion, Component, FaultInjector, FaultKind,
+        InjectionCtx, NoByteFaults, NoFaults, PanicInjector, PanicPoint, Part, RandomByteInjector,
+        RandomInjector, RandomKind, ScriptedFault, ScriptedInjector, Site,
     };
     pub use ftfft_fft::{
         dft_naive, fft, force_layout, force_strategy, ifft, irfft, normalize, rfft, Direction,
@@ -72,12 +74,13 @@ pub mod prelude {
     };
     pub use ftfft_roundoff::{thresholds_for_split, throughput, Calibrator, Thresholds};
     pub use ftfft_service::{
-        FftService, LatencySummary, PlanCache, ServiceConfig, ServiceResponse, ServiceStats,
-        TenantStats, Ticket,
+        FftService, LatencySummary, PlanCache, RequestError, ServiceConfig, ServiceResponse,
+        ServiceStats, TenantStats, Ticket,
     };
     pub use ftfft_stream::{
-        ComplexStreamingConvolver, FrameScheduler, StftPlan, StftWorkspace, StreamReport,
-        StreamingConvolver, Window,
+        encode_stream, ComplexStreamingConvolver, DeliveredFrame, FirFilterStage, FrameScheduler,
+        FrameSync, FrameTransform, PipelineBuilder, PipelineReport, ProtectedPipeline,
+        StftDenoiseStage, StftPlan, StftWorkspace, StreamReport, StreamingConvolver, Window,
     };
 }
 

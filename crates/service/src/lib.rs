@@ -39,5 +39,5 @@ pub mod queue;
 pub mod telemetry;
 
 pub use cache::PlanCache;
-pub use queue::{FftService, ServiceConfig, ServiceResponse, ServiceStats, Ticket};
+pub use queue::{FftService, RequestError, ServiceConfig, ServiceResponse, ServiceStats, Ticket};
 pub use telemetry::{LatencyHistogram, LatencySummary, TenantStats};

@@ -93,27 +93,58 @@ pub struct ServiceResponse {
     pub cache_hit: bool,
 }
 
+/// Why a request failed without producing a response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The request's execution panicked; the worker caught the unwind,
+    /// failed *this request only*, and kept serving the queue. The
+    /// payload is the panic message.
+    Panicked(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Panicked(msg) => write!(f, "request execution panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 #[derive(Default)]
 struct ResponseSlot {
-    filled: Mutex<Option<ServiceResponse>>,
+    filled: Mutex<Option<Result<ServiceResponse, RequestError>>>,
     cv: Condvar,
 }
 
 impl ResponseSlot {
-    fn deliver(&self, resp: ServiceResponse) {
+    fn deliver(&self, resp: Result<ServiceResponse, RequestError>) {
         *self.filled.lock().unwrap() = Some(resp);
         self.cv.notify_all();
     }
 }
 
-/// Handle to an in-flight request; redeem with [`Ticket::wait`].
+/// Handle to an in-flight request; redeem with [`Ticket::wait`] or
+/// [`Ticket::wait_result`].
 pub struct Ticket {
     slot: Arc<ResponseSlot>,
 }
 
 impl Ticket {
     /// Blocks until the service has executed the request.
+    ///
+    /// # Panics
+    /// Re-panics (on *this* thread) if the request failed — e.g. its
+    /// execution panicked in a worker. Use
+    /// [`wait_result`](Ticket::wait_result) to observe failures as values.
     pub fn wait(self) -> ServiceResponse {
+        self.wait_result().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Blocks until the service has executed the request; a worker-side
+    /// panic surfaces as [`RequestError::Panicked`] instead of unwinding.
+    pub fn wait_result(self) -> Result<ServiceResponse, RequestError> {
         let mut g = self.slot.filled.lock().unwrap();
         loop {
             match g.take() {
@@ -123,8 +154,8 @@ impl Ticket {
         }
     }
 
-    /// Returns the response if it is already available.
-    pub fn try_take(&self) -> Option<ServiceResponse> {
+    /// Returns the outcome if it is already available.
+    pub fn try_take(&self) -> Option<Result<ServiceResponse, RequestError>> {
         self.slot.filled.lock().unwrap().take()
     }
 }
@@ -161,6 +192,8 @@ struct Inner {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch_seen: AtomicU64,
+    /// Requests whose execution panicked (isolated; see [`run_batch`]).
+    failed: AtomicU64,
 }
 
 /// Cross-service aggregate snapshot (see [`FftService::stats`]).
@@ -176,6 +209,9 @@ pub struct ServiceStats {
     pub mean_batch: f64,
     /// Largest batch dispatched.
     pub max_batch: u64,
+    /// Requests that failed by worker-side panic (each failed only
+    /// itself; the queue kept serving).
+    pub failed: u64,
     /// Plan-cache hits at submit time.
     pub cache_hits: u64,
     /// Plan-cache misses (plan builds).
@@ -217,6 +253,7 @@ impl FftService {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -339,6 +376,7 @@ impl FftService {
             batches,
             mean_batch: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
             max_batch: self.inner.max_batch_seen.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             hit_rate: self.inner.cache.hit_rate(),
@@ -355,8 +393,12 @@ impl FftService {
                 let st = self.inner.state.lock().unwrap();
                 if st.pending.is_empty() && st.ready.is_empty() {
                     // Queue empty; in-flight batches are counted below.
+                    // Panicked requests never reach telemetry, so they
+                    // complete the tally through the failed counter.
                     let submitted = self.inner.cache.hits() + self.inner.cache.misses();
-                    if self.inner.telemetry.global().requests == submitted {
+                    let done = self.inner.telemetry.global().requests
+                        + self.inner.failed.load(Ordering::Relaxed);
+                    if done == submitted {
                         return;
                     }
                 }
@@ -436,19 +478,43 @@ fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSp
     for mut req in batch.reqs {
         let frames = (req.input.len() / n) as u64;
         let mut output = vec![Complex64::ZERO; req.input.len()];
-        let report = match &req.injector {
-            Some(inj) => plan.execute_batch(&mut req.input, &mut output, inj.as_ref(), ws),
-            None => plan.execute_batch(&mut req.input, &mut output, &NoFaults, ws),
-        };
+        // Panic isolation: a panicking execution (a scripted chaos
+        // injector, a latent plan bug) must fail only its own request.
+        // Catch the unwind, deliver the error to this ticket, and keep
+        // the worker serving the queue. The workspace is safe to reuse —
+        // every execution fully rewrites the scratch it reads.
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &req.injector {
+                Some(inj) => plan.execute_batch(&mut req.input, &mut output, inj.as_ref(), ws),
+                None => plan.execute_batch(&mut req.input, &mut output, &NoFaults, ws),
+            }));
         let latency = req.submitted.elapsed();
-        inner.telemetry.record(&req.tenant, latency, frames, req.cache_hit, &report);
-        req.slot.deliver(ServiceResponse {
-            output,
-            report,
-            latency,
-            batched_with: size,
-            cache_hit: req.cache_hit,
-        });
+        match caught {
+            Ok(report) => {
+                inner.telemetry.record(&req.tenant, latency, frames, req.cache_hit, &report);
+                req.slot.deliver(Ok(ServiceResponse {
+                    output,
+                    report,
+                    latency,
+                    batched_with: size,
+                    cache_hit: req.cache_hit,
+                }));
+            }
+            Err(payload) => {
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+                req.slot.deliver(Err(RequestError::Panicked(panic_message(&*payload))));
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -564,6 +630,37 @@ mod tests {
         assert!(svc.tenant_stats("carol").is_none());
         let names: Vec<String> = svc.all_tenant_stats().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, ["alice", "bob"]);
+    }
+
+    #[test]
+    fn panicking_request_fails_alone_queue_keeps_serving() {
+        use ftfft_fault::{PanicInjector, PanicPoint};
+        let svc = FftService::new(ServiceConfig::default().with_workers(1));
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineCompOpt).build();
+
+        // This request's injector panics at its first callback — from
+        // inside the protected executor, on the worker thread.
+        let chaos: SharedInjector =
+            Arc::new(PanicInjector::new(NoFaults, vec![PanicPoint::any(1)]));
+        let doomed = svc.submit_injected("mallory", &spec, uniform_signal(64, 1), chaos);
+        match doomed.wait_result() {
+            Err(RequestError::Panicked(msg)) => {
+                assert!(msg.contains("injected stage panic"), "unexpected message: {msg}")
+            }
+            Ok(_) => panic!("panicking request must not produce a response"),
+        }
+
+        // The same worker must still be alive and correct for the next
+        // tenant — bitwise identical to direct execution.
+        let input = uniform_signal(64, 2);
+        let resp = svc.submit("alice", &spec, input.clone()).wait();
+        let (want, _) = direct(&spec, &input);
+        assert_eq!(resp.output, want);
+
+        svc.quiesce(); // must terminate: failed requests count as done
+        let stats = svc.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.requests, 1, "panicked request must not reach telemetry");
     }
 
     #[test]

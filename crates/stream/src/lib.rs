@@ -20,7 +20,11 @@
 //!   like the pooled executors; the per-frame transforms stay
 //!   allocation-free);
 //! * [`StreamReport`] — per-stream telemetry: frames/samples processed
-//!   plus the merged (saturating) fault-tolerance counters.
+//!   plus the merged (saturating) fault-tolerance counters;
+//! * [`pipeline`] — the end-to-end protected telemetry pipeline: frame
+//!   sync + derandomization, bounded backpressured queues, ABFT transform
+//!   stages under a panic-supervised recovery ladder, CRC-guarded cold
+//!   buffering, and a per-stage [`PipelineReport`].
 //!
 //! Real-input frames run through `ftfft_core::RealFtFftPlan` — pack into
 //! a half-size complex transform, whose checksummed region covers all the
@@ -34,6 +38,7 @@
 //! batched executors are bitwise equal to looped single executions.
 
 pub mod convolve;
+pub mod pipeline;
 pub mod report;
 #[cfg(feature = "parallel")]
 pub mod scheduler;
@@ -41,6 +46,10 @@ pub mod stft;
 pub mod window;
 
 pub use convolve::{ComplexStreamingConvolver, StreamingConvolver};
+pub use pipeline::report::PipelineReport;
+pub use pipeline::stage::{FirFilterStage, FrameTransform, StftDenoiseStage};
+pub use pipeline::sync::{encode_stream, FrameSync};
+pub use pipeline::{DeliveredFrame, PipelineBuilder, ProtectedPipeline};
 pub use report::StreamReport;
 #[cfg(feature = "parallel")]
 pub use scheduler::FrameScheduler;

@@ -1,0 +1,267 @@
+//! CRC-guarded cold ring between the transform stage and the sink.
+//!
+//! Processed frames wait here (cold, at rest) until the sink drains them —
+//! the residency window where a memory strike would otherwise slip
+//! downstream silently. Each slot seals two CRC-32 words at store time:
+//! one over the processed output, one over the **retained input** (the
+//! recompute source). Delivery verifies the output CRC; on mismatch the
+//! retained input is verified and, if intact, the frame can be recomputed
+//! *bitwise* — the regime the module-level discussion in
+//! [`ftfft_checksum::crc32()`] lays out. Both CRCs bind the frame's
+//! sequence number, so a slot shuffle is as detectable as a bit flip.
+
+use ftfft_checksum::Crc32;
+use ftfft_fault::bytes::{ByteFaultInjector, ByteRegion};
+
+use super::report::ColdStats;
+use std::collections::VecDeque;
+
+/// Delivery-time verdict on the ring's oldest slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontVerdict {
+    /// Output CRC verified (or guarding disabled) — safe to deliver.
+    OutputOk,
+    /// Output corrupted, retained input intact — recompute bitwise.
+    RecomputeFromInput,
+    /// Output corrupted *and* retained input corrupted — quarantine; the
+    /// frame is unrecoverable but the loss is detected and counted.
+    Unrecoverable,
+}
+
+struct Slot {
+    seq: u64,
+    input: Vec<f64>,
+    output: Vec<f64>,
+    input_crc: u32,
+    output_crc: u32,
+}
+
+/// Bounded ring of CRC-sealed (input, output) frame pairs.
+pub struct GuardedRing {
+    slots: VecDeque<Slot>,
+    capacity: usize,
+    crc: bool,
+    stored: u64,
+    high_water: u64,
+    crc_checks: u64,
+    crc_detected: u64,
+    retention_detected: u64,
+    recomputed: u64,
+    quarantined: u64,
+}
+
+fn seal(seq: u64, words: &[f64]) -> u32 {
+    Crc32::new().update_u64(seq).update_f64s(words).finish()
+}
+
+impl GuardedRing {
+    /// Creates a ring holding at most `capacity` frames; `crc` enables
+    /// the integrity words (off = bare buffering, for overhead baselines).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, crc: bool) -> Self {
+        assert!(capacity >= 1, "ring capacity must be >= 1");
+        GuardedRing {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+            crc,
+            stored: 0,
+            high_water: 0,
+            crc_checks: 0,
+            crc_detected: 0,
+            retention_detected: 0,
+            recomputed: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// `true` when a store would exceed capacity (backpressure signal).
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity
+    }
+
+    /// `true` when no frame is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Frames currently resident.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Seals `(input, output)` for frame `seq` into the ring.
+    ///
+    /// # Panics
+    /// Panics when full — callers must check [`is_full`](Self::is_full)
+    /// first (the pipeline turns fullness into backpressure, not loss).
+    pub fn store(&mut self, seq: u64, input: &[f64], output: &[f64]) {
+        assert!(!self.is_full(), "GuardedRing::store on a full ring");
+        let (input_crc, output_crc) =
+            if self.crc { (seal(seq, input), seal(seq, output)) } else { (0, 0) };
+        self.slots.push_back(Slot {
+            seq,
+            input: input.to_vec(),
+            output: output.to_vec(),
+            input_crc,
+            output_crc,
+        });
+        self.stored += 1;
+        self.high_water = self.high_water.max(self.slots.len() as u64);
+    }
+
+    /// Exposes the newest slot's buffers to a byte-level injector — the
+    /// campaign's hook for striking data at rest. Output words are struck
+    /// as [`ByteRegion::ColdSlot`], retained input as
+    /// [`ByteRegion::Retention`]. Returns the number of faults injected.
+    pub fn corrupt_back(&mut self, injector: &dyn ByteFaultInjector) -> usize {
+        let Some(slot) = self.slots.back_mut() else { return 0 };
+        injector.corrupt_words(ByteRegion::ColdSlot { seq: slot.seq }, &mut slot.output)
+            + injector.corrupt_words(ByteRegion::Retention { seq: slot.seq }, &mut slot.input)
+    }
+
+    /// Verifies the oldest slot's CRCs and renders the delivery verdict.
+    /// With guarding disabled this always says [`FrontVerdict::OutputOk`]
+    /// — whatever the bits are, they ship (the unprotected baseline).
+    pub fn verify_front(&mut self) -> Option<FrontVerdict> {
+        let slot = self.slots.front()?;
+        if !self.crc {
+            return Some(FrontVerdict::OutputOk);
+        }
+        self.crc_checks += 1;
+        if seal(slot.seq, &slot.output) == slot.output_crc {
+            return Some(FrontVerdict::OutputOk);
+        }
+        self.crc_detected += 1;
+        self.crc_checks += 1;
+        if seal(slot.seq, &slot.input) == slot.input_crc {
+            Some(FrontVerdict::RecomputeFromInput)
+        } else {
+            self.retention_detected += 1;
+            Some(FrontVerdict::Unrecoverable)
+        }
+    }
+
+    /// The oldest slot's sequence number.
+    pub fn front_seq(&self) -> Option<u64> {
+        self.slots.front().map(|s| s.seq)
+    }
+
+    /// Copies the oldest slot's retained input into `buf`.
+    pub fn front_input_to(&self, buf: &mut Vec<f64>) {
+        let slot = self.slots.front().expect("front_input_to on an empty ring");
+        buf.clear();
+        buf.extend_from_slice(&slot.input);
+    }
+
+    /// Replaces the oldest slot's output with a recomputed buffer and
+    /// reseals its CRC (counted as a recompute recovery).
+    pub fn replace_front_output(&mut self, output: &[f64]) {
+        let crc = self.crc;
+        let slot = self.slots.front_mut().expect("replace_front_output on an empty ring");
+        slot.output.clear();
+        slot.output.extend_from_slice(output);
+        slot.output_crc = if crc { seal(slot.seq, &slot.output) } else { 0 };
+        self.recomputed += 1;
+    }
+
+    /// Delivers the oldest slot: removes it and returns `(seq, output)`.
+    pub fn pop_front(&mut self) -> Option<(u64, Vec<f64>)> {
+        self.slots.pop_front().map(|s| (s.seq, s.output))
+    }
+
+    /// Discards the oldest slot as unrecoverable (counted).
+    pub fn quarantine_front(&mut self) {
+        if self.slots.pop_front().is_some() {
+            self.quarantined += 1;
+        }
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> ColdStats {
+        ColdStats {
+            capacity: self.capacity as u64,
+            stored: self.stored,
+            high_water: self.high_water,
+            crc_checks: self.crc_checks,
+            crc_detected: self.crc_detected,
+            retention_detected: self.retention_detected,
+            recomputed: self.recomputed,
+            quarantined: self.quarantined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftfft_fault::bytes::{ByteFaultKind, RandomByteInjector};
+
+    #[test]
+    fn clean_slots_verify_and_deliver_in_order() {
+        let mut ring = GuardedRing::new(4, true);
+        for seq in 0..3u64 {
+            ring.store(seq, &[seq as f64; 8], &[seq as f64 + 0.5; 8]);
+        }
+        for seq in 0..3u64 {
+            assert_eq!(ring.verify_front(), Some(FrontVerdict::OutputOk));
+            let (s, out) = ring.pop_front().unwrap();
+            assert_eq!(s, seq);
+            assert_eq!(out, vec![seq as f64 + 0.5; 8]);
+        }
+        assert!(ring.is_empty());
+        assert_eq!(ring.verify_front(), None);
+        let st = ring.stats();
+        assert_eq!((st.stored, st.high_water, st.crc_detected), (3, 3, 0));
+    }
+
+    #[test]
+    fn output_corruption_is_detected_and_recomputable() {
+        let mut ring = GuardedRing::new(2, true);
+        ring.store(7, &[1.0, 2.0], &[3.0, 4.0]);
+        let inj = RandomByteInjector::new(11, 1.0, ByteFaultKind::BitFlip, 1)
+            .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+        assert_eq!(ring.corrupt_back(&inj), 1);
+        assert_eq!(ring.verify_front(), Some(FrontVerdict::RecomputeFromInput));
+        let mut input = Vec::new();
+        ring.front_input_to(&mut input);
+        assert_eq!(input, vec![1.0, 2.0]);
+        ring.replace_front_output(&[3.0, 4.0]);
+        assert_eq!(ring.verify_front(), Some(FrontVerdict::OutputOk));
+        let (_, out) = ring.pop_front().unwrap();
+        assert_eq!(out, vec![3.0, 4.0]);
+        let st = ring.stats();
+        assert_eq!((st.crc_detected, st.recomputed, st.retention_detected), (1, 1, 0));
+    }
+
+    #[test]
+    fn double_corruption_is_unrecoverable_but_detected() {
+        let mut ring = GuardedRing::new(2, true);
+        ring.store(9, &[1.0; 4], &[2.0; 4]);
+        let inj = RandomByteInjector::new(5, 1.0, ByteFaultKind::BitFlip, 2);
+        assert_eq!(ring.corrupt_back(&inj), 2);
+        assert_eq!(ring.verify_front(), Some(FrontVerdict::Unrecoverable));
+        ring.quarantine_front();
+        assert!(ring.is_empty());
+        let st = ring.stats();
+        assert_eq!((st.crc_detected, st.retention_detected, st.quarantined), (1, 1, 1));
+    }
+
+    #[test]
+    fn crc_off_ships_whatever_the_bits_are() {
+        let mut ring = GuardedRing::new(2, false);
+        ring.store(0, &[1.0], &[2.0]);
+        let inj = RandomByteInjector::new(3, 1.0, ByteFaultKind::BitFlip, 1)
+            .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+        ring.corrupt_back(&inj);
+        assert_eq!(ring.verify_front(), Some(FrontVerdict::OutputOk));
+        assert_eq!(ring.stats().crc_checks, 0);
+    }
+
+    #[test]
+    fn sequence_number_is_bound_into_the_seal() {
+        // Same bytes, different seq → different CRC (slot shuffle detection).
+        assert_ne!(seal(1, &[5.0, 6.0]), seal(2, &[5.0, 6.0]));
+    }
+}

@@ -1,0 +1,547 @@
+//! End-to-end protected telemetry pipeline.
+//!
+//! Composes the streaming primitives into one ingress-to-sink chain in
+//! which **no stage can corrupt silently and no stage can buffer
+//! unboundedly**:
+//!
+//! ```text
+//! bytes → FrameSync → BoundedQueue → FrameTransform → GuardedRing → sink
+//!          (derand,     (backpressure:   (ABFT FFTs +     (CRC-32 on
+//!           resync,      counted drops)   panic ladder)    cold data)
+//!           counted)
+//! ```
+//!
+//! Each stage has an explicit failure story, escalating only as far as
+//! needed:
+//!
+//! 1. **ABFT correction** inside the protected transforms — compute
+//!    faults are detected by checksum and healed by sub-FFT recompute,
+//!    bitwise identical to the fault-free run;
+//! 2. **bounded recompute retry** — a stage panic is caught
+//!    ([`std::panic::catch_unwind`]) and the frame re-run up to
+//!    `max_retries` times (stages are pure, so a successful retry is
+//!    bitwise identical);
+//! 3. **CRC detect + bitwise recompute** — corruption of *cold* frames
+//!    waiting in the ring is caught at delivery by CRC-32 and healed by
+//!    recomputing from the CRC-verified retained input;
+//! 4. **quarantine with accounting** — a frame that exhausts the ladder
+//!    is dropped and *counted* ([`PipelineReport::dropped`]); delivery of
+//!    corrupt data is never an outcome.
+//!
+//! Overload degrades the same way: the ingest queue and cold ring are
+//! bounded, excess frames are shed at the queue with counters, and
+//! [`PipelineReport`] exposes depth high-water marks to prove it.
+
+pub mod guard;
+pub mod queue;
+pub mod report;
+pub mod stage;
+pub mod sync;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ftfft_core::{FtReport, PlanSpec};
+use ftfft_fault::bytes::ByteFaultInjector;
+use ftfft_fault::FaultInjector;
+
+use guard::{FrontVerdict, GuardedRing};
+use queue::BoundedQueue;
+use report::{PipelineReport, SinkStats, TransformStats};
+use stage::{FirFilterStage, FrameTransform, StftDenoiseStage};
+use sync::FrameSync;
+
+/// One frame delivered by the sink edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeliveredFrame {
+    /// Stream-order sequence number assigned at sync time.
+    pub seq: u64,
+    /// Processed output samples.
+    pub samples: Vec<f64>,
+    /// `true` when the frame went through a recovery path (CRC-detected
+    /// corruption healed by bitwise recompute) before delivery.
+    pub recovered: bool,
+}
+
+enum StageSpec {
+    Denoise { gate: f64 },
+    Fir { taps: Vec<f64> },
+    Custom(Box<dyn FrameTransform>),
+}
+
+/// Builder for [`ProtectedPipeline`]; `spec.n()` fixes the stage's FFT
+/// size and `spec`'s scheme/threshold configuration flows into every
+/// protected plan.
+pub struct PipelineBuilder {
+    spec: PlanSpec,
+    stage: StageSpec,
+    queue_capacity: usize,
+    ring_capacity: usize,
+    crc: bool,
+    max_retries: usize,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder with the default stage (a pure protected STFT
+    /// round trip: spectral gate 0), queue/ring capacity 64, CRC
+    /// guarding on, and 3 recompute retries.
+    pub fn new(spec: &PlanSpec) -> Self {
+        PipelineBuilder {
+            spec: *spec,
+            stage: StageSpec::Denoise { gate: 0.0 },
+            queue_capacity: 64,
+            ring_capacity: 64,
+            crc: true,
+            max_retries: 3,
+        }
+    }
+
+    /// Uses a spectral-gate denoise stage zeroing bins below `gate`.
+    pub fn spectral_gate(mut self, gate: f64) -> Self {
+        self.stage = StageSpec::Denoise { gate };
+        self
+    }
+
+    /// Uses a protected FIR filter stage with the given taps.
+    pub fn fir(mut self, taps: &[f64]) -> Self {
+        self.stage = StageSpec::Fir { taps: taps.to_vec() };
+        self
+    }
+
+    /// Uses a caller-provided transform stage.
+    pub fn transform(mut self, stage: Box<dyn FrameTransform>) -> Self {
+        self.stage = StageSpec::Custom(stage);
+        self
+    }
+
+    /// Bounds the ingest queue (frames shed beyond this are counted).
+    pub fn queue_capacity(mut self, frames: usize) -> Self {
+        self.queue_capacity = frames;
+        self
+    }
+
+    /// Bounds the cold ring (a full ring backpressures the transform).
+    pub fn ring_capacity(mut self, frames: usize) -> Self {
+        self.ring_capacity = frames;
+        self
+    }
+
+    /// Enables/disables CRC-32 guarding of cold frames.
+    pub fn crc(mut self, enabled: bool) -> Self {
+        self.crc = enabled;
+        self
+    }
+
+    /// Bounds the per-frame recompute retries after a caught panic.
+    pub fn max_retries(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Builds the pipeline.
+    pub fn build(self) -> ProtectedPipeline {
+        let stage: Box<dyn FrameTransform> = match self.stage {
+            StageSpec::Denoise { gate } => Box::new(StftDenoiseStage::new(&self.spec, gate)),
+            StageSpec::Fir { taps } => Box::new(FirFilterStage::new(&self.spec, &taps)),
+            StageSpec::Custom(stage) => stage,
+        };
+        let frame_len = stage.frame_len();
+        let hist_len = stage.history_len();
+        let out_len = stage.output_len();
+        ProtectedPipeline {
+            sync: FrameSync::new(frame_len),
+            ingest: BoundedQueue::new(self.queue_capacity),
+            cold: GuardedRing::new(self.ring_capacity, self.crc),
+            history: vec![0.0; hist_len],
+            hist_len,
+            out_buf: vec![0.0; out_len],
+            recompute_in: Vec::new(),
+            stage,
+            max_retries: self.max_retries,
+            transform: TransformStats::default(),
+            sink: SinkStats::default(),
+            next_seq: 0,
+        }
+    }
+}
+
+struct SyncedFrame {
+    seq: u64,
+    /// `history_len() + frame_len()` samples — everything the (pure)
+    /// stage needs, captured at sync time so recompute stays possible
+    /// even after later frames advanced the history.
+    data: Vec<f64>,
+}
+
+/// The composed pipeline. Drive it with
+/// [`push_bytes`](ProtectedPipeline::push_bytes) (ingress),
+/// [`pump`](ProtectedPipeline::pump) (one transform step) and
+/// [`pop_frame`](ProtectedPipeline::pop_frame) (verified delivery) — or
+/// let [`process`](ProtectedPipeline::process) run the loop to quiescence.
+pub struct ProtectedPipeline {
+    sync: FrameSync,
+    ingest: BoundedQueue<SyncedFrame>,
+    stage: Box<dyn FrameTransform>,
+    cold: GuardedRing,
+    /// Trailing `hist_len` decoded samples, advanced by *every* synced
+    /// frame — a frame shed at the queue still moves the stream forward,
+    /// so later frames see the right context.
+    history: Vec<f64>,
+    hist_len: usize,
+    out_buf: Vec<f64>,
+    recompute_in: Vec<f64>,
+    max_retries: usize,
+    transform: TransformStats,
+    sink: SinkStats,
+    next_seq: u64,
+}
+
+impl ProtectedPipeline {
+    /// Fresh samples per frame.
+    pub fn frame_len(&self) -> usize {
+        self.stage.frame_len()
+    }
+
+    /// Output samples per frame.
+    pub fn output_len(&self) -> usize {
+        self.stage.output_len()
+    }
+
+    /// Frames waiting in the ingest queue.
+    pub fn pending(&self) -> usize {
+        self.ingest.len()
+    }
+
+    /// Frames resident in the cold ring awaiting delivery.
+    pub fn staged(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Feeds raw downlink bytes through sync into the ingest queue.
+    /// Returns the number of frames synchronized by this call (accepted
+    /// *or* shed — shed frames still advance the stream history).
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let mut synced = 0u64;
+        let history = &mut self.history;
+        let hist_len = self.hist_len;
+        let ingest = &mut self.ingest;
+        let next_seq = &mut self.next_seq;
+        self.sync.push(bytes, &mut |frame: Vec<f64>| {
+            let mut data = Vec::with_capacity(hist_len + frame.len());
+            data.extend_from_slice(history);
+            data.extend_from_slice(&frame);
+            if hist_len > 0 {
+                history.clear();
+                history.extend_from_slice(&data[data.len() - hist_len..]);
+            }
+            let seq = *next_seq;
+            *next_seq += 1;
+            ingest.push(SyncedFrame { seq, data });
+            synced += 1;
+        });
+        synced
+    }
+
+    /// Runs the stage under the panic ladder: retry up to `max_retries`
+    /// times after a caught unwind. `Some(ft)` on success, `None` when
+    /// the budget is exhausted (caller quarantines).
+    fn apply_supervised(
+        stage: &mut Box<dyn FrameTransform>,
+        input: &[f64],
+        out: &mut [f64],
+        injector: &dyn FaultInjector,
+        max_retries: usize,
+        stats: &mut TransformStats,
+    ) -> Option<FtReport> {
+        let mut attempt = 0;
+        loop {
+            let result = catch_unwind(AssertUnwindSafe(|| stage.apply(input, out, injector)));
+            match result {
+                Ok(ft) => return Some(ft),
+                Err(_) => {
+                    stats.panics_caught += 1;
+                    if attempt >= max_retries {
+                        return None;
+                    }
+                    attempt += 1;
+                    stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Transforms one queued frame into the cold ring. Returns `false`
+    /// when there is nothing to do: the queue is empty, or the ring is
+    /// full (backpressure — drain via [`pop_frame`](Self::pop_frame)
+    /// first). After sealing a frame, `mem` gets one shot at the cold
+    /// slot (the campaign's memory-strike hook; pass
+    /// [`NoByteFaults`](ftfft_fault::NoByteFaults) in production).
+    pub fn pump(&mut self, injector: &dyn FaultInjector, mem: &dyn ByteFaultInjector) -> bool {
+        if self.cold.is_full() {
+            return false;
+        }
+        let Some(frame) = self.ingest.pop() else {
+            return false;
+        };
+        match Self::apply_supervised(
+            &mut self.stage,
+            &frame.data,
+            &mut self.out_buf,
+            injector,
+            self.max_retries,
+            &mut self.transform,
+        ) {
+            Some(ft) => {
+                self.transform.ft.merge(&ft);
+                self.transform.processed += 1;
+                self.cold.store(frame.seq, &frame.data, &self.out_buf);
+                self.cold.corrupt_back(mem);
+            }
+            None => {
+                self.transform.quarantined += 1;
+            }
+        }
+        true
+    }
+
+    /// Delivers the oldest verified frame, running the CRC recovery
+    /// ladder as needed; `None` when the ring is empty (unrecoverable
+    /// frames are quarantined internally and never surface).
+    pub fn pop_frame(&mut self, injector: &dyn FaultInjector) -> Option<DeliveredFrame> {
+        loop {
+            let verdict = self.cold.verify_front()?;
+            match verdict {
+                FrontVerdict::OutputOk => {
+                    let (seq, samples) = self.cold.pop_front().expect("verified front");
+                    self.sink.delivered += 1;
+                    self.sink.samples_out += samples.len() as u64;
+                    return Some(DeliveredFrame { seq, samples, recovered: false });
+                }
+                FrontVerdict::RecomputeFromInput => {
+                    self.cold.front_input_to(&mut self.recompute_in);
+                    let input = std::mem::take(&mut self.recompute_in);
+                    let healed = Self::apply_supervised(
+                        &mut self.stage,
+                        &input,
+                        &mut self.out_buf,
+                        injector,
+                        self.max_retries,
+                        &mut self.transform,
+                    );
+                    self.recompute_in = input;
+                    match healed {
+                        Some(ft) => {
+                            self.transform.ft.merge(&ft);
+                            self.cold.replace_front_output(&self.out_buf);
+                            let (seq, samples) = self.cold.pop_front().expect("recomputed front");
+                            self.sink.delivered += 1;
+                            self.sink.recovered += 1;
+                            self.sink.samples_out += samples.len() as u64;
+                            return Some(DeliveredFrame { seq, samples, recovered: true });
+                        }
+                        None => self.cold.quarantine_front(),
+                    }
+                }
+                FrontVerdict::Unrecoverable => self.cold.quarantine_front(),
+            }
+        }
+    }
+
+    /// Convenience driver: ingests `bytes`, then alternates pumping and
+    /// delivering until the pipeline quiesces, appending every delivered
+    /// frame to `sink` in stream order.
+    pub fn process(
+        &mut self,
+        bytes: &[u8],
+        injector: &dyn FaultInjector,
+        mem: &dyn ByteFaultInjector,
+        sink: &mut Vec<DeliveredFrame>,
+    ) {
+        self.push_bytes(bytes);
+        loop {
+            let mut progress = false;
+            while self.pump(injector, mem) {
+                progress = true;
+            }
+            while let Some(frame) = self.pop_frame(injector) {
+                sink.push(frame);
+                progress = true;
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Merged end-to-end telemetry snapshot.
+    pub fn report(&self) -> PipelineReport {
+        PipelineReport {
+            sync: self.sync.stats(),
+            ingest: self.ingest.stats(),
+            transform: self.transform,
+            cold: self.cold.stats(),
+            sink: self.sink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::encode_stream;
+    use super::*;
+    use ftfft_core::{FtConfig, Scheme};
+    use ftfft_fault::{NoByteFaults, NoFaults, PanicInjector, PanicPoint};
+    use ftfft_fft::Direction;
+    use ftfft_numeric::uniform_signal;
+
+    fn spec(n: usize, scheme: Scheme) -> PlanSpec {
+        PlanSpec::from_config(n, Direction::Forward, FtConfig::new(scheme))
+    }
+
+    fn real_signal(len: usize, seed: u64) -> Vec<f64> {
+        uniform_signal(len, seed).iter().map(|z| z.re * 0.5).collect()
+    }
+
+    /// Silences the global panic hook around `f`. Serialized: the hook is
+    /// process-wide, and two tests swapping it concurrently would race.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        static HOOK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn clean_run_delivers_every_frame_in_order() {
+        let mut p = PipelineBuilder::new(&spec(64, Scheme::OnlineMemOpt)).build();
+        let signal = real_signal(64 * 6, 1);
+        let stream = encode_stream(&signal, 64);
+        let mut sink = Vec::new();
+        p.process(&stream, &NoFaults, &NoByteFaults, &mut sink);
+        assert_eq!(sink.len(), 6);
+        for (i, f) in sink.iter().enumerate() {
+            assert_eq!(f.seq, i as u64);
+            assert!(!f.recovered);
+            assert_eq!(f.samples.len(), 64);
+        }
+        let rep = p.report();
+        assert!(rep.is_clean(), "{rep:?}");
+        assert_eq!(rep.sync.frames_synced, 6);
+        assert_eq!(rep.sink.delivered, 6);
+        assert_eq!(rep.cold.crc_checks, 6);
+    }
+
+    #[test]
+    fn fir_pipeline_threads_history_across_frames() {
+        // Same bits whether the stream arrives in one push or many: the
+        // pipeline owns the FIR history, so chunking cannot skew it.
+        let taps = [0.5, 0.25, -0.125];
+        let build = || PipelineBuilder::new(&spec(32, Scheme::OnlineCompOpt)).fir(&taps).build();
+        let mut p = build();
+        let hop = p.frame_len();
+        let signal = real_signal(hop * 7, 2);
+        let stream = encode_stream(&signal, hop);
+        let mut sink_a = Vec::new();
+        p.process(&stream, &NoFaults, &NoByteFaults, &mut sink_a);
+        assert_eq!(sink_a.len(), 7);
+
+        let mut q = build();
+        let mut sink_b = Vec::new();
+        for chunk in stream.chunks(13) {
+            q.process(chunk, &NoFaults, &NoByteFaults, &mut sink_b);
+        }
+        assert_eq!(sink_a, sink_b);
+    }
+
+    #[test]
+    fn panic_ladder_retries_then_succeeds_bitwise() {
+        let s = spec(64, Scheme::OnlineMemOpt);
+        let signal = real_signal(64 * 4, 3);
+        let stream = encode_stream(&signal, 64);
+
+        let mut clean = PipelineBuilder::new(&s).build();
+        let mut want = Vec::new();
+        clean.process(&stream, &NoFaults, &NoByteFaults, &mut want);
+
+        let mut p = PipelineBuilder::new(&s).build();
+        let inj = PanicInjector::new(NoFaults, vec![PanicPoint::any(1), PanicPoint::any(40)]);
+        let mut got = Vec::new();
+        with_quiet_panics(|| p.process(&stream, &inj, &NoByteFaults, &mut got));
+
+        assert!(inj.exhausted());
+        let rep = p.report();
+        assert_eq!(rep.transform.panics_caught, 2);
+        assert!(rep.transform.retries >= 2);
+        assert_eq!(rep.transform.quarantined, 0);
+        // Recovered output is bitwise identical to the fault-free run.
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_with_accounting() {
+        struct AlwaysPanic;
+        impl FrameTransform for AlwaysPanic {
+            fn frame_len(&self) -> usize {
+                8
+            }
+            fn output_len(&self) -> usize {
+                8
+            }
+            fn apply(&mut self, _: &[f64], _: &mut [f64], _: &dyn FaultInjector) -> FtReport {
+                panic!("hopeless stage");
+            }
+        }
+        let mut p = PipelineBuilder::new(&spec(8, Scheme::Plain))
+            .transform(Box::new(AlwaysPanic))
+            .max_retries(2)
+            .build();
+        let stream = encode_stream(&real_signal(8, 4), 8);
+        let mut sink = Vec::new();
+        with_quiet_panics(|| p.process(&stream, &NoFaults, &NoByteFaults, &mut sink));
+        assert!(sink.is_empty());
+        let rep = p.report();
+        assert_eq!(rep.transform.quarantined, 1);
+        assert_eq!(rep.transform.panics_caught, 3); // 1 try + 2 retries
+        assert_eq!(rep.dropped(), 1);
+    }
+
+    #[test]
+    fn backpressure_sheds_load_with_full_accounting() {
+        let mut p = PipelineBuilder::new(&spec(32, Scheme::Plain))
+            .queue_capacity(2)
+            .ring_capacity(2)
+            .build();
+        let signal = real_signal(32 * 12, 5);
+        let stream = encode_stream(&signal, 32);
+        // Ingest everything at once: queue cap 2 → 10 of 12 shed.
+        p.push_bytes(&stream);
+        let mut delivered = 0u64;
+        loop {
+            let pumped = p.pump(&NoFaults, &NoByteFaults);
+            if p.pop_frame(&NoFaults).is_some() {
+                delivered += 1;
+            } else if !pumped {
+                break;
+            }
+        }
+        let rep = p.report();
+        assert_eq!(rep.sync.frames_synced, 12);
+        assert_eq!(rep.ingest.accepted + rep.ingest.dropped, 12);
+        assert!(rep.ingest.dropped > 0);
+        assert!(rep.ingest.high_water <= rep.ingest.capacity);
+        assert!(rep.cold.high_water <= rep.cold.capacity);
+        assert_eq!(rep.sink.delivered, delivered);
+        // Every accepted frame is accounted for: delivered, quarantined,
+        // or still staged somewhere.
+        assert_eq!(
+            rep.sink.delivered
+                + rep.transform.quarantined
+                + rep.cold.quarantined
+                + p.pending() as u64
+                + p.staged() as u64,
+            rep.ingest.accepted
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Raw-sample ingestion: frame synchronization and derandomization.
+//!
+//! Models a CCSDS-style downlink framing just deeply enough to exercise
+//! the pipeline's ingress hazards: each frame is an attached sync marker
+//! ([`ASM`]) followed by a whitened payload of little-endian `i16`
+//! samples. The synchronizer hunts for the marker byte-by-byte, locks,
+//! decodes frames, and — when corruption eats an expected marker — counts
+//! a sync loss and re-hunts, discarding bytes (counted) until lock
+//! returns. [`whiten`] is the self-inverse LFSR randomizer applied to
+//! every payload, reset per frame so one lost frame never desynchronizes
+//! the next.
+
+use super::report::SyncStats;
+
+/// Attached sync marker preceding every frame (the CCSDS 32-bit ASM).
+pub const ASM: [u8; 4] = [0x1A, 0xCF, 0xFC, 0x1D];
+
+/// Quantization scale: sample `x` travels as `round(x · SAMPLE_SCALE)`
+/// clamped to `i16`.
+pub const SAMPLE_SCALE: f64 = 4096.0;
+
+/// Applies the frame-synchronous pseudo-randomizer (self-inverse).
+///
+/// Keystream: an 8-bit Fibonacci LFSR seeded all-ones per frame, taps at
+/// bits 7, 6, 4, 2 — XORed over the payload so long runs of constant
+/// samples still toggle the line. Applying it twice restores the input
+/// bitwise; the per-frame reset keeps frames independently decodable.
+pub fn whiten(payload: &mut [u8]) {
+    let mut state: u8 = 0xFF;
+    for byte in payload {
+        let mut key = 0u8;
+        for _ in 0..8 {
+            let out = state >> 7;
+            let fb = ((state >> 7) ^ (state >> 6) ^ (state >> 4) ^ (state >> 2)) & 1;
+            state = (state << 1) | fb;
+            key = (key << 1) | out;
+        }
+        *byte ^= key;
+    }
+}
+
+/// Encodes one frame of samples into `out`: ASM, then the whitened
+/// little-endian `i16` payload (quantized by [`SAMPLE_SCALE`], clamped).
+pub fn encode_frame(samples: &[f64], out: &mut Vec<u8>) {
+    out.extend_from_slice(&ASM);
+    let start = out.len();
+    for &x in samples {
+        let q = (x * SAMPLE_SCALE).round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+    whiten(&mut out[start..]);
+}
+
+/// Encodes `signal` as consecutive `frame_len`-sample frames (trailing
+/// partial frame dropped) — the byte stream a clean downlink would carry.
+pub fn encode_stream(signal: &[f64], frame_len: usize) -> Vec<u8> {
+    assert!(frame_len >= 1, "frame_len must be >= 1");
+    let mut out = Vec::with_capacity((signal.len() / frame_len) * (4 + 2 * frame_len));
+    for frame in signal.chunks_exact(frame_len) {
+        encode_frame(frame, &mut out);
+    }
+    out
+}
+
+/// Streaming frame synchronizer: bytes in, decoded sample frames out.
+#[derive(Debug)]
+pub struct FrameSync {
+    frame_len: usize,
+    buf: Vec<u8>,
+    locked: bool,
+    bytes_in: u64,
+    bytes_skipped: u64,
+    frames_synced: u64,
+    sync_losses: u64,
+}
+
+impl FrameSync {
+    /// Creates a synchronizer for `frame_len`-sample frames.
+    pub fn new(frame_len: usize) -> Self {
+        assert!(frame_len >= 1, "frame_len must be >= 1");
+        FrameSync {
+            frame_len,
+            buf: Vec::new(),
+            locked: false,
+            bytes_in: 0,
+            bytes_skipped: 0,
+            frames_synced: 0,
+            sync_losses: 0,
+        }
+    }
+
+    /// Samples per frame.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> SyncStats {
+        SyncStats {
+            bytes_in: self.bytes_in,
+            bytes_skipped: self.bytes_skipped,
+            frames_synced: self.frames_synced,
+            sync_losses: self.sync_losses,
+            locked: self.locked,
+        }
+    }
+
+    /// Feeds `bytes` in; calls `emit` once per fully synchronized frame,
+    /// in stream order, with the dewhitened, dequantized samples.
+    ///
+    /// Chunking-invariant: any split of the same byte stream produces the
+    /// same emitted frames and final stats.
+    pub fn push(&mut self, bytes: &[u8], emit: &mut dyn FnMut(Vec<f64>)) {
+        self.bytes_in += bytes.len() as u64;
+        self.buf.extend_from_slice(bytes);
+        let payload = 2 * self.frame_len;
+        loop {
+            if !self.locked {
+                match find_asm(&self.buf) {
+                    Some(i) => {
+                        self.bytes_skipped += i as u64;
+                        self.buf.drain(..i);
+                        self.locked = true;
+                    }
+                    None => {
+                        // Keep the last 3 bytes — a marker may straddle
+                        // this chunk boundary.
+                        let keep = self.buf.len().min(ASM.len() - 1);
+                        let skip = self.buf.len() - keep;
+                        self.bytes_skipped += skip as u64;
+                        self.buf.drain(..skip);
+                        return;
+                    }
+                }
+            }
+            if self.buf.len() < ASM.len() {
+                return;
+            }
+            if self.buf[..ASM.len()] != ASM {
+                // The expected marker is gone — corruption in the marker
+                // itself or a truncated frame. Count the loss, shed one
+                // byte, and re-hunt.
+                self.sync_losses += 1;
+                self.locked = false;
+                self.bytes_skipped += 1;
+                self.buf.drain(..1);
+                continue;
+            }
+            if self.buf.len() < ASM.len() + payload {
+                return;
+            }
+            let mut frame_bytes = self.buf[ASM.len()..ASM.len() + payload].to_vec();
+            self.buf.drain(..ASM.len() + payload);
+            whiten(&mut frame_bytes);
+            let samples = frame_bytes
+                .chunks_exact(2)
+                .map(|b| i16::from_le_bytes([b[0], b[1]]) as f64 / SAMPLE_SCALE)
+                .collect();
+            self.frames_synced += 1;
+            emit(samples);
+        }
+    }
+}
+
+fn find_asm(buf: &[u8]) -> Option<usize> {
+    buf.windows(ASM.len()).position(|w| w == ASM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(len: usize) -> Vec<f64> {
+        (0..len).map(|i| (i as f64 - len as f64 / 2.0) / SAMPLE_SCALE).collect()
+    }
+
+    fn collect_frames(sync: &mut FrameSync, bytes: &[u8], chunk: usize) -> Vec<Vec<f64>> {
+        let mut frames = Vec::new();
+        for c in bytes.chunks(chunk.max(1)) {
+            sync.push(c, &mut |f| frames.push(f));
+        }
+        frames
+    }
+
+    #[test]
+    fn whiten_is_an_involution_and_not_identity() {
+        let original: Vec<u8> = (0..=255).collect();
+        let mut buf = original.clone();
+        whiten(&mut buf);
+        assert_ne!(buf, original);
+        whiten(&mut buf);
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn round_trip_is_exact_for_quantized_samples() {
+        // Samples on the quantization grid survive the i16 link bitwise.
+        let signal = ramp(64);
+        let stream = encode_stream(&signal, 16);
+        let mut sync = FrameSync::new(16);
+        let frames = collect_frames(&mut sync, &stream, usize::MAX);
+        assert_eq!(frames.len(), 4);
+        let decoded: Vec<f64> = frames.concat();
+        assert_eq!(decoded, signal);
+        let s = sync.stats();
+        assert_eq!(s.frames_synced, 4);
+        assert_eq!(s.sync_losses, 0);
+        assert_eq!(s.bytes_skipped, 0);
+        assert!(s.locked);
+    }
+
+    #[test]
+    fn chunking_invariant() {
+        let signal = ramp(96);
+        let mut stream = vec![0xAB, 0xCD]; // leading garbage before first ASM
+        stream.extend(encode_stream(&signal, 24));
+        let reference = {
+            let mut sync = FrameSync::new(24);
+            (collect_frames(&mut sync, &stream, usize::MAX), sync.stats())
+        };
+        for chunk in [1, 3, 7, 50] {
+            let mut sync = FrameSync::new(24);
+            let frames = collect_frames(&mut sync, &stream, chunk);
+            assert_eq!((frames, sync.stats()), reference, "chunk={chunk}");
+        }
+        assert_eq!(reference.1.bytes_skipped, 2);
+    }
+
+    #[test]
+    fn corrupted_marker_loses_one_frame_then_resyncs() {
+        let signal = ramp(80);
+        let mut stream = encode_stream(&signal, 16); // 5 frames
+        let frame_bytes = 4 + 2 * 16;
+        stream[2 * frame_bytes] ^= 0xFF; // kill frame 2's ASM byte 0
+        let mut sync = FrameSync::new(16);
+        let frames = collect_frames(&mut sync, &stream, 11);
+        // Frames 0,1 then 3,4 decode; frame 2 is lost to the hunt.
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[0], signal[..16].to_vec());
+        assert_eq!(frames[2], signal[48..64].to_vec());
+        let s = sync.stats();
+        assert_eq!(s.sync_losses, 1);
+        assert!(s.bytes_skipped >= frame_bytes as u64);
+        assert!(s.locked);
+    }
+}
