@@ -28,7 +28,16 @@ fn real_signal(len: usize, seed: u64) -> Vec<f64> {
 }
 
 fn build(spec: &PlanSpec, queue: usize, ring: usize) -> ProtectedPipeline {
-    PipelineBuilder::new(spec).spectral_gate(0.01).queue_capacity(queue).ring_capacity(ring).build()
+    let p = PipelineBuilder::new(spec)
+        .spectral_gate(0.01)
+        .queue_capacity(queue)
+        .ring_capacity(ring)
+        .build();
+    // The demo dumps each phase's trail itself at phase end; the mid-run
+    // autodump (first panic/quarantine) would interleave with the phase
+    // narration.
+    p.recorder().set_autodump(false);
+    p
 }
 
 fn run(
@@ -40,6 +49,66 @@ fn run(
     let mut sink = Vec::new();
     pipeline.process(stream, injector, mem, &mut sink);
     sink
+}
+
+/// Dumps a phase's flight-recorder trail and asserts the recorded event
+/// totals reconcile *exactly* with the pipeline report: every detected,
+/// corrected, and dropped frame the report counts must have left an
+/// event, and vice versa. Skipped when recording is off (`FTFFT_OBS=off`
+/// or the `no-obs` feature): nothing records, so there is nothing to
+/// reconcile — the bitwise asserts still run either way.
+fn reconcile_recorder(label: &str, pipeline: &ProtectedPipeline, rep: &PipelineReport) {
+    if !ftfft::obs::enabled() {
+        return;
+    }
+    let rec = pipeline.recorder();
+    println!("  {label} flight recorder trail:");
+    // Rendered from `trail()` without the wall-clock column: the demo's
+    // output is byte-identical across runs by contract, and monotonic
+    // timestamps are the one nondeterministic field (`dump()` keeps them
+    // for real post-mortems).
+    println!(
+        "    flight recorder: {} events recorded, trail holds {} (capacity {})",
+        rec.events_recorded(),
+        rec.len(),
+        rec.capacity()
+    );
+    print!("    totals:");
+    for kind in EventKind::ALL {
+        print!(" {}={}", kind.name(), rec.total(kind));
+    }
+    println!();
+    for ev in rec.trail() {
+        println!(
+            "    #{:<6} {:<15} count={} detail={}",
+            ev.seq,
+            ev.kind.name(),
+            ev.count,
+            ev.detail
+        );
+    }
+    assert_eq!(
+        rec.total(EventKind::FaultDetected),
+        rep.detected(),
+        "{label}: fault_detected events must reconcile with the report"
+    );
+    assert_eq!(
+        rec.total(EventKind::FaultCorrected),
+        rep.corrected(),
+        "{label}: fault_corrected events must reconcile with the report"
+    );
+    assert_eq!(
+        rec.total(EventKind::Quarantine) + rec.total(EventKind::Shed),
+        rep.dropped(),
+        "{label}: quarantine+shed events must reconcile with dropped frames"
+    );
+    assert_eq!(rec.total(EventKind::SyncLoss), rep.sync.sync_losses, "{label}: sync losses");
+    assert_eq!(rec.total(EventKind::Retry), rep.transform.retries, "{label}: retries");
+    assert_eq!(
+        rec.total(EventKind::WorkerPanic),
+        rep.transform.panics_caught,
+        "{label}: worker panics"
+    );
 }
 
 fn assert_bitwise_identical(got: &[DeliveredFrame], want: &[DeliveredFrame]) {
@@ -75,6 +144,13 @@ fn main() {
     assert_eq!(want.len(), frames, "clean run must deliver every frame");
     let clean_rep = clean.report();
     assert!(clean_rep.is_clean(), "clean run saw faults: {clean_rep:?}");
+    if ftfft::obs::enabled() {
+        assert_eq!(
+            clean.recorder().events_recorded(),
+            0,
+            "a fault-free run must leave an empty flight-recorder trail"
+        );
+    }
     println!("phase 1 reference: {} frames delivered, report clean", want.len());
 
     // ---- Phase 2: seeded chaos campaign -------------------------------
@@ -155,6 +231,7 @@ fn main() {
         "compute detections {} implausibly low for {comp_fired} injected",
         rep.transform.ft.total_detected()
     );
+    reconcile_recorder("phase 2", &campaign, &rep);
     println!("  output bitwise identical to reference: yes");
 
     // ---- Phase 3: sustained overload ----------------------------------
@@ -207,6 +284,7 @@ fn main() {
         "accepted frames must be conserved"
     );
     assert_eq!(orep.sink.delivered, delivered);
+    reconcile_recorder("phase 3", &overload, &orep);
 
     // ---- Phase 4: sync-marker chaos -----------------------------------
     let victims = [frames / 3, 2 * frames / 3];
@@ -233,6 +311,7 @@ fn main() {
             "a resynced frame matches no reference frame"
         );
     }
+    reconcile_recorder("phase 4", &resync, &srep);
 
     println!(
         "downlink_demo: OK — {injected}-event campaign, zero undetected corruptions, \

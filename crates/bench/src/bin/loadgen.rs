@@ -11,8 +11,15 @@
 //! cargo run -p ftfft-bench --release --bin loadgen -- \
 //!     [--smoke] [--tenants N] [--requests N] [--log2ns 10,12,14] \
 //!     [--schemes plain,online-comp-opt,online-mem-opt] [--rate R] \
-//!     [--workers N] [--max-batch N] [--max-wait-us U] [--out FILE]
+//!     [--workers N] [--max-batch N] [--max-wait-us U] [--out FILE] \
+//!     [--metrics-out FILE]
 //! ```
+//!
+//! When `ftfft-obs` recording is on (the default; see `FTFFT_OBS`), the
+//! run ends by printing the global metrics registry as Prometheus
+//! exposition text — queue-wait/batch-build/execute latency summaries and
+//! the per-tenant request counters the service instrumentation feeds —
+//! and `--metrics-out` writes the same snapshot as flat JSON.
 //!
 //! On a single-CPU runner the worker pool degrades to one worker; the
 //! cache/coalescing statistics are scheduling-independent, so the run
@@ -108,5 +115,18 @@ fn main() {
         s.push_str("}\n");
         std::fs::write(&out, &s).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
         println!("wrote {out}");
+    }
+
+    if ftfft::obs::enabled() {
+        let snap = ftfft::obs::global().snapshot();
+        println!("\nmetrics snapshot (Prometheus exposition):");
+        for line in snap.to_prometheus().lines() {
+            println!("  {line}");
+        }
+        if let Some(out) = args.get::<String>("metrics-out") {
+            std::fs::write(&out, snap.to_flat_json())
+                .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+            println!("wrote {out}");
+        }
     }
 }

@@ -34,6 +34,12 @@
 //!    cold-buffer CRC guard off, on, and on under a seeded fault
 //!    campaign, at sizes capped to 2¹⁴ (the pipeline is a frame path,
 //!    not a big-transform path).
+//! 8. **Observability A/B** — the same pipeline and service workloads
+//!    timed with `ftfft-obs` recording enabled vs disabled through the
+//!    runtime kill switch (`ftfft::obs::set_enabled`), both sides in one
+//!    process. Runtime-off takes the same early-out branches the `no-obs`
+//!    feature compiles away, so this ratio is the measured cost of
+//!    leaving instrumentation on.
 //!
 //! On a box with no parallelism to measure (`threads = 1`, e.g. a
 //! single-CPU runner), every `threads = N` column is **skipped** — recorded
@@ -73,7 +79,12 @@
 //!   **optimized** builds (both sides of the ratio time in one process,
 //!   so runner *speed* cancels, but the debug profile inflates the
 //!   byte-level CRC ~5× relative to the f64 transform and the ratio
-//!   stops meaning anything).
+//!   stops meaning anything);
+//! * if the baseline carries `overhead_obs`, every observability A/B
+//!   row's enabled/disabled throughput ratio must stay within it — any
+//!   mode, **optimized** builds only, and deliberately *without* the
+//!   tolerance multiplier: the bound (1.05×) already is the budget, and
+//!   both sides time in one process so runner speed cancels.
 //!
 //! ```text
 //! cargo run -p ftfft-bench --release --bin perfgate -- \
@@ -242,6 +253,119 @@ impl PipelineCase {
     }
 }
 
+/// One observability A/B row: the same workload timed with `ftfft-obs`
+/// recording enabled vs disabled via the runtime kill switch, in one
+/// process (so runner speed cancels and the ratio is pure
+/// instrumentation cost).
+struct ObsCase {
+    /// Which workload: `"pipeline"` or `"service"`.
+    name: &'static str,
+    log2n: u32,
+    /// Per-side minimum across the A/B rounds (the floor estimate).
+    on_secs: f64,
+    off_secs: f64,
+    /// Median of the per-round on/off ratios (the gated number).
+    overhead: f64,
+}
+
+/// Frames per timed run in the observability A/B (more than
+/// [`PIPE_FRAMES`]: the instrumentation cost is per-frame and small, so
+/// the A/B needs a longer run to rise above timer noise).
+const OBS_FRAMES: usize = 512;
+
+/// A/B rounds per observability workload. Each round times the workload
+/// once per switch position back to back (order alternating round to
+/// round), yielding one on/off ratio per round; the gated overhead is
+/// the **median of the per-round ratios**. The pairing matters: on a
+/// loaded runner a single on-vs-off median pair swings ±30% (far above
+/// the 5% gate), but slow drift hits both halves of a back-to-back pair
+/// equally, so each round's ratio is unbiased and the median discards
+/// the rounds a scheduler hiccup did hit.
+const OBS_AB_ROUNDS: usize = 11;
+
+/// Runs one observability A/B over `rounds` paired timings of `work`,
+/// returning `(on_min, off_min, median per-round on/off ratio)`.
+fn obs_ab(rounds: usize, mut work: impl FnMut() -> f64) -> (f64, f64, f64) {
+    // One untimed warm-up per side (first-touch plan/registry costs).
+    ftfft::obs::set_enabled(true);
+    work();
+    ftfft::obs::set_enabled(false);
+    work();
+    let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate which side goes first so a fixed warm-cache edge for
+        // whichever runs second cancels across rounds.
+        let order = if round % 2 == 0 { [true, false] } else { [false, true] };
+        let mut pair = [0.0f64; 2];
+        for (i, &enable) in order.iter().enumerate() {
+            ftfft::obs::set_enabled(enable);
+            pair[i] = work();
+        }
+        let (on_secs, off_secs) = if order[0] { (pair[0], pair[1]) } else { (pair[1], pair[0]) };
+        on = on.min(on_secs);
+        off = off.min(off_secs);
+        ratios.push(on_secs / off_secs);
+    }
+    ratios.sort_by(f64::total_cmp);
+    (on, off, ratios[ratios.len() / 2])
+}
+
+/// Times the observability A/B rows. Saves and restores the process-wide
+/// switch state so the A/B cannot leak into later measurements.
+fn time_obs_cases(runs: usize) -> Vec<ObsCase> {
+    let prior = ftfft::obs::enabled();
+    let rounds = OBS_AB_ROUNDS.max(runs);
+    let mut cases = Vec::new();
+
+    // Pipeline side: CRC guard on, no fault campaign (the hot path a
+    // healthy deployment runs), at a frame-sized transform.
+    let pipe_log2n = 10;
+    let (pipe_on, pipe_off, pipe_ovh) =
+        obs_ab(rounds, || time_pipeline(1 << pipe_log2n, OBS_FRAMES, true, false, 1));
+    cases.push(ObsCase {
+        name: "pipeline",
+        log2n: pipe_log2n,
+        on_secs: pipe_on,
+        off_secs: pipe_off,
+        overhead: pipe_ovh,
+    });
+
+    // Service side: a modest mixed workload, wall-clock per run. Long
+    // enough (~240 requests) that worker-pool scheduling jitter averages
+    // out inside each sample instead of dominating the ratio, and the
+    // worker count follows the machine — oversubscribing a single-CPU
+    // runner would add context-switch noise to both sides of the A/B.
+    let svc_log2n: u32 = 8;
+    let svc_workers = resolve_threads(None).clamp(1, 2);
+    let svc_load = || ServiceLoad {
+        tenants: 4,
+        requests_per_tenant: 150,
+        log2ns: vec![svc_log2n as usize],
+        schemes: vec![Scheme::OnlineMemOpt],
+        rate: None,
+        service: ServiceConfig::default()
+            .with_workers(svc_workers)
+            .with_max_batch(4)
+            .with_max_wait(std::time::Duration::from_micros(200)),
+    };
+    let (svc_on, svc_off, svc_ovh) = obs_ab(rounds, || {
+        let t = std::time::Instant::now();
+        let _ = run_service_load(&svc_load());
+        t.elapsed().as_secs_f64()
+    });
+    cases.push(ObsCase {
+        name: "service",
+        log2n: svc_log2n,
+        on_secs: svc_on,
+        off_secs: svc_off,
+        overhead: svc_ovh,
+    });
+
+    ftfft::obs::set_enabled(prior);
+    cases
+}
+
 /// The multi-tenant service workload row: configuration + the
 /// [`ServiceLoadReport`] it produced.
 struct ServiceCase {
@@ -346,11 +470,12 @@ fn main() -> ExitCode {
         .filter(|&&l| l <= PIPE_MAX_LOG2N)
         .map(|&l| time_pipeline_case(l, runs))
         .collect();
+    let obs = time_obs_cases(runs);
 
-    print_tables(&cases, &ccg, &batches, &streams, &pars, &service, &pipes, runs, smoke);
+    print_tables(&cases, &ccg, &batches, &streams, &pars, &service, &pipes, &obs, runs, smoke);
 
     let verdict = if gate {
-        Some(check_gate(&cases, &ccg, &streams, &service, &pipes, smoke, &baseline_path))
+        Some(check_gate(&cases, &ccg, &streams, &service, &pipes, &obs, smoke, &baseline_path))
     } else {
         None
     };
@@ -362,6 +487,7 @@ fn main() -> ExitCode {
         &pars,
         &service,
         &pipes,
+        &obs,
         threads_n,
         single_cpu,
         runs,
@@ -554,6 +680,7 @@ fn print_tables(
     pars: &[ParCase],
     service: &ServiceCase,
     pipes: &[PipelineCase],
+    obs: &[ObsCase],
     runs: usize,
     smoke: bool,
 ) {
@@ -694,6 +821,21 @@ fn print_tables(
             p.campaign_overhead()
         );
     }
+    println!(
+        "\nobservability overhead (recording on vs kill-switch off, interleaved A/B, \
+         min of {OBS_AB_ROUNDS}+ rounds per side):"
+    );
+    println!("{:<10}{:>7}{:>13}{:>13}{:>10}", "workload", "n", "on(s)", "off(s)", "overhead");
+    for c in obs {
+        println!(
+            "{:<10}{:>7}{:>13.6}{:>13.6}{:>9.3}x",
+            c.name,
+            format!("2^{}", c.log2n),
+            c.on_secs,
+            c.off_secs,
+            c.overhead
+        );
+    }
 }
 
 struct GateVerdict {
@@ -714,6 +856,7 @@ fn check_gate(
     streams: &[StreamCase],
     service: &ServiceCase,
     pipes: &[PipelineCase],
+    obs: &[ObsCase],
     smoke: bool,
     baseline_path: &str,
 ) -> GateVerdict {
@@ -878,6 +1021,24 @@ fn check_gate(
             }
         }
     }
+    // Observability gate: leaving instrumentation enabled must cost next
+    // to nothing — the whole design (relaxed atomic adds, early-out
+    // timers) exists for that bound. No tolerance multiplier: both sides
+    // of each ratio time in one process, and the 1.05× budget *is* the
+    // contract. Optimized builds only, like the pipeline gate: debug
+    // inflates the branch/atomic cost relative to the transform work.
+    let obs_gate = if cfg!(debug_assertions) { None } else { spec.overhead_obs };
+    if let Some(max_ovh) = obs_gate {
+        for c in obs {
+            if c.overhead > max_ovh {
+                failures.push(format!(
+                    "observability overhead {:.3}x on the {} workload at 2^{} exceeds \
+                     limit {max_ovh:.2}x",
+                    c.overhead, c.name, c.log2n
+                ));
+            }
+        }
+    }
     GateVerdict {
         baseline,
         tolerance,
@@ -890,10 +1051,12 @@ fn check_gate(
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v7: v6 fields are unchanged; v7 adds
-/// the `pipeline` section — the protected telemetry pipeline's sustained
+/// Renders `BENCH_PR.json`. Schema v8: v7 fields are unchanged; v8 adds
+/// the `observability` section — the instrumented-vs-disabled A/B of the
+/// pipeline and service workloads from [`time_obs_cases`]. (v7 added the
+/// `pipeline` section — the protected telemetry pipeline's sustained
 /// frames/sec with the CRC guard off/on/on+campaign from
-/// [`time_pipeline`].
+/// [`time_pipeline`].)
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     cases: &[Case],
@@ -903,6 +1066,7 @@ fn render_json(
     pars: &[ParCase],
     service: &ServiceCase,
     pipes: &[PipelineCase],
+    obs: &[ObsCase],
     threads: usize,
     single_cpu: bool,
     runs: usize,
@@ -911,7 +1075,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 7,");
+    let _ = writeln!(s, "  \"schema_version\": 8,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
@@ -1064,6 +1228,18 @@ fn render_json(
             p.campaign_overhead()
         );
         s.push_str(if i + 1 < pipes.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"observability\": [\n");
+    for (i, c) in obs.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"workload\": \"{}\", \"log2n\": {}, \"on_secs\": {:.9}, \"off_secs\": {:.9}, \
+             \"overhead\": {:.6}",
+            c.name, c.log2n, c.on_secs, c.off_secs, c.overhead
+        );
+        s.push_str(if i + 1 < obs.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ],\n");
     match verdict {

@@ -434,6 +434,9 @@ pub struct BaselineSpec {
     /// Largest tolerated CRC-on/CRC-off throughput ratio of the protected
     /// telemetry pipeline (all modes; since v7).
     pub overhead_pipeline_crc: Option<f64>,
+    /// Largest tolerated instrumented/`no-obs`-equivalent throughput
+    /// ratio of the observability layer (optimized builds; since v8).
+    pub overhead_obs: Option<f64>,
 }
 
 impl BaselineSpec {
@@ -451,6 +454,7 @@ impl BaselineSpec {
             max_sibling_loss: json_number(&fields, "max_sibling_loss"),
             min_cache_hit_rate: json_number(&fields, "min_cache_hit_rate"),
             overhead_pipeline_crc: json_number(&fields, "overhead_pipeline_crc"),
+            overhead_obs: json_number(&fields, "overhead_obs"),
         })
     }
 }
@@ -776,6 +780,78 @@ mod tests {
         }"#;
         let spec = BaselineSpec::parse(v7).expect("v7 baseline must parse");
         assert_eq!(spec.overhead_pipeline_crc, Some(1.3));
+    }
+
+    #[test]
+    fn baseline_spec_accepts_v7_fixture_without_obs_key() {
+        // The exact key set of the committed v7 baseline: a v8 binary
+        // must keep accepting it, with the observability gate simply
+        // absent.
+        let v7 = r#"{
+            "schema_version": 7,
+            "comment": "ratios, measured on the CI runner",
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_ccg_speedup": 1.15,
+            "overhead_stream": 2.0,
+            "min_soa_speedup": 1.15,
+            "min_fused_gain": 0.97,
+            "max_sibling_loss": 0.3,
+            "min_cache_hit_rate": 0.9,
+            "overhead_pipeline_crc": 1.3
+        }"#;
+        let spec = BaselineSpec::parse(v7).expect("v7 baseline must parse");
+        assert_eq!(spec.overhead_pipeline_crc, Some(1.3));
+        assert_eq!(spec.overhead_obs, None);
+    }
+
+    #[test]
+    fn baseline_spec_reads_v8_obs_key() {
+        let v8 = r#"{
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "overhead_obs": 1.05
+        }"#;
+        let spec = BaselineSpec::parse(v8).expect("v8 baseline must parse");
+        assert_eq!(spec.overhead_obs, Some(1.05));
+    }
+
+    #[test]
+    fn service_stats_flat_json_round_trips_through_the_parser() {
+        let rep = run_service_load(&ServiceLoad {
+            tenants: 2,
+            requests_per_tenant: 4,
+            log2ns: vec![7],
+            schemes: vec![Scheme::OnlineCompOpt],
+            rate: None,
+            service: ServiceConfig::default().with_workers(2),
+        });
+        let fields = parse_flat_json_numbers(&rep.stats.to_flat_json())
+            .expect("ServiceStats::to_flat_json must satisfy the flat-JSON grammar");
+        assert_eq!(json_number(&fields, "requests"), Some(rep.stats.requests as f64));
+        assert_eq!(json_number(&fields, "cache_misses"), Some(rep.stats.cache_misses as f64));
+        assert_eq!(json_number(&fields, "report.checks"), Some(rep.stats.report.checks as f64));
+        assert_eq!(json_number(&fields, "latency.count"), Some(rep.stats.latency.count as f64));
+    }
+
+    #[test]
+    fn pipeline_report_flat_json_round_trips_through_the_parser() {
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineMemOpt).build();
+        let signal: Vec<f64> = uniform_signal(64 * 8, 3).iter().map(|z| z.re).collect();
+        let stream = ftfft::stream::encode_stream(&signal, 64);
+        let mut p = PipelineBuilder::new(&spec).build();
+        let mut sink = Vec::new();
+        p.process(&stream, &NoFaults, &NoByteFaults, &mut sink);
+        let rep = p.report();
+        let fields = parse_flat_json_numbers(&rep.to_flat_json())
+            .expect("PipelineReport::to_flat_json must satisfy the flat-JSON grammar");
+        assert_eq!(json_number(&fields, "sink.delivered"), Some(rep.sink.delivered as f64));
+        assert_eq!(
+            json_number(&fields, "transform.processed"),
+            Some(rep.transform.processed as f64)
+        );
+        assert_eq!(json_number(&fields, "detected"), Some(rep.detected() as f64));
+        assert_eq!(json_number(&fields, "dropped"), Some(rep.dropped() as f64));
     }
 
     #[test]

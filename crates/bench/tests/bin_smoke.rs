@@ -104,7 +104,7 @@ fn perfgate_smoke() {
     assert!(stdout.contains("perf gate OK"), "unexpected output:\n{stdout}");
     let json = std::fs::read_to_string(&out).expect("perfgate wrote BENCH_PR.json");
     let _ = std::fs::remove_file(&out);
-    assert!(json.contains("\"schema_version\": 7"), "schema header missing:\n{json}");
+    assert!(json.contains("\"schema_version\": 8"), "schema header missing:\n{json}");
     assert!(json.contains("\"threads\""), "threads column missing:\n{json}");
     assert!(json.contains("\"single_cpu\""), "single_cpu column missing:\n{json}");
     assert!(json.contains("\"parallel_strategy\""), "parallel section missing:\n{json}");
@@ -123,6 +123,14 @@ fn perfgate_smoke() {
     assert!(json.contains("\"pipeline\""), "pipeline section missing:\n{json}");
     assert!(json.contains("\"fps_crc\""), "pipeline fps column missing:\n{json}");
     assert!(json.contains("\"crc_overhead\""), "pipeline overhead column missing:\n{json}");
+    // v8 observability section: the instrumented-vs-disabled A/B must be
+    // present and parse (the ≤1.05x gate itself only arms in optimized
+    // builds — this smoke runs the debug profile).
+    assert!(json.contains("\"observability\""), "observability section missing:\n{json}");
+    assert!(json.contains("\"workload\": \"pipeline\""), "obs pipeline row missing:\n{json}");
+    assert!(json.contains("\"workload\": \"service\""), "obs service row missing:\n{json}");
+    assert!(json.contains("\"on_secs\""), "obs on_secs column missing:\n{json}");
+    assert!(json.contains("\"off_secs\""), "obs off_secs column missing:\n{json}");
     assert!(json.contains("\"pass\": true"), "gate block missing:\n{json}");
 }
 

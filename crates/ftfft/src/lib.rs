@@ -33,6 +33,7 @@
 //! | [`fault`] | soft-error injection framework: element faults, byte/bit strikes on raw buffers, scripted stage panics |
 //! | [`roundoff`] | §8 threshold model and throughput analysis |
 //! | [`core`] | the protected sequential schemes (offline/online × comp/mem) |
+//! | [`obs`] | unified observability: spans/timers, metrics registry + Prometheus/flat-JSON exposition, fault flight recorder, `FTFFT_OBS`/`no-obs` kill switches |
 //! | [`parallel`] | simulated-MPI six-step parallel scheme with overlap; thread pool + pooled executors |
 //! | [`stream`] | streaming engines: overlap-save protected convolution, STFT/spectrogram, frame scheduler, end-to-end protected telemetry pipeline |
 //! | [`service`] | multi-tenant service layer: `PlanSpec`-keyed plan cache, coalescing admission queue, per-tenant telemetry |
@@ -42,6 +43,7 @@ pub use ftfft_core as core;
 pub use ftfft_fault as fault;
 pub use ftfft_fft as fft;
 pub use ftfft_numeric as numeric;
+pub use ftfft_obs as obs;
 pub use ftfft_parallel as parallel;
 pub use ftfft_roundoff as roundoff;
 pub use ftfft_service as service;
@@ -67,6 +69,10 @@ pub mod prelude {
     pub use ftfft_numeric::{
         inf_norm, normal_signal, relative_error_inf, simd_level, uniform_signal, Complex64,
         SignalDist, SimdLevel, SIMD_ENV,
+    };
+    pub use ftfft_obs::{
+        EventKind, FlightEvent, FlightRecorder, LatencyHistogram, MetricsSnapshot, Registry, Span,
+        Timer, OBS_ENV,
     };
     pub use ftfft_parallel::{
         resolve_threads, NetworkModel, ParallelFft, ParallelScheme, PooledFtFft, PooledWorkspace,

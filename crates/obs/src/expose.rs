@@ -1,0 +1,134 @@
+//! Exposition: Prometheus-style text and flat-JSON renderings of a
+//! registry snapshot.
+//!
+//! The flat-JSON form follows the bench harness conventions — one level
+//! of `"key": number` pairs, dotted key paths, no nesting — so
+//! `ftfft-bench`'s `parse_flat_json_numbers` (and the perfgate baseline
+//! machinery built on it) can consume these snapshots directly.
+
+use std::fmt::Write as _;
+
+use crate::hist::LatencyHistogram;
+
+/// Point-in-time view of every registered metric, sorted by name within
+/// each kind. Produced by [`crate::Registry::snapshot`].
+#[derive(Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for each counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for each gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for each histogram.
+    pub histograms: Vec<(String, LatencyHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Prometheus text exposition: counters and gauges as single
+    /// samples, histograms as summaries (p50/p99/p999 quantiles plus
+    /// `_count` and `_max_ns`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                let _ =
+                    writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.percentile(q).as_nanos());
+            }
+            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_max_ns {}", h.max().as_nanos());
+        }
+        out
+    }
+
+    /// Flat JSON: counters and gauges as `"name": value`, histograms
+    /// expanded to `"name.count"`, `"name.p50_ns"`, `"name.p99_ns"`,
+    /// `"name.p999_ns"`, and `"name.max_ns"`.
+    pub fn to_flat_json(&self) -> String {
+        let mut pairs: Vec<String> = Vec::new();
+        for (name, v) in &self.counters {
+            pairs.push(format!("\"{name}\": {v}"));
+        }
+        for (name, v) in &self.gauges {
+            pairs.push(format!("\"{name}\": {v}"));
+        }
+        for (name, h) in &self.histograms {
+            let s = h.summary();
+            pairs.push(format!("\"{name}.count\": {}", s.count));
+            pairs.push(format!("\"{name}.p50_ns\": {}", s.p50.as_nanos()));
+            pairs.push(format!("\"{name}.p99_ns\": {}", s.p99.as_nanos()));
+            pairs.push(format!("\"{name}.p999_ns\": {}", s.p999.as_nanos()));
+            pairs.push(format!("\"{name}.max_ns\": {}", s.max.as_nanos()));
+        }
+        let mut out = String::from("{\n");
+        for (i, p) in pairs.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(p);
+            if i + 1 < pairs.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> MetricsSnapshot {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(2));
+        }
+        MetricsSnapshot {
+            counters: vec![("ftfft_test_requests_total".into(), 41)],
+            gauges: vec![("ftfft_test_queue_depth".into(), -3)],
+            histograms: vec![("ftfft_test_latency_ns".into(), h)],
+        }
+    }
+
+    #[test]
+    fn prometheus_text_has_types_samples_and_summary_lines() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE ftfft_test_requests_total counter"));
+        assert!(text.contains("ftfft_test_requests_total 41"));
+        assert!(text.contains("# TYPE ftfft_test_queue_depth gauge"));
+        assert!(text.contains("ftfft_test_queue_depth -3"));
+        assert!(text.contains("# TYPE ftfft_test_latency_ns summary"));
+        assert!(text.contains("ftfft_test_latency_ns{quantile=\"0.999\"}"));
+        assert!(text.contains("ftfft_test_latency_ns_count 100"));
+        assert!(text.contains("ftfft_test_latency_ns_max_ns 2000"));
+    }
+
+    #[test]
+    fn flat_json_is_one_level_with_dotted_histogram_keys() {
+        let json = sample().to_flat_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"ftfft_test_requests_total\": 41"));
+        assert!(json.contains("\"ftfft_test_queue_depth\": -3"));
+        assert!(json.contains("\"ftfft_test_latency_ns.count\": 100"));
+        assert!(json.contains("\"ftfft_test_latency_ns.max_ns\": 2000"));
+        // Flat means flat: exactly one opening and one closing brace.
+        assert_eq!(json.matches('{').count(), 1);
+        assert_eq!(json.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_but_bare() {
+        let empty = MetricsSnapshot::default();
+        assert_eq!(empty.to_flat_json(), "{\n}\n");
+        assert!(empty.to_prometheus().is_empty());
+    }
+}

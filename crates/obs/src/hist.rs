@@ -1,0 +1,214 @@
+//! Log-scale latency histogram (single-writer) and its percentile
+//! summary — lifted out of `ftfft-service` so every crate aggregates
+//! latencies the same way. The concurrent counterpart lives in
+//! [`crate::metrics::Histogram`] and snapshots into this type.
+
+use std::time::Duration;
+
+/// Log-scale latency histogram over nanoseconds.
+///
+/// 256 buckets: values below 4 ns land in buckets 1–3 exactly; every
+/// larger value goes to bucket `octave * 4 + sub` where `sub` is the two
+/// bits below the leading bit. Bucket width is therefore 1/4 octave
+/// (~19% relative error worst case), constant memory, O(1) record.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; 256]>,
+    total: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: Box::new([0; 256]), total: 0, max_ns: 0 }
+    }
+}
+
+pub(crate) fn bucket_of(ns: u64) -> usize {
+    let v = ns.max(1);
+    if v < 4 {
+        v as usize
+    } else {
+        let oct = 63 - v.leading_zeros() as usize;
+        oct * 4 + ((v >> (oct - 2)) & 3) as usize
+    }
+}
+
+/// Upper edge (inclusive, in ns) of the bucket at `idx`.
+pub(crate) fn bucket_upper(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        // (1<<oct) + (sub+1)*(1<<(oct-2)) - 1, ordered so the top bucket
+        // (oct 63, sub 3) lands exactly on u64::MAX without overflowing.
+        let (oct, sub) = (idx / 4, (idx % 4) as u64);
+        (1u64 << oct) + (sub << (oct - 2)) + ((1u64 << (oct - 2)) - 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// Rebuilds a histogram from raw bucket counts and the exact observed
+    /// maximum (the concurrent histogram's snapshot path). The total is
+    /// derived from the counts so the result is always self-consistent,
+    /// even when the source was being written concurrently.
+    pub(crate) fn from_parts(counts: Box<[u64; 256]>, max_ns: u64) -> Self {
+        let total = counts.iter().sum();
+        LatencyHistogram { counts, total, max_ns }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded latency (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket
+    /// holding that rank, clamped to the exact observed maximum. Zero
+    /// observations yield zero.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Duration::from_nanos(bucket_upper(idx).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// p50/p99/p999/max snapshot.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.total,
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            max: self.max(),
+        }
+    }
+}
+
+/// Percentile snapshot of a [`LatencyHistogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Observations behind the percentiles.
+    pub count: u64,
+    /// Median latency (bucket upper edge).
+    pub p50: Duration,
+    /// 99th percentile latency.
+    pub p99: Duration,
+    /// 99.9th percentile latency.
+    pub p999: Duration,
+    /// Exact maximum.
+    pub max: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for ns in [1u64, 2, 3, 4, 5, 7, 8, 100, 1_000, 65_535, 1 << 20, u64::MAX] {
+            let b = bucket_of(ns);
+            assert!(b >= prev, "bucket index regressed at {ns}");
+            assert!(b < 256);
+            assert!(bucket_upper(b) >= ns || b == 255, "upper edge below value at {ns}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn percentiles_track_known_distribution() {
+        let mut h = LatencyHistogram::default();
+        // 990 fast observations + 10 slow outliers: p99 stays in the fast
+        // bucket (rank 990), p999 (rank 999) must see the outliers.
+        for _ in 0..990 {
+            h.record(Duration::from_nanos(1_000));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(100));
+        }
+        assert_eq!(h.count(), 1000);
+        let s = h.summary();
+        // p50/p99 land in the 1 µs bucket (≤ 25% wide), p999+ sees the outlier.
+        assert!(s.p50 >= Duration::from_nanos(1_000) && s.p50 <= Duration::from_nanos(1_280));
+        assert!(s.p99 <= Duration::from_nanos(1_280));
+        assert!(s.p999 >= Duration::from_micros(80));
+        assert_eq!(s.max, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn percentile_never_exceeds_observed_max() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(5));
+        assert_eq!(h.percentile(1.0), Duration::from_nanos(5));
+        assert_eq!(h.percentile(0.0), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut all = LatencyHistogram::default();
+        for i in 0..100u64 {
+            let d = Duration::from_nanos(i * i + 1);
+            if i % 2 == 0 {
+                a.record(d)
+            } else {
+                b.record(d)
+            }
+            all.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.summary(), all.summary());
+    }
+
+    #[test]
+    fn from_parts_matches_direct_recording() {
+        let mut direct = LatencyHistogram::default();
+        let mut counts = Box::new([0u64; 256]);
+        let mut max_ns = 0u64;
+        for ns in [3u64, 900, 900, 40_000, 1 << 21] {
+            direct.record(Duration::from_nanos(ns));
+            counts[bucket_of(ns)] += 1;
+            max_ns = max_ns.max(ns);
+        }
+        let rebuilt = LatencyHistogram::from_parts(counts, max_ns);
+        assert_eq!(rebuilt.count(), direct.count());
+        assert_eq!(rebuilt.summary(), direct.summary());
+    }
+}

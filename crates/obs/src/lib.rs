@@ -1,0 +1,139 @@
+//! Unified observability layer for the ftfft stack.
+//!
+//! One substrate for runtime visibility across every crate:
+//!
+//! * **Spans and timers** — [`Timer`], [`Span`], [`monotonic_nanos`],
+//!   and [`with_scratch`] keep hot-path probes down to a relaxed atomic
+//!   load when off and a clock read plus an atomic add when on.
+//! * **Metrics registry** — [`Registry`] (usually via [`global`]) names
+//!   [`Counter`]s, [`Gauge`]s, and concurrent [`Histogram`]s; handles
+//!   are cached `Arc`s so record never locks or allocates.
+//! * **Exposition** — [`MetricsSnapshot::to_prometheus`] and
+//!   [`MetricsSnapshot::to_flat_json`] render a snapshot for scraping
+//!   or for the bench harness's flat-JSON tooling.
+//! * **Flight recorder** — [`FlightRecorder`] keeps a fixed-capacity
+//!   trail of recovery events ([`EventKind`]) with strictly increasing
+//!   sequence numbers, wrap-proof lifetime totals, and an automatic
+//!   post-mortem dump on worker panic / quarantine.
+//!
+//! Metric names follow `ftfft_<crate>_<name>` with a unit suffix
+//! (`_ns`, `_total`).
+//!
+//! # Kill switches
+//!
+//! Observability must never change *what* the library computes — only
+//! whether anyone is watching. Two independent switches guarantee the
+//! recording paths can be removed:
+//!
+//! * **Runtime**: the `FTFFT_OBS` environment variable (read once,
+//!   lazily). `0`, `off`, `false`, or `no` disable recording; anything
+//!   else — including unset — leaves it on. [`set_enabled`] overrides
+//!   the environment (used by perfgate's A/B overhead measurement).
+//! * **Compile time**: the `no-obs` cargo feature pins [`enabled`] to
+//!   a constant `false`, so the optimizer deletes the recording bodies
+//!   outright.
+//!
+//! Either way, outputs and fault reports are bitwise identical to the
+//! instrumented run — asserted by the `observability` integration test.
+
+#![forbid(unsafe_code)]
+
+mod expose;
+mod hist;
+mod metrics;
+mod recorder;
+mod span;
+
+pub use expose::MetricsSnapshot;
+pub use hist::{LatencyHistogram, LatencySummary};
+pub use metrics::{global, Counter, Gauge, Histogram, Registry};
+pub use recorder::{EventKind, FlightEvent, FlightRecorder};
+pub use span::{monotonic_nanos, with_scratch, Span, Timer};
+
+/// Environment variable consulted (once) by [`enabled`].
+pub const OBS_ENV: &str = "FTFFT_OBS";
+
+#[cfg(not(feature = "no-obs"))]
+mod state {
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    // 0 = unresolved, 1 = on, 2 = off.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+
+    pub(crate) fn enabled() -> bool {
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let on = std::env::var(super::OBS_ENV)
+                    .map(|v| {
+                        !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no")
+                    })
+                    .unwrap_or(true);
+                STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+                on
+            }
+        }
+    }
+
+    pub(crate) fn set_enabled(on: bool) {
+        STATE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+    }
+}
+
+/// Whether recording is currently on. One relaxed atomic load after the
+/// first call; a constant `false` under the `no-obs` feature.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(not(feature = "no-obs"))]
+    {
+        state::enabled()
+    }
+    #[cfg(feature = "no-obs")]
+    {
+        false
+    }
+}
+
+/// Overrides the `FTFFT_OBS` environment decision for this process.
+/// A no-op under the `no-obs` feature (recording cannot be re-enabled
+/// once compiled out).
+pub fn set_enabled(on: bool) {
+    #[cfg(not(feature = "no-obs"))]
+    state::set_enabled(on);
+    #[cfg(feature = "no-obs")]
+    let _ = on;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that toggle the process-global enabled state.
+    pub(crate) fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn set_enabled_overrides_and_toggles() {
+        let _guard = testutil::serial();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[cfg(feature = "no-obs")]
+    #[test]
+    fn no_obs_pins_enabled_false() {
+        set_enabled(true);
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,255 @@
+//! Concurrent metric primitives and the registry that names them.
+//!
+//! Handles are `Arc`s handed out once (at construction / first use) so
+//! the record path is a relaxed atomic add — no lock, no lookup, no
+//! allocation. The registry itself is only locked on registration and
+//! snapshot, both cold paths.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::expose::MetricsSnapshot;
+use crate::hist::{bucket_of, LatencyHistogram};
+
+/// Monotonically increasing counter (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while observability is off).
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed gauge (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value (no-op while observability is off).
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.v.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjusts the value by `delta` (no-op while observability is off).
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.v.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Concurrent 256-bucket log-scale histogram — the multi-writer twin of
+/// [`LatencyHistogram`], sharing its bucket layout. Record is three
+/// relaxed atomic ops; [`snapshot`](Histogram::snapshot) renders the
+/// single-writer form for percentile math and exposition.
+pub struct Histogram {
+    counts: Box<[AtomicU64; 256]>,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Records one observation in nanoseconds (no-op while off).
+    pub fn record_ns(&self, ns: u64) {
+        if crate::enabled() {
+            self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+            self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation from a [`Duration`].
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Renders a self-consistent single-writer histogram for percentile
+    /// queries and exposition.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut counts = Box::new([0u64; 256]);
+        for (dst, src) in counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        LatencyHistogram::from_parts(counts, self.max_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// Named metric registry. Get-or-register returns a shared handle;
+/// names follow the `ftfft_<crate>_<name>` convention with a unit
+/// suffix (`_ns` for histograms, `_total` for counters).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn get_or_register<T: Default>(list: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut v = list.lock();
+    if let Some((_, handle)) = v.iter().find(|(n, _)| n == name) {
+        return Arc::clone(handle);
+    }
+    let handle = Arc::<T>::default();
+    v.push((name.to_owned(), Arc::clone(&handle)));
+    handle
+}
+
+impl Registry {
+    /// An empty registry (most callers want [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Shared handle to the counter called `name`, registering it first
+    /// if needed. Cache the handle — this path locks.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// Shared handle to the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// Shared handle to the histogram called `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// Point-in-time snapshot of every registered metric, sorted by
+    /// name within each kind for stable exposition.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> =
+            self.counters.lock().iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        let mut gauges: Vec<(String, i64)> =
+            self.gauges.lock().iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        let mut histograms: Vec<(String, LatencyHistogram)> =
+            self.histograms.lock().iter().map(|(n, h)| (n.clone(), h.snapshot())).collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// The process-wide registry every ftfft crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_the_same_handle_per_name() {
+        let r = Registry::new();
+        let a = r.counter("ftfft_test_a_total");
+        let b = r.counter("ftfft_test_a_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &r.counter("ftfft_test_b_total")));
+    }
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn counters_gauges_histograms_record_and_snapshot_sorted() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let r = Registry::new();
+        r.counter("ftfft_test_z_total").add(3);
+        r.counter("ftfft_test_a_total").inc();
+        r.gauge("ftfft_test_depth").set(7);
+        r.gauge("ftfft_test_depth").add(-2);
+        let h = r.histogram("ftfft_test_lat_ns");
+        h.record_ns(1_000);
+        h.record(Duration::from_micros(5));
+        assert_eq!(h.count(), 2);
+
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("ftfft_test_a_total".into(), 1), ("ftfft_test_z_total".into(), 3)]
+        );
+        assert_eq!(snap.gauges, vec![("ftfft_test_depth".into(), 5)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count(), 2);
+        assert_eq!(snap.histograms[0].1.max(), Duration::from_micros(5));
+    }
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn concurrent_histogram_snapshot_matches_single_writer() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let conc = Histogram::default();
+        let mut single = LatencyHistogram::default();
+        for i in 0..500u64 {
+            conc.record_ns(i * 37 + 1);
+            single.record(Duration::from_nanos(i * 37 + 1));
+        }
+        let snap = conc.snapshot();
+        assert_eq!(snap.count(), single.count());
+        assert_eq!(snap.summary(), single.summary());
+    }
+
+    #[test]
+    fn recording_is_a_no_op_when_disabled() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(false);
+        let c = Counter::default();
+        let g = Gauge::default();
+        let h = Histogram::default();
+        c.inc();
+        g.set(9);
+        h.record_ns(42);
+        assert_eq!((c.get(), g.get(), h.count()), (0, 0, 0));
+        crate::set_enabled(true);
+    }
+}

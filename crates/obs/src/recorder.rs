@@ -1,0 +1,315 @@
+//! Fault flight recorder: a fixed-capacity ring of recent recovery
+//! events plus per-kind lifetime totals.
+//!
+//! The ring answers "what just happened" (post-mortem trail, bounded
+//! memory); the totals answer "how much happened overall" and survive
+//! ring wrap, so they reconcile exactly against report counters like
+//! `PipelineReport::detected()` no matter how long the campaign ran.
+//! Recording is a couple of relaxed atomics plus a short mutex hold on
+//! the ring — cheap enough for recovery paths, which are rare by design.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::span::monotonic_nanos;
+
+/// What happened. The seven kinds cover the full recovery ladder from
+/// detection through load shedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A fault was detected (checksum test, CRC, DMR vote, …).
+    FaultDetected,
+    /// A fault was corrected (memory fix, recompute, comm vote, …).
+    FaultCorrected,
+    /// A stage execution was retried after a caught panic.
+    Retry,
+    /// A frame or request was quarantined as unrecoverable.
+    Quarantine,
+    /// Load was shed at an ingress queue.
+    Shed,
+    /// Frame synchronization was lost on the byte stream.
+    SyncLoss,
+    /// A worker or stage panicked.
+    WorkerPanic,
+}
+
+impl EventKind {
+    /// Every kind, in severity-agnostic declaration order.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::FaultDetected,
+        EventKind::FaultCorrected,
+        EventKind::Retry,
+        EventKind::Quarantine,
+        EventKind::Shed,
+        EventKind::SyncLoss,
+        EventKind::WorkerPanic,
+    ];
+
+    /// Stable snake_case name (used in dumps and exposition).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FaultDetected => "fault_detected",
+            EventKind::FaultCorrected => "fault_corrected",
+            EventKind::Retry => "retry",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Shed => "shed",
+            EventKind::SyncLoss => "sync_loss",
+            EventKind::WorkerPanic => "worker_panic",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|k| *k == self).unwrap()
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Strictly increasing sequence number (gap-free per recorder).
+    pub seq: u64,
+    /// [`monotonic_nanos`] timestamp at record time.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// How many times it happened (events with `count == 0` are not
+    /// recorded; batch merges carry their full tally here).
+    pub count: u64,
+    /// Caller-defined context — typically a frame sequence number or
+    /// worker index.
+    pub detail: u64,
+}
+
+/// Fixed-capacity ring of recent [`FlightEvent`]s with lifetime totals.
+pub struct FlightRecorder {
+    capacity: usize,
+    next_seq: AtomicU64,
+    totals: [AtomicU64; 7],
+    ring: Mutex<VecDeque<FlightEvent>>,
+    autodump: AtomicBool,
+    dumped: AtomicBool,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("events", &self.events_recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder whose trail keeps the most recent `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity >= 1, "flight recorder capacity must be >= 1");
+        FlightRecorder {
+            capacity,
+            next_seq: AtomicU64::new(0),
+            totals: std::array::from_fn(|_| AtomicU64::new(0)),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            autodump: AtomicBool::new(true),
+            dumped: AtomicBool::new(false),
+        }
+    }
+
+    /// Maximum trail length.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held in the trail (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// `true` when no event has survived into the trail.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events ever recorded (monotone; unaffected by ring wrap).
+    pub fn events_recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime tally for `kind` — the sum of `count` over every event
+    /// of that kind ever recorded, wrap-proof by construction.
+    pub fn total(&self, kind: EventKind) -> u64 {
+        self.totals[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one occurrence of `kind`.
+    pub fn record(&self, kind: EventKind, detail: u64) {
+        self.record_n(kind, 1, detail);
+    }
+
+    /// Records `count` occurrences of `kind` as a single event. No-op
+    /// when `count` is zero or observability is disabled.
+    pub fn record_n(&self, kind: EventKind, count: u64, detail: u64) {
+        if count == 0 || !crate::enabled() {
+            return;
+        }
+        self.totals[kind.index()].fetch_add(count, Ordering::Relaxed);
+        let event = FlightEvent {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: monotonic_nanos(),
+            kind,
+            count,
+            detail,
+        };
+        {
+            let mut ring = self.ring.lock();
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(event);
+        }
+        // First panic/quarantine after (re)arming dumps the trail to
+        // stderr — one post-mortem per incident, not one per event.
+        if matches!(kind, EventKind::WorkerPanic | EventKind::Quarantine)
+            && self.autodump.load(Ordering::Relaxed)
+            && !self.dumped.swap(true, Ordering::Relaxed)
+        {
+            eprintln!("{}", self.dump());
+        }
+    }
+
+    /// Enables or disables the automatic dump on panic/quarantine.
+    pub fn set_autodump(&self, on: bool) {
+        self.autodump.store(on, Ordering::Relaxed);
+    }
+
+    /// Re-arms the one-shot automatic dump (e.g. between chaos phases).
+    pub fn rearm_autodump(&self) {
+        self.dumped.store(false, Ordering::Relaxed);
+    }
+
+    /// Copies the current trail, oldest first.
+    pub fn trail(&self) -> Vec<FlightEvent> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// Human-readable post-mortem: lifetime totals plus the trail.
+    pub fn dump(&self) -> String {
+        let trail = self.trail();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} events recorded, trail holds {} (capacity {})",
+            self.events_recorded(),
+            trail.len(),
+            self.capacity
+        );
+        let _ = write!(out, "  totals:");
+        for kind in EventKind::ALL {
+            let _ = write!(out, " {}={}", kind.name(), self.total(kind));
+        }
+        let _ = writeln!(out);
+        for ev in &trail {
+            let _ = writeln!(
+                out,
+                "  #{:<6} t+{:>10.3}ms {:<15} count={} detail={}",
+                ev.seq,
+                ev.t_ns as f64 / 1e6,
+                ev.kind.name(),
+                ev.count,
+                ev.detail
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn ring_wraps_at_capacity_with_strictly_increasing_seqs() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let rec = FlightRecorder::new(8);
+        rec.set_autodump(false);
+        for i in 0..25u64 {
+            let kind = EventKind::ALL[(i % 7) as usize];
+            rec.record_n(kind, 1 + i % 3, i);
+        }
+        assert_eq!(rec.events_recorded(), 25);
+        let trail = rec.trail();
+        assert_eq!(trail.len(), 8, "trail must respect capacity after wrap");
+        // The survivors are exactly the most recent events, in order.
+        assert_eq!(trail[0].seq, 17);
+        for pair in trail.windows(2) {
+            assert!(pair[1].seq > pair[0].seq, "sequence numbers must strictly increase");
+            assert!(pair[1].t_ns >= pair[0].t_ns, "timestamps must be monotone");
+        }
+        // Lifetime totals count every event, including the wrapped-out ones.
+        let total: u64 = EventKind::ALL.iter().map(|k| rec.total(*k)).sum();
+        assert_eq!(total, (0..25u64).map(|i| 1 + i % 3).sum::<u64>());
+    }
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn zero_count_events_are_not_recorded() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let rec = FlightRecorder::new(4);
+        rec.record_n(EventKind::FaultDetected, 0, 9);
+        assert!(rec.is_empty());
+        assert_eq!(rec.events_recorded(), 0);
+        assert_eq!(rec.total(EventKind::FaultDetected), 0);
+    }
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn autodump_latches_once_until_rearmed() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let rec = FlightRecorder::new(4);
+        assert!(!rec.dumped.load(Ordering::Relaxed));
+        rec.record(EventKind::WorkerPanic, 0);
+        assert!(rec.dumped.load(Ordering::Relaxed), "first panic must trip the latch");
+        rec.record(EventKind::Quarantine, 1);
+        assert!(rec.dumped.load(Ordering::Relaxed));
+        rec.rearm_autodump();
+        assert!(!rec.dumped.load(Ordering::Relaxed));
+        rec.set_autodump(false);
+        rec.record(EventKind::WorkerPanic, 2);
+        assert!(!rec.dumped.load(Ordering::Relaxed), "disabled autodump must not latch");
+    }
+
+    #[test]
+    fn recording_is_a_no_op_when_disabled() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(false);
+        let rec = FlightRecorder::new(4);
+        rec.record(EventKind::Shed, 1);
+        assert!(rec.is_empty());
+        assert_eq!(rec.total(EventKind::Shed), 0);
+        crate::set_enabled(true);
+    }
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn dump_names_every_kind_and_trail_entry() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let rec = FlightRecorder::new(4);
+        rec.set_autodump(false);
+        rec.record_n(EventKind::SyncLoss, 2, 77);
+        let dump = rec.dump();
+        for kind in EventKind::ALL {
+            assert!(dump.contains(kind.name()), "dump missing {}", kind.name());
+        }
+        assert!(dump.contains("count=2 detail=77"));
+        assert!(dump.contains("trail holds 1 (capacity 4)"));
+    }
+}

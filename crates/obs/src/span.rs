@@ -1,0 +1,148 @@
+//! Timing primitives: a monotonic nanosecond clock, an explicit
+//! [`Timer`], and an RAII [`Span`] that records into a histogram on
+//! drop. All of them collapse to no-ops when observability is off, so
+//! hot paths pay at most one relaxed atomic load per probe.
+
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Nanoseconds since the first call in this process — a cheap monotonic
+/// timestamp shared by timers and the flight recorder, so event times
+/// and span durations live on the same axis.
+pub fn monotonic_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Explicit start/stop timer. Started while observability is disabled it
+/// stays inert: `elapsed_ns` yields `None` and `stop` records nothing,
+/// so call sites never need their own `enabled()` branch.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    start_ns: u64,
+    active: bool,
+}
+
+impl Timer {
+    /// Captures the current monotonic time (or an inert timer when off).
+    pub fn start() -> Timer {
+        if crate::enabled() {
+            Timer { start_ns: monotonic_nanos(), active: true }
+        } else {
+            Timer { start_ns: 0, active: false }
+        }
+    }
+
+    /// Nanoseconds since `start`, or `None` for an inert timer.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.active.then(|| monotonic_nanos().saturating_sub(self.start_ns))
+    }
+
+    /// Records the elapsed time into `hist` (no-op when inert).
+    pub fn stop(self, hist: &Histogram) {
+        if let Some(ns) = self.elapsed_ns() {
+            hist.record_ns(ns);
+        }
+    }
+}
+
+/// RAII span: times from construction to drop and records the duration
+/// into the borrowed histogram. Prefer [`Timer`] where the region does
+/// not nest cleanly with scope.
+pub struct Span<'h> {
+    hist: &'h Histogram,
+    timer: Timer,
+}
+
+impl<'h> Span<'h> {
+    /// Enters a span that records into `hist` when dropped.
+    pub fn enter(hist: &'h Histogram) -> Span<'h> {
+        Span { hist, timer: Timer::start() }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(ns) = self.timer.elapsed_ns() {
+            self.hist.record_ns(ns);
+        }
+    }
+}
+
+/// Runs `f` with a cleared thread-local `String`, so hot paths that
+/// format metric names (e.g. per-tenant keys) stay allocation-free after
+/// the first use on each thread. Re-entrant calls fall back to a fresh
+/// buffer rather than panicking on the borrow.
+pub fn with_scratch<T>(f: impl FnOnce(&mut String) -> T) -> T {
+    thread_local! {
+        static SCRATCH: RefCell<String> = RefCell::new(String::with_capacity(96));
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => {
+            s.clear();
+            f(&mut s)
+        }
+        Err(_) => f(&mut String::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_nanos_never_goes_backwards() {
+        let a = monotonic_nanos();
+        let b = monotonic_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn scratch_is_cleared_between_uses_and_reentrant_safe() {
+        with_scratch(|s| s.push_str("first"));
+        with_scratch(|outer| {
+            assert!(outer.is_empty(), "scratch must arrive cleared");
+            outer.push_str("outer");
+            let inner_len = with_scratch(|inner| {
+                assert!(inner.is_empty());
+                inner.push_str("inner");
+                inner.len()
+            });
+            assert_eq!(inner_len, 5);
+            assert_eq!(outer, "outer");
+        });
+    }
+
+    #[cfg(not(feature = "no-obs"))]
+    #[test]
+    fn timer_and_span_record_when_enabled() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        let t = Timer::start();
+        assert!(t.elapsed_ns().is_some());
+        t.stop(&h);
+        {
+            let _span = Span::enter(&h);
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn timer_is_inert_when_disabled() {
+        let _guard = crate::testutil::serial();
+        crate::set_enabled(false);
+        let h = Histogram::default();
+        let t = Timer::start();
+        assert_eq!(t.elapsed_ns(), None);
+        t.stop(&h);
+        {
+            let _span = Span::enter(&h);
+        }
+        assert_eq!(h.count(), 0);
+        crate::set_enabled(true);
+    }
+}

@@ -50,6 +50,8 @@ use crate::pool::{chunk_range, resolve_threads, ThreadPool};
 pub struct PooledFtFft {
     plan: FtFftPlan,
     pool: ThreadPool,
+    obs_part1: std::sync::Arc<ftfft_obs::Histogram>,
+    obs_part2: std::sync::Arc<ftfft_obs::Histogram>,
 }
 
 /// Per-worker scratch for the part-1 fan-out — just the three lane-sized
@@ -82,7 +84,13 @@ impl PooledFtFft {
     /// Wraps `plan`, spawning the plan's worker pool.
     pub fn new(plan: FtFftPlan) -> Self {
         let pool = ThreadPool::new(resolve_threads(plan.cfg().threads));
-        PooledFtFft { plan, pool }
+        let reg = ftfft_obs::global();
+        PooledFtFft {
+            plan,
+            pool,
+            obs_part1: reg.histogram("ftfft_parallel_part1_ns"),
+            obs_part2: reg.histogram("ftfft_parallel_part2_ns"),
+        }
     }
 
     /// The wrapped plan.
@@ -178,6 +186,7 @@ impl PooledFtFft {
 
         // ---- part 1: k m-point FFTs across the pool ---------------------
         {
+            let timer = ftfft_obs::Timer::start();
             let t = self.pool.size().min(k).max(1);
             let ra_m = &ws.main.ra_m[..m];
             let x_shared: &[Complex64] = x;
@@ -215,12 +224,14 @@ impl PooledFtFft {
             for slot in slots {
                 rep.merge(&slot.into_inner().2);
             }
+            timer.stop(&self.obs_part1);
         }
 
         injector.inject(ctx, Site::IntermediateMemory, &mut ws.main.y);
 
         // ---- part 2: m k-point FFTs across the pool ---------------------
         {
+            let timer = ftfft_obs::Timer::start();
             let t = self.pool.size().min(m).max(1);
             let ra_k = &ws.main.ra_k[..k];
             let y_shared: &[Complex64] = &ws.main.y[..k * m];
@@ -258,6 +269,7 @@ impl PooledFtFft {
             for slot in slots {
                 rep.merge(&slot.into_inner().2);
             }
+            timer.stop(&self.obs_part2);
         }
 
         // Serial scatter: column j2 lands on the strided output positions

@@ -18,6 +18,7 @@ use ftfft_core::{FtFftPlan, FtReport, PlanSpec, Workspace};
 use ftfft_fault::{FaultInjector, NoFaults};
 use ftfft_fft::resolve_threads;
 use ftfft_numeric::Complex64;
+use ftfft_obs::{EventKind, FlightRecorder, Timer};
 
 use crate::cache::PlanCache;
 use crate::telemetry::{LatencySummary, Telemetry, TenantStats};
@@ -183,6 +184,29 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Handles into the global metrics registry, resolved once at service
+/// construction so the worker-side record path is a relaxed atomic add.
+struct ObsHandles {
+    queue_wait: Arc<ftfft_obs::Histogram>,
+    batch_build: Arc<ftfft_obs::Histogram>,
+    execute: Arc<ftfft_obs::Histogram>,
+    requests: Arc<ftfft_obs::Counter>,
+    failed: Arc<ftfft_obs::Counter>,
+}
+
+impl ObsHandles {
+    fn new() -> ObsHandles {
+        let reg = ftfft_obs::global();
+        ObsHandles {
+            queue_wait: reg.histogram("ftfft_service_queue_wait_ns"),
+            batch_build: reg.histogram("ftfft_service_batch_build_ns"),
+            execute: reg.histogram("ftfft_service_execute_ns"),
+            requests: reg.counter("ftfft_service_requests_total"),
+            failed: reg.counter("ftfft_service_failed_total"),
+        }
+    }
+}
+
 struct Inner {
     state: Mutex<QueueState>,
     cv: Condvar,
@@ -194,6 +218,8 @@ struct Inner {
     max_batch_seen: AtomicU64,
     /// Requests whose execution panicked (isolated; see [`run_batch`]).
     failed: AtomicU64,
+    obs: ObsHandles,
+    recorder: FlightRecorder,
 }
 
 /// Cross-service aggregate snapshot (see [`FftService::stats`]).
@@ -226,6 +252,52 @@ pub struct ServiceStats {
     pub report: FtReport,
 }
 
+impl ServiceStats {
+    /// Renders the snapshot as flat JSON — one level of `"key": number`
+    /// pairs with dotted paths, the convention `ftfft-bench`'s
+    /// `parse_flat_json_numbers` consumes.
+    pub fn to_flat_json(&self) -> String {
+        let r = &self.report;
+        let l = &self.latency;
+        format!(
+            "{{\n  \"requests\": {},\n  \"frames\": {},\n  \"batches\": {},\n  \
+             \"mean_batch\": {},\n  \"max_batch\": {},\n  \"failed\": {},\n  \
+             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"hit_rate\": {},\n  \
+             \"distinct_plans\": {},\n  \"latency.count\": {},\n  \"latency.p50_ns\": {},\n  \
+             \"latency.p99_ns\": {},\n  \"latency.p999_ns\": {},\n  \"latency.max_ns\": {},\n  \
+             \"report.checks\": {},\n  \"report.comp_detected\": {},\n  \
+             \"report.mem_detected\": {},\n  \"report.mem_corrected\": {},\n  \
+             \"report.dmr_votes\": {},\n  \"report.subfft_recomputed\": {},\n  \
+             \"report.full_recomputed\": {},\n  \"report.comm_corrected\": {},\n  \
+             \"report.uncorrectable\": {}\n}}\n",
+            self.requests,
+            self.frames,
+            self.batches,
+            self.mean_batch,
+            self.max_batch,
+            self.failed,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate,
+            self.distinct_plans,
+            l.count,
+            l.p50.as_nanos(),
+            l.p99.as_nanos(),
+            l.p999.as_nanos(),
+            l.max.as_nanos(),
+            r.checks,
+            r.comp_detected,
+            r.mem_detected,
+            r.mem_corrected,
+            r.dmr_votes,
+            r.subfft_recomputed,
+            r.full_recomputed,
+            r.comm_corrected,
+            r.uncorrectable,
+        )
+    }
+}
+
 /// Multi-tenant FFT front end: plan cache + coalescing admission queue +
 /// worker pool. See the crate docs for the execution model and the
 /// bitwise-identity contract.
@@ -254,6 +326,8 @@ impl FftService {
             batched_requests: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            obs: ObsHandles::new(),
+            recorder: FlightRecorder::new(128),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -386,6 +460,12 @@ impl FftService {
         }
     }
 
+    /// The service's fault flight recorder. Worker panics land here as
+    /// [`EventKind::WorkerPanic`] (and trip its automatic dump).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
     /// Blocks until every request submitted so far has completed.
     pub fn quiesce(&self) {
         loop {
@@ -470,12 +550,17 @@ fn worker_loop(inner: &Inner) {
 fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSpec, Workspace>) {
     let plan = &batch.plan;
     let n = batch.spec.n();
+    let build = Timer::start();
     let ws = workspaces.entry(batch.spec).or_insert_with(|| plan.make_workspace());
+    build.stop(&inner.obs.batch_build);
     let size = batch.reqs.len();
     inner.batches.fetch_add(1, Ordering::Relaxed);
     inner.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
     inner.max_batch_seen.fetch_max(size as u64, Ordering::Relaxed);
     for mut req in batch.reqs {
+        if ftfft_obs::enabled() {
+            inner.obs.queue_wait.record(req.submitted.elapsed());
+        }
         let frames = (req.input.len() / n) as u64;
         let mut output = vec![Complex64::ZERO; req.input.len()];
         // Panic isolation: a panicking execution (a scripted chaos
@@ -483,14 +568,27 @@ fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSp
         // Catch the unwind, deliver the error to this ticket, and keep
         // the worker serving the queue. The workspace is safe to reuse —
         // every execution fully rewrites the scratch it reads.
+        let exec = Timer::start();
         let caught =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &req.injector {
                 Some(inj) => plan.execute_batch(&mut req.input, &mut output, inj.as_ref(), ws),
                 None => plan.execute_batch(&mut req.input, &mut output, &NoFaults, ws),
             }));
+        exec.stop(&inner.obs.execute);
         let latency = req.submitted.elapsed();
         match caught {
             Ok(report) => {
+                inner.obs.requests.inc();
+                if ftfft_obs::enabled() {
+                    // Per-tenant request counter; the scratch keeps this
+                    // allocation-free per record, the registry lookup is
+                    // the price of a dynamic tenant set.
+                    ftfft_obs::with_scratch(|name| {
+                        name.push_str("ftfft_service_tenant_requests_total.");
+                        name.push_str(&req.tenant);
+                        ftfft_obs::global().counter(name).inc();
+                    });
+                }
                 inner.telemetry.record(&req.tenant, latency, frames, req.cache_hit, &report);
                 req.slot.deliver(Ok(ServiceResponse {
                     output,
@@ -502,6 +600,8 @@ fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSp
             }
             Err(payload) => {
                 inner.failed.fetch_add(1, Ordering::Relaxed);
+                inner.obs.failed.inc();
+                inner.recorder.record(EventKind::WorkerPanic, frames);
                 req.slot.deliver(Err(RequestError::Panicked(panic_message(&*payload))));
             }
         }
@@ -661,6 +761,23 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.requests, 1, "panicked request must not reach telemetry");
+        if ftfft_obs::enabled() {
+            assert_eq!(svc.flight_recorder().total(EventKind::WorkerPanic), 1);
+        }
+    }
+
+    #[test]
+    fn stats_flat_json_is_one_level_and_numeric() {
+        let svc = FftService::new(ServiceConfig::default().with_workers(1));
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineCompOpt).build();
+        svc.submit("t0", &spec, uniform_signal(64 * 2, 4)).wait();
+        svc.quiesce();
+        let json = svc.stats().to_flat_json();
+        assert!(json.contains("\"requests\": 1"));
+        assert!(json.contains("\"frames\": 2"));
+        assert!(json.contains("\"latency.count\": 1"));
+        assert_eq!(json.matches('{').count(), 1);
+        assert_eq!(json.matches('}').count(), 1);
     }
 
     #[test]

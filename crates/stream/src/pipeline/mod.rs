@@ -39,13 +39,15 @@ pub mod stage;
 pub mod sync;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use ftfft_core::{FtReport, PlanSpec};
 use ftfft_fault::bytes::ByteFaultInjector;
 use ftfft_fault::FaultInjector;
+use ftfft_obs::{EventKind, FlightRecorder, Timer};
 
 use guard::{FrontVerdict, GuardedRing};
-use queue::BoundedQueue;
+use queue::{BoundedQueue, PushOutcome};
 use report::{PipelineReport, SinkStats, TransformStats};
 use stage::{FirFilterStage, FrameTransform, StftDenoiseStage};
 use sync::FrameSync;
@@ -147,6 +149,7 @@ impl PipelineBuilder {
         let frame_len = stage.frame_len();
         let hist_len = stage.history_len();
         let out_len = stage.output_len();
+        let reg = ftfft_obs::global();
         ProtectedPipeline {
             sync: FrameSync::new(frame_len),
             ingest: BoundedQueue::new(self.queue_capacity),
@@ -160,6 +163,10 @@ impl PipelineBuilder {
             transform: TransformStats::default(),
             sink: SinkStats::default(),
             next_seq: 0,
+            recorder: FlightRecorder::new(256),
+            obs_sync: reg.histogram("ftfft_stream_sync_ns"),
+            obs_transform: reg.histogram("ftfft_stream_transform_ns"),
+            obs_deliver: reg.histogram("ftfft_stream_deliver_ns"),
         }
     }
 }
@@ -193,6 +200,12 @@ pub struct ProtectedPipeline {
     transform: TransformStats,
     sink: SinkStats,
     next_seq: u64,
+    /// Recovery-ladder trail; its lifetime totals reconcile exactly with
+    /// [`PipelineReport`]'s detected/corrected/dropped rollups.
+    recorder: FlightRecorder,
+    obs_sync: Arc<ftfft_obs::Histogram>,
+    obs_transform: Arc<ftfft_obs::Histogram>,
+    obs_deliver: Arc<ftfft_obs::Histogram>,
 }
 
 impl ProtectedPipeline {
@@ -220,7 +233,11 @@ impl ProtectedPipeline {
     /// Returns the number of frames synchronized by this call (accepted
     /// *or* shed — shed frames still advance the stream history).
     pub fn push_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let timer = Timer::start();
+        let losses_before = self.sync.stats().sync_losses;
         let mut synced = 0u64;
+        let mut shed = 0u64;
+        let mut first_shed_seq = 0u64;
         let history = &mut self.history;
         let hist_len = self.hist_len;
         let ingest = &mut self.ingest;
@@ -235,15 +252,25 @@ impl ProtectedPipeline {
             }
             let seq = *next_seq;
             *next_seq += 1;
-            ingest.push(SyncedFrame { seq, data });
+            if ingest.push(SyncedFrame { seq, data }) == PushOutcome::Dropped {
+                if shed == 0 {
+                    first_shed_seq = seq;
+                }
+                shed += 1;
+            }
             synced += 1;
         });
+        self.recorder.record_n(EventKind::Shed, shed, first_shed_seq);
+        let losses = self.sync.stats().sync_losses - losses_before;
+        self.recorder.record_n(EventKind::SyncLoss, losses, *next_seq);
+        timer.stop(&self.obs_sync);
         synced
     }
 
     /// Runs the stage under the panic ladder: retry up to `max_retries`
     /// times after a caught unwind. `Some(ft)` on success, `None` when
     /// the budget is exhausted (caller quarantines).
+    #[allow(clippy::too_many_arguments)]
     fn apply_supervised(
         stage: &mut Box<dyn FrameTransform>,
         input: &[f64],
@@ -251,6 +278,8 @@ impl ProtectedPipeline {
         injector: &dyn FaultInjector,
         max_retries: usize,
         stats: &mut TransformStats,
+        recorder: &FlightRecorder,
+        seq: u64,
     ) -> Option<FtReport> {
         let mut attempt = 0;
         loop {
@@ -259,11 +288,13 @@ impl ProtectedPipeline {
                 Ok(ft) => return Some(ft),
                 Err(_) => {
                     stats.panics_caught += 1;
+                    recorder.record(EventKind::WorkerPanic, seq);
                     if attempt >= max_retries {
                         return None;
                     }
                     attempt += 1;
                     stats.retries += 1;
+                    recorder.record(EventKind::Retry, seq);
                 }
             }
         }
@@ -282,6 +313,7 @@ impl ProtectedPipeline {
         let Some(frame) = self.ingest.pop() else {
             return false;
         };
+        let timer = Timer::start();
         match Self::apply_supervised(
             &mut self.stage,
             &frame.data,
@@ -289,8 +321,11 @@ impl ProtectedPipeline {
             injector,
             self.max_retries,
             &mut self.transform,
+            &self.recorder,
+            frame.seq,
         ) {
             Some(ft) => {
+                self.record_ft_events(&ft, frame.seq);
                 self.transform.ft.merge(&ft);
                 self.transform.processed += 1;
                 self.cold.store(frame.seq, &frame.data, &self.out_buf);
@@ -298,25 +333,39 @@ impl ProtectedPipeline {
             }
             None => {
                 self.transform.quarantined += 1;
+                self.recorder.record(EventKind::Quarantine, frame.seq);
             }
         }
+        timer.stop(&self.obs_transform);
         true
+    }
+
+    /// Mirrors one frame's ABFT tallies into the flight recorder (events
+    /// with zero count are skipped, so clean frames record nothing).
+    fn record_ft_events(&self, ft: &FtReport, seq: u64) {
+        self.recorder.record_n(EventKind::FaultDetected, ft.total_detected() as u64, seq);
+        self.recorder.record_n(EventKind::FaultCorrected, ft.total_corrected() as u64, seq);
     }
 
     /// Delivers the oldest verified frame, running the CRC recovery
     /// ladder as needed; `None` when the ring is empty (unrecoverable
     /// frames are quarantined internally and never surface).
     pub fn pop_frame(&mut self, injector: &dyn FaultInjector) -> Option<DeliveredFrame> {
+        let timer = Timer::start();
         loop {
             let verdict = self.cold.verify_front()?;
+            let front_seq = self.cold.front_seq().expect("verdict implies a front slot");
             match verdict {
                 FrontVerdict::OutputOk => {
                     let (seq, samples) = self.cold.pop_front().expect("verified front");
                     self.sink.delivered += 1;
                     self.sink.samples_out += samples.len() as u64;
+                    timer.stop(&self.obs_deliver);
                     return Some(DeliveredFrame { seq, samples, recovered: false });
                 }
                 FrontVerdict::RecomputeFromInput => {
+                    // One cold-slot CRC detection behind this verdict.
+                    self.recorder.record(EventKind::FaultDetected, front_seq);
                     self.cold.front_input_to(&mut self.recompute_in);
                     let input = std::mem::take(&mut self.recompute_in);
                     let healed = Self::apply_supervised(
@@ -326,22 +375,35 @@ impl ProtectedPipeline {
                         injector,
                         self.max_retries,
                         &mut self.transform,
+                        &self.recorder,
+                        front_seq,
                     );
                     self.recompute_in = input;
                     match healed {
                         Some(ft) => {
+                            self.record_ft_events(&ft, front_seq);
                             self.transform.ft.merge(&ft);
                             self.cold.replace_front_output(&self.out_buf);
+                            self.recorder.record(EventKind::FaultCorrected, front_seq);
                             let (seq, samples) = self.cold.pop_front().expect("recomputed front");
                             self.sink.delivered += 1;
                             self.sink.recovered += 1;
                             self.sink.samples_out += samples.len() as u64;
+                            timer.stop(&self.obs_deliver);
                             return Some(DeliveredFrame { seq, samples, recovered: true });
                         }
-                        None => self.cold.quarantine_front(),
+                        None => {
+                            self.cold.quarantine_front();
+                            self.recorder.record(EventKind::Quarantine, front_seq);
+                        }
                     }
                 }
-                FrontVerdict::Unrecoverable => self.cold.quarantine_front(),
+                FrontVerdict::Unrecoverable => {
+                    // Output CRC *and* retained-input CRC both tripped.
+                    self.recorder.record_n(EventKind::FaultDetected, 2, front_seq);
+                    self.cold.quarantine_front();
+                    self.recorder.record(EventKind::Quarantine, front_seq);
+                }
             }
         }
     }
@@ -370,6 +432,19 @@ impl ProtectedPipeline {
                 break;
             }
         }
+    }
+
+    /// The pipeline's fault flight recorder. Lifetime totals reconcile
+    /// exactly with [`PipelineReport`]:
+    /// `total(FaultDetected) == detected()`,
+    /// `total(FaultCorrected) == corrected()`,
+    /// `total(Quarantine) + total(Shed) == dropped()`,
+    /// `total(SyncLoss) == sync.sync_losses`,
+    /// `total(Retry) == transform.retries`, and
+    /// `total(WorkerPanic) == transform.panics_caught` —
+    /// whenever observability was enabled for the whole run.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Merged end-to-end telemetry snapshot.
@@ -505,6 +580,56 @@ mod tests {
         assert_eq!(rep.transform.quarantined, 1);
         assert_eq!(rep.transform.panics_caught, 3); // 1 try + 2 retries
         assert_eq!(rep.dropped(), 1);
+    }
+
+    /// Checks every flight-recorder lifetime total against the report's
+    /// counters (the [`ProtectedPipeline::recorder`] contract). Valid
+    /// only when observability was enabled for the whole run.
+    fn assert_recorder_reconciles(p: &ProtectedPipeline) {
+        if !ftfft_obs::enabled() {
+            return;
+        }
+        let (rec, rep) = (p.recorder(), p.report());
+        assert_eq!(rec.total(EventKind::FaultDetected), rep.detected());
+        assert_eq!(rec.total(EventKind::FaultCorrected), rep.corrected());
+        assert_eq!(rec.total(EventKind::Quarantine) + rec.total(EventKind::Shed), rep.dropped());
+        assert_eq!(rec.total(EventKind::SyncLoss), rep.sync.sync_losses);
+        assert_eq!(rec.total(EventKind::Retry), rep.transform.retries);
+        assert_eq!(rec.total(EventKind::WorkerPanic), rep.transform.panics_caught);
+    }
+
+    #[test]
+    fn flight_recorder_reconciles_under_chaos() {
+        use ftfft_fault::bytes::{ByteFaultKind, ByteRegion, RandomByteInjector};
+        use ftfft_fault::{RandomInjector, RandomKind, Site};
+        let mut p = PipelineBuilder::new(&spec(64, Scheme::OnlineMemOpt))
+            .queue_capacity(3)
+            .max_retries(1)
+            .build();
+        p.recorder().set_autodump(false);
+        let signal = real_signal(64 * 24, 6);
+        let stream = encode_stream(&signal, 64);
+        let comp = RandomInjector::new(42, 0.10, RandomKind::BitFlipInRange { lo: 52, hi: 62 }, 8)
+            .with_site_filter(|s| matches!(s, Site::SubFftCompute { .. }));
+        let mem = RandomByteInjector::new(99, 0.35, ByteFaultKind::BitFlip, 8)
+            .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+        let panics = PanicInjector::new(comp, vec![PanicPoint::any(3)]);
+        let mut sink = Vec::new();
+        with_quiet_panics(|| {
+            for chunk in stream.chunks(700) {
+                p.process(chunk, &panics, &mem, &mut sink);
+            }
+        });
+        let rep = p.report();
+        assert!(rep.detected() > 0, "campaign must actually strike: {rep:?}");
+        assert_recorder_reconciles(&p);
+        if ftfft_obs::enabled() {
+            let trail = p.recorder().trail();
+            assert!(!trail.is_empty());
+            for pair in trail.windows(2) {
+                assert!(pair[1].seq > pair[0].seq);
+            }
+        }
     }
 
     #[test]

@@ -124,6 +124,69 @@ impl PipelineReport {
             && self.sync.sync_losses == 0
     }
 
+    /// Renders the report as flat JSON — one level of `"key": number`
+    /// pairs with dotted paths, the convention `ftfft-bench`'s
+    /// `parse_flat_json_numbers` consumes. `sync.locked` is encoded as
+    /// `0`/`1` (the flat format carries only numbers).
+    pub fn to_flat_json(&self) -> String {
+        let (s, q, t, c, k) = (&self.sync, &self.ingest, &self.transform, &self.cold, &self.sink);
+        let ft = &t.ft;
+        format!(
+            "{{\n  \"sync.bytes_in\": {},\n  \"sync.bytes_skipped\": {},\n  \
+             \"sync.frames_synced\": {},\n  \"sync.sync_losses\": {},\n  \"sync.locked\": {},\n  \
+             \"ingest.capacity\": {},\n  \"ingest.accepted\": {},\n  \"ingest.dropped\": {},\n  \
+             \"ingest.high_water\": {},\n  \"transform.processed\": {},\n  \
+             \"transform.panics_caught\": {},\n  \"transform.retries\": {},\n  \
+             \"transform.quarantined\": {},\n  \"transform.ft.checks\": {},\n  \
+             \"transform.ft.comp_detected\": {},\n  \"transform.ft.mem_detected\": {},\n  \
+             \"transform.ft.mem_corrected\": {},\n  \"transform.ft.dmr_votes\": {},\n  \
+             \"transform.ft.subfft_recomputed\": {},\n  \"transform.ft.full_recomputed\": {},\n  \
+             \"transform.ft.comm_corrected\": {},\n  \"transform.ft.uncorrectable\": {},\n  \
+             \"cold.capacity\": {},\n  \"cold.stored\": {},\n  \"cold.high_water\": {},\n  \
+             \"cold.crc_checks\": {},\n  \"cold.crc_detected\": {},\n  \
+             \"cold.retention_detected\": {},\n  \"cold.recomputed\": {},\n  \
+             \"cold.quarantined\": {},\n  \"sink.delivered\": {},\n  \"sink.recovered\": {},\n  \
+             \"sink.samples_out\": {},\n  \"detected\": {},\n  \"corrected\": {},\n  \
+             \"dropped\": {}\n}}\n",
+            s.bytes_in,
+            s.bytes_skipped,
+            s.frames_synced,
+            s.sync_losses,
+            s.locked as u8,
+            q.capacity,
+            q.accepted,
+            q.dropped,
+            q.high_water,
+            t.processed,
+            t.panics_caught,
+            t.retries,
+            t.quarantined,
+            ft.checks,
+            ft.comp_detected,
+            ft.mem_detected,
+            ft.mem_corrected,
+            ft.dmr_votes,
+            ft.subfft_recomputed,
+            ft.full_recomputed,
+            ft.comm_corrected,
+            ft.uncorrectable,
+            c.capacity,
+            c.stored,
+            c.high_water,
+            c.crc_checks,
+            c.crc_detected,
+            c.retention_detected,
+            c.recomputed,
+            c.quarantined,
+            k.delivered,
+            k.recovered,
+            k.samples_out,
+            self.detected(),
+            self.corrected(),
+            self.dropped(),
+        )
+    }
+
     /// Folds another report into this one (saturating, like
     /// [`FtReport::merge`]).
     pub fn merge(&mut self, other: &PipelineReport) {
@@ -192,5 +255,24 @@ mod tests {
         assert_eq!(a.ingest.high_water, 9);
         assert_eq!(a.transform.panics_caught, 4);
         assert!(PipelineReport::default().is_clean());
+    }
+
+    #[test]
+    fn flat_json_is_one_level_and_carries_the_rollups() {
+        let mut r = PipelineReport::default();
+        r.sync.frames_synced = 7;
+        r.sync.locked = true;
+        r.transform.ft.comp_detected = 2;
+        r.transform.ft.subfft_recomputed = 2;
+        r.ingest.dropped = 1;
+        let json = r.to_flat_json();
+        assert!(json.contains("\"sync.frames_synced\": 7"));
+        assert!(json.contains("\"sync.locked\": 1"));
+        assert!(json.contains("\"transform.ft.comp_detected\": 2"));
+        assert!(json.contains("\"detected\": 2"));
+        assert!(json.contains("\"corrected\": 2"));
+        assert!(json.contains("\"dropped\": 1"));
+        assert_eq!(json.matches('{').count(), 1);
+        assert_eq!(json.matches('}').count(), 1);
     }
 }

@@ -1,0 +1,165 @@
+//! Observability invariants.
+//!
+//! The contract of `ftfft-obs` is that watching never changes the
+//! computation: with recording enabled, disabled at runtime
+//! (`FTFFT_OBS` / `set_enabled`), or compiled out (`no-obs` feature),
+//! every output buffer and every `FtReport` / `PipelineReport` is
+//! bitwise identical. These tests drive fault campaigns through the
+//! protected executors and the pipeline under both switch positions and
+//! compare the results bit for bit. Under `--features no-obs` both
+//! positions degenerate to "off" (`set_enabled` is a no-op), so the
+//! comparisons still hold and also pin the no-op semantics.
+
+use ftfft::prelude::*;
+use ftfft::stream::encode_stream;
+use proptest::prelude::*;
+
+/// `set_enabled` is process-global; every test that toggles it holds
+/// this lock and restores the environment's decision before releasing.
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` once with recording on and once off (under `no-obs` both
+/// runs are off), returning both results for bitwise comparison.
+fn with_obs_both<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    let env_on = std::env::var(ftfft::obs::OBS_ENV)
+        .map(|v| !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no"))
+        .unwrap_or(true);
+    ftfft::obs::set_enabled(true);
+    let on = f();
+    ftfft::obs::set_enabled(false);
+    let off = f();
+    ftfft::obs::set_enabled(env_on);
+    (on, off)
+}
+
+fn campaign_injector(seed: u64) -> RandomInjector {
+    RandomInjector::new(seed, 0.08, RandomKind::BitFlipInRange { lo: 52, hi: 62 }, 6)
+        .with_site_filter(|s| matches!(s, Site::SubFftCompute { .. }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Protected executes under a randomized compute-fault campaign are
+    /// bitwise identical whether or not observability is recording.
+    #[test]
+    fn plan_outputs_are_bitwise_identical_across_the_kill_switch(
+        seed in 0u64..1_000,
+        log2n in 4u32..9,
+        mem_scheme in 0u8..2,
+    ) {
+        let _guard = obs_lock();
+        let n = 1usize << log2n;
+        let scheme = if mem_scheme == 1 { Scheme::OnlineMemOpt } else { Scheme::OnlineCompOpt };
+        let plan = FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(scheme).build());
+        let mut ws = plan.make_workspace();
+        let input = uniform_signal(n, seed);
+        let (on, off) = with_obs_both(|| {
+            let inj = campaign_injector(seed);
+            let mut x = input.clone();
+            let mut out = vec![Complex64::ZERO; n];
+            let rep = plan.execute(&mut x, &mut out, &inj, &mut ws);
+            (out, rep)
+        });
+        // Bitwise, not approximate: observability must be invisible.
+        prop_assert_eq!(&on.0, &off.0);
+        prop_assert_eq!(on.1, off.1);
+    }
+
+    /// A full pipeline chaos campaign (compute faults + cold-memory
+    /// strikes) delivers bitwise-identical frames and reports across the
+    /// kill switch.
+    #[test]
+    fn pipeline_campaign_is_bitwise_identical_across_the_kill_switch(seed in 0u64..1_000) {
+        let _guard = obs_lock();
+        let spec = PlanSpec::builder(64).scheme(Scheme::OnlineMemOpt).build();
+        let signal: Vec<f64> =
+            uniform_signal(64 * 8, seed).iter().map(|z| z.re * 0.5).collect();
+        let stream = encode_stream(&signal, 64);
+        let (on, off) = with_obs_both(|| {
+            let mut p = PipelineBuilder::new(&spec).build();
+            let comp = campaign_injector(seed ^ 0xABCD);
+            let mem = RandomByteInjector::new(seed ^ 0x1234, 0.3, ByteFaultKind::BitFlip, 6)
+                .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+            let mut sink = Vec::new();
+            p.process(&stream, &comp, &mem, &mut sink);
+            (sink, p.report())
+        });
+        prop_assert_eq!(&on.0, &off.0);
+        prop_assert_eq!(on.1, off.1);
+    }
+}
+
+/// The service path: same submissions, recording on vs off, bitwise
+/// identical responses and reports (latency fields excluded — they are
+/// wall-clock, not computation).
+#[test]
+fn service_outputs_are_bitwise_identical_across_the_kill_switch() {
+    let _guard = obs_lock();
+    let spec = PlanSpec::builder(128).scheme(Scheme::OnlineCompOpt).build();
+    let (on, off) = with_obs_both(|| {
+        let svc = FftService::new(ServiceConfig::default().with_workers(2));
+        let tickets: Vec<_> = (0..6)
+            .map(|i| svc.submit(&format!("t{}", i % 2), &spec, uniform_signal(128, i)))
+            .collect();
+        tickets.into_iter().map(|t| t.wait()).map(|r| (r.output, r.report)).collect::<Vec<_>>()
+    });
+    assert_eq!(on, off);
+}
+
+/// While recording *is* enabled, the pipeline's flight recorder must
+/// reconcile exactly with the report — and its trail must stay ordered
+/// and bounded. (Meaningless under `no-obs` or `FTFFT_OBS=off`, where
+/// nothing records; the enabled() guard keeps those CI legs green.)
+#[test]
+fn pipeline_flight_recorder_reconciles_and_stays_ordered() {
+    let _guard = obs_lock();
+    if !ftfft::obs::enabled() {
+        return;
+    }
+    let spec = PlanSpec::builder(64).scheme(Scheme::OnlineMemOpt).build();
+    let signal: Vec<f64> = uniform_signal(64 * 32, 11).iter().map(|z| z.re * 0.5).collect();
+    let stream = encode_stream(&signal, 64);
+    let mut p = PipelineBuilder::new(&spec).queue_capacity(4).build();
+    p.recorder().set_autodump(false);
+    let comp = campaign_injector(77);
+    let mem = RandomByteInjector::new(13, 0.4, ByteFaultKind::BitFlip, 6)
+        .with_region_filter(|r| matches!(r, ByteRegion::ColdSlot { .. }));
+    let mut sink = Vec::new();
+    for chunk in stream.chunks(900) {
+        p.process(chunk, &comp, &mem, &mut sink);
+    }
+    let (rec, rep) = (p.recorder(), p.report());
+    assert!(rep.detected() > 0, "campaign must strike: {rep:?}");
+    assert_eq!(rec.total(EventKind::FaultDetected), rep.detected());
+    assert_eq!(rec.total(EventKind::FaultCorrected), rep.corrected());
+    assert_eq!(rec.total(EventKind::Quarantine) + rec.total(EventKind::Shed), rep.dropped());
+    assert_eq!(rec.total(EventKind::SyncLoss), rep.sync.sync_losses);
+    let trail = rec.trail();
+    assert!(trail.len() <= rec.capacity());
+    for pair in trail.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "trail must be strictly ordered");
+    }
+}
+
+/// Pins the switch semantics the other tests rely on: under the default
+/// build `set_enabled` toggles recording; under `no-obs` it is a no-op
+/// and `enabled()` is pinned false.
+#[test]
+fn kill_switch_semantics() {
+    let _guard = obs_lock();
+    let env_on = std::env::var(ftfft::obs::OBS_ENV)
+        .map(|v| !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no"))
+        .unwrap_or(true);
+    ftfft::obs::set_enabled(true);
+    #[cfg(not(feature = "no-obs"))]
+    assert!(ftfft::obs::enabled());
+    #[cfg(feature = "no-obs")]
+    assert!(!ftfft::obs::enabled());
+    ftfft::obs::set_enabled(false);
+    assert!(!ftfft::obs::enabled());
+    ftfft::obs::set_enabled(env_on);
+}
