@@ -40,6 +40,13 @@
 //!    process. Runtime-off takes the same early-out branches the `no-obs`
 //!    feature compiles away, so this ratio is the measured cost of
 //!    leaving instrumentation on.
+//! 9. **Batch-checksum matrix** — `B` same-size transforms protected by
+//!    the batch-level two-sided checksum scheme (`Scheme::BatchChecksum`:
+//!    one detection checksum transform amortized over the whole batch,
+//!    the localization side built lazily on a fault) against
+//!    `B` per-transform Opt-Online(c) executes and `B` unprotected plain
+//!    executes, at `B ∈ {1, 2, 4, 8, 16, 32}` and sizes capped to 2¹⁴
+//!    (batch protection is a many-small-transforms path).
 //!
 //! On a box with no parallelism to measure (`threads = 1`, e.g. a
 //! single-CPU runner), every `threads = N` column is **skipped** — recorded
@@ -84,7 +91,14 @@
 //!   row's enabled/disabled throughput ratio must stay within it — any
 //!   mode, **optimized** builds only, and deliberately *without* the
 //!   tolerance multiplier: the bound (1.05×) already is the budget, and
-//!   both sides time in one process so runner speed cancels.
+//!   both sides time in one process so runner speed cancels;
+//! * if the baseline carries `max_batch_vs_optonline`, every
+//!   batch-checksum cell at `B ≥ 8` must run the whole batch strictly
+//!   faster than `B` per-transform Opt-Online(c) executes *and* within
+//!   the baseline's `t(batch)/t(B × Opt-Online(c))` bound — any mode,
+//!   **optimized** builds only, without the tolerance multiplier (the
+//!   bound carries its own slack and must stay below 1.0 for "strictly
+//!   cheaper" to mean anything).
 //!
 //! ```text
 //! cargo run -p ftfft-bench --release --bin perfgate -- \
@@ -429,6 +443,78 @@ const PIPE_FRAMES: usize = 24;
 /// rows above this size would only time memory traffic.
 const PIPE_MAX_LOG2N: u32 = 14;
 
+/// Batch sizes the batch-checksum matrix sweeps.
+const BATCH_CHK_BS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Like the pipeline, batch protection is a many-small-transforms path;
+/// rows above this size would only time memory traffic.
+const BATCH_CHK_MAX_LOG2N: u32 = 14;
+
+/// One batch-checksum cell: `b` same-size transforms run as one
+/// protected batch vs `b` per-transform Opt-Online(c) executes vs `b`
+/// unprotected plain executes. All three columns share one process and
+/// one seeded source, so the gated ratio is insensitive to runner speed.
+struct BatchChkCase {
+    log2n: u32,
+    b: usize,
+    plain_secs: f64,
+    optonline_secs: f64,
+    batch_secs: f64,
+}
+
+impl BatchChkCase {
+    /// `t(batch) / t(b × plain)` — what the paper reports as overhead.
+    fn batch_overhead(&self) -> f64 {
+        self.batch_secs / self.plain_secs
+    }
+
+    /// `t(b × Opt-Online(c)) / t(b × plain)` — the per-transform
+    /// protection cost the batch scheme must undercut.
+    fn optonline_overhead(&self) -> f64 {
+        self.optonline_secs / self.plain_secs
+    }
+
+    /// `t(batch) / t(b × Opt-Online(c))` — the gated ratio.
+    fn vs_optonline(&self) -> f64 {
+        self.batch_secs / self.optonline_secs
+    }
+}
+
+/// Times one batch-checksum cell. The three schemes are timed
+/// *interleaved*, round-robin, taking the minimum over the rounds (first
+/// round is warm-up): the gated value is a ratio of two columns, and
+/// interleaved minima keep a runner-load spike from landing on one
+/// scheme's whole sample while the others run quiet. Every round
+/// restores the same seeded source (outside the timed window) and drives
+/// the batch through [`FtFftPlan::execute_batch`], so the only timed
+/// variable is the scheme.
+fn time_batch_chk(log2n: u32, b: usize, runs: usize) -> BatchChkCase {
+    let n = 1usize << log2n;
+    let src = uniform_signal(n * b, 42);
+    let mut xs = src.clone();
+    let mut outs = vec![Complex64::ZERO; n * b];
+    let schemes = [Scheme::Plain, Scheme::OnlineCompOpt, Scheme::BatchChecksum];
+    let plans: Vec<FtFftPlan> = schemes
+        .iter()
+        .map(|&s| FtFftPlan::from_spec(&PlanSpec::builder(n).scheme(s).build()))
+        .collect();
+    let mut wss: Vec<_> = plans.iter().map(|p| p.make_workspace()).collect();
+    let mut best = [f64::INFINITY; 3];
+    for round in 0..runs.max(4) + 1 {
+        for (k, plan) in plans.iter().enumerate() {
+            xs.copy_from_slice(&src);
+            let t0 = std::time::Instant::now();
+            let rep = plan.execute_batch(&mut xs, &mut outs, &NoFaults, &mut wss[k]);
+            let dt = t0.elapsed().as_secs_f64();
+            assert_eq!(rep.uncorrectable, 0);
+            if round > 0 && dt < best[k] {
+                best[k] = dt;
+            }
+        }
+    }
+    BatchChkCase { log2n, b, plain_secs: best[0], optonline_secs: best[1], batch_secs: best[2] }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
     let smoke = args.has_flag("smoke");
@@ -471,11 +557,29 @@ fn main() -> ExitCode {
         .map(|&l| time_pipeline_case(l, runs))
         .collect();
     let obs = time_obs_cases(runs);
+    let batch_chk: Vec<BatchChkCase> = log2ns
+        .iter()
+        .filter(|&&l| l <= BATCH_CHK_MAX_LOG2N)
+        .flat_map(|&l| BATCH_CHK_BS.iter().map(move |&b| (l, b)))
+        .map(|(l, b)| time_batch_chk(l, b, runs))
+        .collect();
 
-    print_tables(&cases, &ccg, &batches, &streams, &pars, &service, &pipes, &obs, runs, smoke);
+    print_tables(
+        &cases, &ccg, &batches, &streams, &pars, &service, &pipes, &obs, &batch_chk, runs, smoke,
+    );
 
     let verdict = if gate {
-        Some(check_gate(&cases, &ccg, &streams, &service, &pipes, &obs, smoke, &baseline_path))
+        Some(check_gate(
+            &cases,
+            &ccg,
+            &streams,
+            &service,
+            &pipes,
+            &obs,
+            &batch_chk,
+            smoke,
+            &baseline_path,
+        ))
     } else {
         None
     };
@@ -488,6 +592,7 @@ fn main() -> ExitCode {
         &service,
         &pipes,
         &obs,
+        &batch_chk,
         threads_n,
         single_cpu,
         runs,
@@ -681,6 +786,7 @@ fn print_tables(
     service: &ServiceCase,
     pipes: &[PipelineCase],
     obs: &[ObsCase],
+    batch_chk: &[BatchChkCase],
     runs: usize,
     smoke: bool,
 ) {
@@ -836,6 +942,27 @@ fn print_tables(
             c.overhead
         );
     }
+    println!(
+        "\nbatch checksum (B transforms + 1 detection checksum FFT, vs B x \
+         Opt-Online(c) and B x plain):"
+    );
+    println!(
+        "{:>7}{:>5}{:>13}{:>13}{:>13}{:>10}{:>11}{:>9}",
+        "n", "B", "plain(s)", "opt(s)", "batch(s)", "opt ovh", "batch ovh", "b/opt"
+    );
+    for c in batch_chk {
+        println!(
+            "{:>7}{:>5}{:>13.6}{:>13.6}{:>13.6}{:>9.2}x{:>10.2}x{:>9.3}",
+            format!("2^{}", c.log2n),
+            c.b,
+            c.plain_secs,
+            c.optonline_secs,
+            c.batch_secs,
+            c.optonline_overhead(),
+            c.batch_overhead(),
+            c.vs_optonline()
+        );
+    }
 }
 
 struct GateVerdict {
@@ -857,6 +984,7 @@ fn check_gate(
     service: &ServiceCase,
     pipes: &[PipelineCase],
     obs: &[ObsCase],
+    batch_chk: &[BatchChkCase],
     smoke: bool,
     baseline_path: &str,
 ) -> GateVerdict {
@@ -1039,6 +1167,37 @@ fn check_gate(
             }
         }
     }
+    // Batch-checksum gate: at B ≥ 8 the batch scheme must run the whole
+    // batch strictly faster than B per-transform Opt-Online(c) executes —
+    // amortizing the checksum verification over the batch is the scheme's
+    // entire value proposition — and within the baseline's ratio bound.
+    // Optimized builds only, like the pipeline gate: both sides share one
+    // process so runner speed cancels, but the debug profile distorts the
+    // checksum-combine / transform balance. No tolerance multiplier: the
+    // bound carries its own slack and must stay below 1.0 for "strictly
+    // cheaper" to mean anything.
+    let batch_gate = if cfg!(debug_assertions) { None } else { spec.max_batch_vs_optonline };
+    if let Some(max_ratio) = batch_gate {
+        for c in batch_chk.iter().filter(|c| c.b >= 8) {
+            if c.vs_optonline() >= 1.0 {
+                failures.push(format!(
+                    "batch-checksum batch at B={} 2^{} costs {:.3}x of per-transform \
+                     Opt-Online — must be strictly below 1.0",
+                    c.b,
+                    c.log2n,
+                    c.vs_optonline()
+                ));
+            } else if c.vs_optonline() > max_ratio {
+                failures.push(format!(
+                    "batch-checksum/Opt-Online ratio {:.3} at B={} 2^{} exceeds \
+                     limit {max_ratio:.2}",
+                    c.vs_optonline(),
+                    c.b,
+                    c.log2n
+                ));
+            }
+        }
+    }
     GateVerdict {
         baseline,
         tolerance,
@@ -1051,12 +1210,12 @@ fn check_gate(
     }
 }
 
-/// Renders `BENCH_PR.json`. Schema v8: v7 fields are unchanged; v8 adds
-/// the `observability` section — the instrumented-vs-disabled A/B of the
-/// pipeline and service workloads from [`time_obs_cases`]. (v7 added the
-/// `pipeline` section — the protected telemetry pipeline's sustained
-/// frames/sec with the CRC guard off/on/on+campaign from
-/// [`time_pipeline`].)
+/// Renders `BENCH_PR.json`. Schema v9: v8 fields are unchanged; v9 adds
+/// the `batch_checksum` section — the batch-level two-sided checksum
+/// scheme against per-transform Opt-Online(c) and plain from
+/// [`time_batch_chk`]. (v8 added the `observability` section — the
+/// instrumented-vs-disabled A/B of the pipeline and service workloads
+/// from [`time_obs_cases`].)
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     cases: &[Case],
@@ -1067,6 +1226,7 @@ fn render_json(
     service: &ServiceCase,
     pipes: &[PipelineCase],
     obs: &[ObsCase],
+    batch_chk: &[BatchChkCase],
     threads: usize,
     single_cpu: bool,
     runs: usize,
@@ -1075,7 +1235,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema_version\": 8,");
+    let _ = writeln!(s, "  \"schema_version\": 9,");
     let _ = writeln!(s, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
     let _ = writeln!(s, "  \"runs\": {runs},");
     let _ = writeln!(s, "  \"simd\": \"{}\",", simd_level().name());
@@ -1240,6 +1400,27 @@ fn render_json(
             c.name, c.log2n, c.on_secs, c.off_secs, c.overhead
         );
         s.push_str(if i + 1 < obs.len() { "},\n" } else { "}\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"batch_checksum\": [\n");
+    for (i, c) in batch_chk.iter().enumerate() {
+        s.push_str("    {");
+        let _ = write!(
+            s,
+            "\"log2n\": {}, \"batch\": {}, \"plain_secs\": {:.9}, \
+             \"optonline_secs\": {:.9}, \"batch_secs\": {:.9}, \
+             \"optonline_overhead\": {:.6}, \"batch_overhead\": {:.6}, \
+             \"batch_vs_optonline\": {:.6}",
+            c.log2n,
+            c.b,
+            c.plain_secs,
+            c.optonline_secs,
+            c.batch_secs,
+            c.optonline_overhead(),
+            c.batch_overhead(),
+            c.vs_optonline()
+        );
+        s.push_str(if i + 1 < batch_chk.len() { "},\n" } else { "}\n" });
     }
     s.push_str("  ],\n");
     match verdict {

@@ -406,8 +406,9 @@ pub fn json_number(fields: &[(String, f64)], key: &str) -> Option<f64> {
 /// gate rides in an optional field, so a newer perfgate binary keeps
 /// accepting older baselines (v2 without streaming, v3 without the SoA
 /// and fused-gain keys, v4 without the sibling-loss key, v6 without the
-/// pipeline key) and simply skips the gates the file doesn't carry. The
-/// unit tests pin this with per-version fixtures.
+/// pipeline key, v8 without the batch-checksum key) and simply skips the
+/// gates the file doesn't carry. The unit tests pin this with
+/// per-version fixtures.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BaselineSpec {
     /// Worst tolerated `t(Opt-Online(m)) / t(Plain)` ratio.
@@ -437,6 +438,12 @@ pub struct BaselineSpec {
     /// Largest tolerated instrumented/`no-obs`-equivalent throughput
     /// ratio of the observability layer (optimized builds; since v8).
     pub overhead_obs: Option<f64>,
+    /// Largest tolerated `t(BatchChecksum batch) / t(B × Opt-Online(c))`
+    /// ratio at batch sizes `B ≥ 8` (optimized builds; since v9). Must
+    /// sit below 1.0: the batch scheme's whole point is amortizing two
+    /// checksum transforms over the batch instead of paying per-transform
+    /// verification.
+    pub max_batch_vs_optonline: Option<f64>,
 }
 
 impl BaselineSpec {
@@ -455,6 +462,7 @@ impl BaselineSpec {
             min_cache_hit_rate: json_number(&fields, "min_cache_hit_rate"),
             overhead_pipeline_crc: json_number(&fields, "overhead_pipeline_crc"),
             overhead_obs: json_number(&fields, "overhead_obs"),
+            max_batch_vs_optonline: json_number(&fields, "max_batch_vs_optonline"),
         })
     }
 }
@@ -814,6 +822,41 @@ mod tests {
         }"#;
         let spec = BaselineSpec::parse(v8).expect("v8 baseline must parse");
         assert_eq!(spec.overhead_obs, Some(1.05));
+    }
+
+    #[test]
+    fn baseline_spec_accepts_v8_fixture_without_batch_key() {
+        // The exact key set of the committed v8 baseline: a v9 binary
+        // must keep accepting it, with the batch-checksum gate simply
+        // absent.
+        let v8 = r#"{
+            "schema_version": 8,
+            "comment": "ratios, measured on the CI runner",
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "min_ccg_speedup": 1.15,
+            "overhead_stream": 2.0,
+            "min_soa_speedup": 1.15,
+            "min_fused_gain": 0.97,
+            "max_sibling_loss": 0.3,
+            "min_cache_hit_rate": 0.9,
+            "overhead_pipeline_crc": 1.3,
+            "overhead_obs": 1.05
+        }"#;
+        let spec = BaselineSpec::parse(v8).expect("v8 baseline must parse");
+        assert_eq!(spec.overhead_obs, Some(1.05));
+        assert_eq!(spec.max_batch_vs_optonline, None);
+    }
+
+    #[test]
+    fn baseline_spec_reads_v9_batch_key() {
+        let v9 = r#"{
+            "overhead_optonline": 2.4,
+            "tolerance": 1.0,
+            "max_batch_vs_optonline": 0.9
+        }"#;
+        let spec = BaselineSpec::parse(v9).expect("v9 baseline must parse");
+        assert_eq!(spec.max_batch_vs_optonline, Some(0.9));
     }
 
     #[test]

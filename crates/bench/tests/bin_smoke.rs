@@ -104,7 +104,7 @@ fn perfgate_smoke() {
     assert!(stdout.contains("perf gate OK"), "unexpected output:\n{stdout}");
     let json = std::fs::read_to_string(&out).expect("perfgate wrote BENCH_PR.json");
     let _ = std::fs::remove_file(&out);
-    assert!(json.contains("\"schema_version\": 8"), "schema header missing:\n{json}");
+    assert!(json.contains("\"schema_version\": 9"), "schema header missing:\n{json}");
     assert!(json.contains("\"threads\""), "threads column missing:\n{json}");
     assert!(json.contains("\"single_cpu\""), "single_cpu column missing:\n{json}");
     assert!(json.contains("\"parallel_strategy\""), "parallel section missing:\n{json}");
@@ -131,6 +131,11 @@ fn perfgate_smoke() {
     assert!(json.contains("\"workload\": \"service\""), "obs service row missing:\n{json}");
     assert!(json.contains("\"on_secs\""), "obs on_secs column missing:\n{json}");
     assert!(json.contains("\"off_secs\""), "obs off_secs column missing:\n{json}");
+    // v9 batch-checksum section: present in every mode (its ratio gate,
+    // like the obs gate, only arms in optimized builds).
+    assert!(json.contains("\"batch_checksum\""), "batch_checksum section missing:\n{json}");
+    assert!(json.contains("\"batch_overhead\""), "batch overhead column missing:\n{json}");
+    assert!(json.contains("\"batch_vs_optonline\""), "batch ratio column missing:\n{json}");
     assert!(json.contains("\"pass\": true"), "gate block missing:\n{json}");
 }
 

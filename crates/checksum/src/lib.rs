@@ -7,6 +7,10 @@
 //! covered by duplicated weighted sums that locate and size a single
 //! corrupted element.
 //!
+//! * [`batch`] — batch-level two-sided checksums: `B` same-size
+//!   transforms protected by two weighted-combination transforms via
+//!   FFT linearity (`FFT(Σ wᵢxᵢ) = Σ wᵢFFT(xᵢ)`), with residual-ratio
+//!   localization of the faulty member;
 //! * [`weights`] — `r` and the grouped `r·X` evaluation (`≈2N` ops);
 //! * [`input_vector`] — `rA` in closed form, naive/optimized/oracle;
 //! * [`mod@ccv`] — computational checksum verification;
@@ -26,6 +30,7 @@
 //! [`ftfft_numeric::simd`] (AVX+FMA with a bitwise-identical scalar
 //! fallback, `FTFFT_SIMD` override).
 
+pub mod batch;
 pub mod block;
 pub mod blocked;
 pub mod ccv;
@@ -37,6 +42,11 @@ pub mod input_vector;
 pub mod memory;
 pub mod weights;
 
+pub use batch::{
+    batch_accumulate, batch_accumulate_side1, batch_accumulate_side2, batch_combine,
+    batch_combine_side1, batch_combine_side2, batch_localize, batch_residual_max, batch_weight,
+    batch_weight_norms_sq, BatchVerdict,
+};
 pub use block::{open_block, seal_block, sealed_message, BLOCK_CHECKSUM_WORDS};
 pub use blocked::{
     combined_sum1_blocked, merge_partials, num_blocks, sum1_block_partial, sum1_partials_into,

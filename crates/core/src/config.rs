@@ -2,6 +2,7 @@
 //! [`PlanSpec`] every protected plan is built from.
 
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use ftfft_fft::{Direction, FftSpec, Layout, Pow2Kernel, Strategy};
 use ftfft_numeric::{simd_level, SimdLevel};
@@ -36,10 +37,23 @@ pub enum Scheme {
     /// checksums, §4.2 postponing, §4.3 incremental slots, §4.4 buffering)
     /// — "Opt-Online" of Fig 7(b) / Tables 1, 5, 6.
     OnlineMemOpt,
+    /// Batch-level two-sided checksums (TurboFFT-style, beyond the
+    /// paper): `B` same-size transforms run *plain* and a weighted input
+    /// combination is transformed alongside them; the linearity identity
+    /// `FFT(Σ wᵢxᵢ) = Σ wᵢFFT(xᵢ)` detects any computational error at
+    /// O(n) cost per member, a second (lazily built, fault-path-only)
+    /// weighted combination gives the two-sided residual ratio that
+    /// localizes the faulty member, and only implicated members are
+    /// recomputed under [`Scheme::OnlineCompOpt`]. Amortizes protection
+    /// across the batch — clean-path overhead `(B+1)/B + O(1/log n)`
+    /// instead of the per-transform ~1.7×.
+    BatchChecksum,
 }
 
 impl Scheme {
     /// `true` for schemes that detect errors before the transform finishes.
+    /// The batch scheme is *not* online: like the offline schemes it
+    /// verifies after its transforms complete (once per batch).
     pub fn is_online(self) -> bool {
         matches!(
             self,
@@ -64,6 +78,7 @@ impl Scheme {
             Scheme::OfflineMem => "Opt-Offline(m)",
             Scheme::OnlineMem => "Online(m)",
             Scheme::OnlineMemOpt => "Opt-Online(m)",
+            Scheme::BatchChecksum => "Batch-Checksum",
         }
     }
 
@@ -79,6 +94,7 @@ impl Scheme {
             Scheme::OfflineMem => "offline-mem",
             Scheme::OnlineMem => "online-mem",
             Scheme::OnlineMemOpt => "online-mem-opt",
+            Scheme::BatchChecksum => "batch",
         }
     }
 
@@ -88,8 +104,9 @@ impl Scheme {
         Scheme::ALL.iter().copied().find(|s| s.name() == name)
     }
 
-    /// All schemes, in Fig 7 presentation order.
-    pub const ALL: [Scheme; 8] = [
+    /// All schemes, in Fig 7 presentation order (the batch scheme, which
+    /// is beyond the paper's figures, comes last).
+    pub const ALL: [Scheme; 9] = [
         Scheme::Plain,
         Scheme::OfflineNaive,
         Scheme::Offline,
@@ -98,7 +115,56 @@ impl Scheme {
         Scheme::OfflineMem,
         Scheme::OnlineMem,
         Scheme::OnlineMemOpt,
+        Scheme::BatchChecksum,
     ];
+}
+
+/// Environment variable selecting the *default* protection scheme
+/// (consulted by [`PlanSpec::from_env_overrides`]): any [`Scheme::name`]
+/// (`-`/`_` interchangeable); `auto` and the empty string defer. Like the
+/// planner's `FTFFT_*` knobs it fills the default only — a spec whose
+/// scheme was set to anything other than [`Scheme::Plain`] is never
+/// overridden, so protected A/B harnesses and scheme-specific tests keep
+/// their explicit choices while `FTFFT_SCHEME=batch` re-runs every
+/// default-configured (plain) plan under batch protection.
+pub const SCHEME_ENV: &str = "FTFFT_SCHEME";
+
+/// 0 = no override, else 1 + index into [`Scheme::ALL`].
+static FORCED_SCHEME: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide default-scheme override: `Some(s)` makes every
+/// subsequently-resolved spec whose scheme is still [`Scheme::Plain`]
+/// use `s` regardless of [`SCHEME_ENV`] (`None` re-enables env).
+/// Intended for tests — mutating the process environment is racy under
+/// the parallel test runner.
+pub fn force_scheme(scheme: Option<Scheme>) {
+    let v = match scheme {
+        None => 0,
+        Some(s) => {
+            1 + Scheme::ALL.iter().position(|x| *x == s).expect("scheme is in Scheme::ALL") as u8
+        }
+    };
+    FORCED_SCHEME.store(v, Ordering::Relaxed);
+}
+
+/// The override tier of default-scheme resolution: a [`force_scheme`]
+/// pin first, then [`SCHEME_ENV`] (panicking on an unknown name — a
+/// silent typo would invalidate a forced-scheme CI leg).
+fn scheme_env_or_forced() -> Option<Scheme> {
+    match FORCED_SCHEME.load(Ordering::Relaxed) {
+        0 => {}
+        v => return Some(Scheme::ALL[(v - 1) as usize]),
+    }
+    match std::env::var(SCHEME_ENV) {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "auto" | "" => None,
+            other => Some(
+                Scheme::parse(other)
+                    .unwrap_or_else(|| panic!("{SCHEME_ENV}={v:?} is not a scheme name")),
+            ),
+        },
+        Err(_) => None,
+    }
 }
 
 /// Policy for the fused gather+checksum hot path (§4.4 single-pass
@@ -115,9 +181,14 @@ impl Scheme {
 pub enum FusedPolicy {
     /// Per-(size, layout) heuristic (the default): fused except for very
     /// short checksum columns, where accumulator setup dominates the
-    /// saved pass. Split-complex (SoA) sub-plans break even earlier —
-    /// their fused path folds the deinterleave into the same strided
-    /// sweep as the gather and checksum, saving two passes instead of one.
+    /// saved pass — and **never** for split-complex (SoA) sub-plans.
+    /// The SoA fused path was assumed to break even earlier (it folds
+    /// the deinterleave into the gather sweep), but a best-of-5 A/B on
+    /// the reference AVX box shows it *losing* 27–37% at every measured
+    /// size (2¹⁰–2¹⁶, radix-2 and radix-4 alike): the combined
+    /// gather+checksum+deinterleave sweep vectorizes worse than the
+    /// plane kernels' bulk conversion it replaces — the radix4+SoA
+    /// `fused_gain < 1` cells of BENCH_PR.json, now resolved unfused.
     Auto,
     /// Always the fused single-pass path (PR-3 behavior).
     Always,
@@ -129,19 +200,14 @@ pub enum FusedPolicy {
 impl FusedPolicy {
     /// Resolves the policy for a sub-FFT of `count` gathered elements
     /// whose sub-plan runs `layout`. `Auto` fuses from 16 elements for
-    /// AoS sub-plans but already from 8 for SoA ones (see the variant
-    /// doc); `Always`/`Never` ignore both arguments.
+    /// AoS sub-plans and never for SoA ones (measured 27–37% slower at
+    /// every size — see the variant doc); `Always`/`Never` ignore both
+    /// arguments.
     pub fn resolve_for(self, count: usize, layout: Layout) -> bool {
         match self {
             FusedPolicy::Always => true,
             FusedPolicy::Never => false,
-            FusedPolicy::Auto => {
-                count
-                    >= match layout {
-                        Layout::Soa => 8,
-                        Layout::Aos => 16,
-                    }
-            }
+            FusedPolicy::Auto => layout == Layout::Aos && count >= 16,
         }
     }
 
@@ -322,6 +388,15 @@ impl PlanSpec {
         self.strategy = f.strategy;
         self.threads = f.threads;
         self.simd = self.simd.or_else(|| Some(simd_level()));
+        // The scheme knob has no unset state, so [`Scheme::Plain`] (the
+        // builder default) is what "unset" looks like: `FTFFT_SCHEME` /
+        // `force_scheme` fill it, and any explicitly-protected choice
+        // wins over the environment like every other knob.
+        if self.scheme == Scheme::Plain {
+            if let Some(s) = scheme_env_or_forced() {
+                self.scheme = s;
+            }
+        }
         self
     }
 
@@ -376,6 +451,14 @@ impl PlanSpec {
     /// Same spec for a different direction.
     pub fn with_direction(mut self, dir: Direction) -> PlanSpec {
         self.dir = dir;
+        self
+    }
+
+    /// Same spec under a different scheme (used by the batch executor to
+    /// derive its [`Scheme::OnlineCompOpt`] repair plan from the batch
+    /// plan's own spec, keeping every planner/threshold knob aligned).
+    pub fn with_scheme(mut self, scheme: Scheme) -> PlanSpec {
+        self.scheme = scheme;
         self
     }
 
@@ -605,7 +688,11 @@ mod tests {
         assert!(Scheme::OnlineCompOpt.is_online());
         assert!(Scheme::OnlineMemOpt.protects_memory());
         assert!(!Scheme::OnlineCompOpt.protects_memory());
-        assert_eq!(Scheme::ALL.len(), 8);
+        // The batch scheme verifies once per batch, after its transforms
+        // complete (offline-flavored), and covers compute only.
+        assert!(!Scheme::BatchChecksum.is_online());
+        assert!(!Scheme::BatchChecksum.protects_memory());
+        assert_eq!(Scheme::ALL.len(), 9);
     }
 
     #[test]
@@ -635,7 +722,30 @@ mod tests {
         }
         assert_eq!(Scheme::parse("online_mem_opt"), Some(Scheme::OnlineMemOpt));
         assert_eq!(Scheme::parse("ONLINE-COMP"), Some(Scheme::OnlineComp));
+        assert_eq!(Scheme::parse("batch"), Some(Scheme::BatchChecksum));
         assert_eq!(Scheme::parse("fftw"), None);
+    }
+
+    #[test]
+    fn forced_scheme_fills_default_but_never_explicit() {
+        // Plain is the builder default, so it is what the env/forced tier
+        // fills; an explicitly-protected spec is never overridden.
+        force_scheme(Some(Scheme::BatchChecksum));
+        assert_eq!(PlanSpec::builder(64).build().resolve().scheme(), Scheme::BatchChecksum);
+        assert_eq!(
+            PlanSpec::builder(64).scheme(Scheme::OnlineMemOpt).build().resolve().scheme(),
+            Scheme::OnlineMemOpt
+        );
+        force_scheme(None);
+        // Back on the env tier: the default resolves to FTFFT_SCHEME when
+        // the suite runs under a forced-scheme CI leg, Plain otherwise.
+        let env_default = scheme_env_or_forced().unwrap_or(Scheme::Plain);
+        assert_eq!(PlanSpec::builder(64).build().resolve().scheme(), env_default);
+        // with_scheme swaps the scheme and nothing else.
+        let spec = PlanSpec::builder(64).scheme(Scheme::BatchChecksum).split_k(8).build();
+        let repair = spec.with_scheme(Scheme::OnlineCompOpt);
+        assert_eq!(repair.scheme(), Scheme::OnlineCompOpt);
+        assert_eq!(repair.split_k(), Some(8));
     }
 
     #[test]
@@ -754,10 +864,12 @@ mod tests {
 
     #[test]
     fn fused_policy_is_layout_aware() {
-        // Auto: SoA sub-plans fuse from 8 elements, AoS from 16.
-        assert!(FusedPolicy::Auto.resolve_for(8, Layout::Soa));
+        // Auto: AoS sub-plans fuse from 16 elements; SoA sub-plans never
+        // auto-fuse (measured 27–37% slower at every size — the fused
+        // strided sweep defeats the plane kernels' bulk conversion).
+        assert!(!FusedPolicy::Auto.resolve_for(8, Layout::Soa));
+        assert!(!FusedPolicy::Auto.resolve_for(1 << 20, Layout::Soa));
         assert!(!FusedPolicy::Auto.resolve_for(8, Layout::Aos));
-        assert!(!FusedPolicy::Auto.resolve_for(4, Layout::Soa));
         assert!(FusedPolicy::Auto.resolve_for(16, Layout::Aos));
         // The pins ignore layout entirely.
         for layout in [Layout::Aos, Layout::Soa] {

@@ -18,11 +18,13 @@
 //! | [`Scheme::OfflineMem`] | Opt-Offline (mem) | compute + memory |
 //! | [`Scheme::OnlineMem`] | Online (Fig 2) | compute + memory |
 //! | [`Scheme::OnlineMemOpt`] | Opt-Online (Fig 3) | compute + memory |
+//! | [`Scheme::BatchChecksum`] | Batch two-sided (TurboFFT-style) | compute, across B transforms |
 //!
 //! [`InPlaceFtPlan`] protects the in-place `n = k·r·k` transform used by
 //! the parallel scheme (§5), with per-sub-FFT backups (Fig 4) and a
 //! DMR-protected middle layer (the Fig 5 fix).
 
+pub mod batch_ft;
 pub mod config;
 pub mod dmr;
 pub mod inplace;
@@ -34,6 +36,7 @@ pub mod plan;
 pub mod real;
 pub mod report;
 
+pub use batch_ft::BatchWorkspace;
 pub use config::{FtConfig, FusedPolicy, PlanSpec, PlanSpecBuilder, Scheme};
 pub use inplace::{InPlaceFtPlan, InPlaceWorkspace};
 pub use plan::{FtFftPlan, Workspace};

@@ -6,6 +6,7 @@ use ftfft_fft::{Direction, Planner, TwoLayerPlan, TwoLayerScratch};
 use ftfft_numeric::Complex64;
 use ftfft_roundoff::{scaled, thresholds_for_split, Thresholds};
 
+use crate::batch_ft::{self, BatchWorkspace};
 use crate::config::{FtConfig, PlanSpec, Scheme};
 use crate::report::FtReport;
 use crate::{memory_ft, memory_ft_opt, offline, online};
@@ -39,6 +40,11 @@ pub struct FtFftPlan {
     /// The resolved spec this plan was built from (env overrides already
     /// applied) — the canonical cache key for plan-sharing layers.
     spec: PlanSpec,
+    /// Self-verifying per-transform fallback for [`Scheme::BatchChecksum`]
+    /// plans: an Opt-Online plan over the same `(n, direction)` used to
+    /// recompute implicated batch members (and to run members singly when
+    /// a batch never fills). `None` for every other scheme.
+    repair: Option<Box<FtFftPlan>>,
 }
 
 /// Reusable working storage for [`FtFftPlan::execute`]. Allocation-free in
@@ -79,6 +85,10 @@ pub struct Workspace {
     /// Group output staging for the Fig 2 batched second part
     /// (`batch_s·k` long for `OnlineMem`, else empty).
     pub group_out: Vec<Complex64>,
+    /// Batch-checksum working set (combines, checksum spectra, reference
+    /// sums, repair staging) — `Some` only for [`Scheme::BatchChecksum`]
+    /// plans.
+    pub batch: Option<Box<BatchWorkspace>>,
 }
 
 impl FtFftPlan {
@@ -109,7 +119,14 @@ impl FtFftPlan {
         // and the SoA fused path has a lower break-even than the AoS one.
         let fused_part1 = cfg.fused.resolve_for(two.m(), two.inner_plan().layout());
         let fused_part2 = cfg.fused.resolve_for(two.k(), two.outer_plan().layout());
-        FtFftPlan { cfg, n, dir, two, thresholds, fused_part1, fused_part2, spec }
+        // Batch plans carry a per-transform Opt-Online sibling over the
+        // same resolved spec: the repair path for implicated members and
+        // the fallback when a batch never fills. Opt-Online is never
+        // BatchChecksum itself, so the recursion is one level deep.
+        let repair = (cfg.scheme == Scheme::BatchChecksum).then(|| {
+            Box::new(FtFftPlan::from_spec(&spec.with_scheme(Scheme::OnlineCompOpt)))
+        });
+        FtFftPlan { cfg, n, dir, two, thresholds, fused_part1, fused_part2, spec, repair }
     }
 
     /// Plans a protected transform of size `n` — a thin wrapper bridging
@@ -152,6 +169,14 @@ impl FtFftPlan {
     /// Detection thresholds in force.
     pub fn thresholds(&self) -> &Thresholds {
         &self.thresholds
+    }
+
+    /// The per-transform Opt-Online repair/fallback plan of a
+    /// [`Scheme::BatchChecksum`] plan (`None` for every other scheme).
+    /// Service layers use it to run members singly when a batch never
+    /// fills past the break-even point.
+    pub fn repair_plan(&self) -> Option<&FtFftPlan> {
+        self.repair.as_deref()
     }
 
     /// Whether part-1 (m-element) checksum gathers run the fused
@@ -199,6 +224,8 @@ impl FtFftPlan {
             ck1: vec![Complex64::ZERO; k],
             ck2: vec![Complex64::ZERO; k],
             group_out: vec![Complex64::ZERO; group],
+            batch: (self.cfg.scheme == Scheme::BatchChecksum)
+                .then(|| Box::new(BatchWorkspace::for_plan(self))),
         }
     }
 
@@ -237,6 +264,17 @@ impl FtFftPlan {
             Scheme::OnlineCompOpt => online::run_comp(self, x, out, injector, ws, true),
             Scheme::OnlineMem => memory_ft::run(self, x, out, injector, ws),
             Scheme::OnlineMemOpt => memory_ft_opt::run(self, x, out, injector, ws),
+            // A single transform is a 1-member batch: two checksum
+            // transforms verify one member. Throughput comes from
+            // `execute_batch`/`execute_batch_members`, where the two
+            // amortize over B members.
+            Scheme::BatchChecksum => {
+                let mut reports = [FtReport::new()];
+                let xs: [&[Complex64]; 1] = [x];
+                batch_ft::run(self, &xs, &mut [out], &[injector], &mut reports, ws);
+                let [rep] = reports;
+                rep
+            }
         }
     }
 
@@ -246,10 +284,15 @@ impl FtFftPlan {
     /// streaming workloads, avoiding the per-transform checksum-buffer
     /// and scratch allocations of [`execute_alloc`](FtFftPlan::execute_alloc).
     ///
-    /// Returns the merged report across the batch. The `injector` sees
-    /// the batch as consecutive executions, so a scripted fault hits the
-    /// same site visit whether the batch is run through this method or a
-    /// hand-written loop over [`execute`].
+    /// Returns the merged report across the batch. For the per-transform
+    /// schemes the `injector` sees the batch as consecutive executions,
+    /// so a scripted fault hits the same site visit whether the batch is
+    /// run through this method or a hand-written loop over [`execute`].
+    /// A [`Scheme::BatchChecksum`] plan instead protects the whole batch
+    /// jointly — one detection checksum transform over all `B` members,
+    /// plus a lazily built localization transform on a fault (see
+    /// [`execute_batch_members`](FtFftPlan::execute_batch_members) for
+    /// per-member reports).
     ///
     /// [`execute`]: FtFftPlan::execute
     ///
@@ -270,11 +313,58 @@ impl FtFftPlan {
             xs.len(),
             self.n
         );
+        if self.cfg.scheme == Scheme::BatchChecksum {
+            let b = xs.len() / self.n;
+            if b == 0 {
+                return FtReport::new();
+            }
+            let xrefs: Vec<&[Complex64]> = xs.chunks_exact(self.n).collect();
+            let mut orefs: Vec<&mut [Complex64]> = outs.chunks_exact_mut(self.n).collect();
+            let mut reports = vec![FtReport::new(); b];
+            batch_ft::run(self, &xrefs, &mut orefs, &[injector], &mut reports, ws);
+            let mut rep = FtReport::new();
+            for r in &reports {
+                rep.merge(r);
+            }
+            return rep;
+        }
         let mut rep = FtReport::new();
         for (x, out) in xs.chunks_exact_mut(self.n).zip(outs.chunks_exact_mut(self.n)) {
             rep.merge(&self.execute(x, out, injector, ws));
         }
         rep
+    }
+
+    /// Jointly protects `B = xs.len()` same-size transforms with the
+    /// batch-checksum scheme, writing one [`FtReport`] per member — the
+    /// entry point for service layers whose members live in separate
+    /// allocations (per-request frames) and whose faults must be billed
+    /// per request.
+    ///
+    /// `injectors` holds either one shared injector or exactly one per
+    /// member: member `j`'s injector is consulted at its
+    /// `BatchMemberOutput` site and drives its repair run, and every
+    /// injector is consulted at the shared combine/checksum-transform
+    /// sites.
+    ///
+    /// # Panics
+    /// Panics unless this is a [`Scheme::BatchChecksum`] plan, the member
+    /// counts of `xs`/`outs`/`reports` agree (and are nonzero), every
+    /// slice is `n` long, and `injectors.len()` is 1 or the member count.
+    pub fn execute_batch_members(
+        &self,
+        xs: &[&[Complex64]],
+        outs: &mut [&mut [Complex64]],
+        injectors: &[&dyn FaultInjector],
+        reports: &mut [FtReport],
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(
+            self.cfg.scheme,
+            Scheme::BatchChecksum,
+            "execute_batch_members requires a BatchChecksum plan"
+        );
+        batch_ft::run(self, xs, outs, injectors, reports, ws);
     }
 
     /// Convenience wrapper allocating a workspace per call.

@@ -54,6 +54,24 @@ pub enum Site {
         /// Which transpose (1, 2 or 3).
         phase: u8,
     },
+    /// Output of one member's plain FFT inside a batch-checksum group,
+    /// before the linearity verification.
+    BatchMemberOutput {
+        /// Member index within the batch.
+        index: usize,
+    },
+    /// One weighted input combination `c = Σ wᵢ·xᵢ` of the batch-checksum
+    /// scheme, after the combine but before its FFT.
+    BatchCombine {
+        /// Which weight vector (1 or 2).
+        side: u8,
+    },
+    /// Output of one checksum transform `FFT(c)` of the batch-checksum
+    /// scheme, before the residual comparison.
+    BatchChecksumFft {
+        /// Which weight vector (1 or 2).
+        side: u8,
+    },
 }
 
 /// Execution context forwarded to the injector.

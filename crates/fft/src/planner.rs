@@ -125,12 +125,19 @@ impl Strategy {
 }
 
 /// Smallest power-of-two size at which the layout heuristic picks the
-/// split-complex engine for the iterative kernels: below this the two O(n)
+/// split-complex engine for the radix-4 kernel: below this the two O(n)
 /// boundary conversions eat the per-stage SIMD win (only ~log₂ n stages
 /// share the cost). From the perfgate matrix (EXPERIMENTS.md): radix-4
-/// SoA is 1.3–1.6× AoS from 2¹² up, radix-2 SoA crosses over around the
-/// same size, and both *lose* at 2¹⁰.
-const SOA_MIN: usize = 1 << 12;
+/// SoA is 1.3–1.6× AoS from 2¹² up and *loses* at 2¹⁰.
+const SOA_MIN_RADIX4: usize = 1 << 12;
+
+/// Radix-2's SoA crossover sits one octave higher: its per-stage plane
+/// work is half radix-4's, so the boundary conversions amortize later —
+/// best-of-5 A/B on the CI-class AVX box puts radix-2 SoA at only ~1.05×
+/// at 2¹² (within run-to-run noise of losing) but a solid win from 2¹³.
+/// The heuristic must never auto-pick a cell that can lose to its AoS
+/// sibling (the perfgate sibling-cell gate), hence the split constants.
+const SOA_MIN_RADIX2: usize = 1 << 13;
 
 /// Data layout a power-of-two plan executes in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -190,14 +197,17 @@ impl Layout {
 
     /// The planner's layout heuristic for `kernel` at a power-of-two size
     /// `n`. The iterative kernels go SoA once the transform is deep enough
-    /// (`n ≥ 2¹²`) to amortize the boundary conversion; the recursive
-    /// split-radix kernel stays AoS — its strided leaf gathers and
-    /// conjugate-pair index wraps defeat the plane kernels (measured
-    /// *slower* SoA at 2¹⁸–2²⁰, see EXPERIMENTS.md).
+    /// to amortize the boundary conversion — radix-4 from 2¹², radix-2
+    /// only from 2¹³ (its shallower per-stage plane win amortizes the
+    /// conversions one octave later); the recursive split-radix kernel
+    /// stays AoS — its strided leaf gathers and conjugate-pair index
+    /// wraps defeat the plane kernels (measured *slower* SoA at 2¹⁸–2²⁰,
+    /// see EXPERIMENTS.md).
     pub fn heuristic(kernel: Pow2Kernel, n: usize) -> Layout {
         debug_assert!(is_power_of_two(n));
         match kernel {
-            Pow2Kernel::Radix2 | Pow2Kernel::Radix4 if n >= SOA_MIN => Layout::Soa,
+            Pow2Kernel::Radix2 if n >= SOA_MIN_RADIX2 => Layout::Soa,
+            Pow2Kernel::Radix4 if n >= SOA_MIN_RADIX4 => Layout::Soa,
             _ => Layout::Aos,
         }
     }
@@ -252,6 +262,29 @@ pub fn force_layout(layout: Option<Layout>) {
         Some(Layout::Soa) => 2,
     };
     FORCED_LAYOUT.store(v, Ordering::Relaxed);
+}
+
+/// Smallest batch size `B` at which the batch-checksum scheme's cost
+/// model beats per-transform Opt-Online protection for `n`-point
+/// transforms — the plan-time break-even the service layer consults
+/// before routing a coalesced batch through the joint scheme.
+///
+/// Cost model: the batch scheme runs `B + 2` plain transforms (`B`
+/// members + two weighted-combination checksums) plus ~6 O(n) sweeps per
+/// member (two-sided combine, accumulate, compare), i.e. a relative
+/// overhead of `(B+2)/B + γ/log₂n` against `B` plain transforms with
+/// `γ ≈ 1.2` linear-sweep units per transform unit. Per-transform
+/// Opt-Online measures ≈1.7× (EXPERIMENTS.md worst case 1.67–1.84×), so
+/// batching wins when `2/B < 0.7 − γ/log₂n`. Small transforms (where the
+/// linear sweeps rival the n·log₂n transform itself) break even later;
+/// the result is clamped to `[2, 16]` — `B = 1` never amortizes anything.
+pub fn batch_break_even(n: usize) -> usize {
+    let log2n = (n.max(4) as f64).log2();
+    let margin = 0.7 - 1.2 / log2n;
+    if margin <= 0.0 {
+        return 16;
+    }
+    ((2.0 / margin).ceil() as usize).clamp(2, 16)
 }
 
 /// The power-of-two kernel family.
@@ -948,6 +981,11 @@ mod tests {
     fn layout_heuristic_and_names() {
         assert_eq!(Layout::heuristic(Pow2Kernel::Radix4, 1 << 10), Layout::Aos);
         assert_eq!(Layout::heuristic(Pow2Kernel::Radix4, 1 << 12), Layout::Soa);
+        // Radix-2 crosses over one octave later than radix-4: 2¹² is a
+        // coin-flip cell on the reference box, and the heuristic must
+        // never pick a cell that can lose to its sibling.
+        assert_eq!(Layout::heuristic(Pow2Kernel::Radix2, 1 << 12), Layout::Aos);
+        assert_eq!(Layout::heuristic(Pow2Kernel::Radix2, 1 << 13), Layout::Soa);
         assert_eq!(Layout::heuristic(Pow2Kernel::Radix2, 1 << 16), Layout::Soa);
         assert_eq!(Layout::heuristic(Pow2Kernel::SplitRadix, 1 << 20), Layout::Aos);
         for l in Layout::ALL {
@@ -955,6 +993,24 @@ mod tests {
         }
         assert_eq!(Layout::parse("AOS"), Some(Layout::Aos));
         assert_eq!(Layout::parse("planes"), None);
+    }
+
+    #[test]
+    fn batch_break_even_shape() {
+        // Monotone non-increasing in n: bigger transforms amortize the
+        // linear sweeps sooner.
+        let mut prev = usize::MAX;
+        for log2n in [4u32, 8, 10, 12, 14, 16, 20] {
+            let b = batch_break_even(1 << log2n);
+            assert!((2..=16).contains(&b), "B={b} at 2^{log2n}");
+            assert!(b <= prev, "break-even must not grow with n");
+            prev = b;
+        }
+        // The acceptance point: a coalesced batch of 8 frame-sized
+        // transforms must qualify for the joint scheme.
+        assert!(batch_break_even(1 << 10) <= 8);
+        // Degenerate sizes stay in range instead of dividing by ~zero.
+        assert_eq!(batch_break_even(1), 16);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 
 use crate::span::monotonic_nanos;
 
-/// What happened. The seven kinds cover the full recovery ladder from
+/// What happened. The kinds cover the full recovery ladder from
 /// detection through load shedding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -34,11 +34,14 @@ pub enum EventKind {
     SyncLoss,
     /// A worker or stage panicked.
     WorkerPanic,
+    /// A batch-checksum member (or checksum transform) was recomputed
+    /// after the two-sided linearity test implicated it.
+    BatchRepair,
 }
 
 impl EventKind {
     /// Every kind, in severity-agnostic declaration order.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::FaultDetected,
         EventKind::FaultCorrected,
         EventKind::Retry,
@@ -46,6 +49,7 @@ impl EventKind {
         EventKind::Shed,
         EventKind::SyncLoss,
         EventKind::WorkerPanic,
+        EventKind::BatchRepair,
     ];
 
     /// Stable snake_case name (used in dumps and exposition).
@@ -58,6 +62,7 @@ impl EventKind {
             EventKind::Shed => "shed",
             EventKind::SyncLoss => "sync_loss",
             EventKind::WorkerPanic => "worker_panic",
+            EventKind::BatchRepair => "batch_repair",
         }
     }
 
@@ -87,7 +92,7 @@ pub struct FlightEvent {
 pub struct FlightRecorder {
     capacity: usize,
     next_seq: AtomicU64,
-    totals: [AtomicU64; 7],
+    totals: [AtomicU64; EventKind::ALL.len()],
     ring: Mutex<VecDeque<FlightEvent>>,
     autodump: AtomicBool,
     dumped: AtomicBool,
@@ -239,7 +244,7 @@ mod tests {
         let rec = FlightRecorder::new(8);
         rec.set_autodump(false);
         for i in 0..25u64 {
-            let kind = EventKind::ALL[(i % 7) as usize];
+            let kind = EventKind::ALL[i as usize % EventKind::ALL.len()];
             rec.record_n(kind, 1 + i % 3, i);
         }
         assert_eq!(rec.events_recorded(), 25);

@@ -19,8 +19,8 @@ pub mod throughput;
 
 pub use calibrate::Calibrator;
 pub use model::{
-    checksum_roundoff_std, checksum_roundoff_std_second, memory_sum_roundoff_std,
-    output_roundoff_std, sigma_eps, F64_MANTISSA_BITS,
+    batch_residual_std, checksum_roundoff_std, checksum_roundoff_std_second,
+    memory_sum_roundoff_std, output_roundoff_std, sigma_eps, F64_MANTISSA_BITS,
 };
-pub use threshold::{scaled, thresholds_for_split, Thresholds};
+pub use threshold::{batch_thresholds, scaled, thresholds_for_split, Thresholds};
 pub use throughput::{empirical_throughput, throughput};

@@ -53,6 +53,21 @@ pub fn memory_sum_roundoff_std(m: usize, value_std: f64, mantissa_bits: u32) -> 
     m as f64 * value_std * sigma_eps(mantissa_bits)
 }
 
+/// Per-bin round-off std-dev of the batch-linearity residual
+/// `FFT(Σᵢ wᵢxᵢ)[p] − Σᵢ wᵢ·FFT(xᵢ)[p]`, where `weight_norm_sq = Σᵢ wᵢ²`.
+///
+/// The checksum transform sees an input of component variance
+/// `(Σwᵢ²)·σ₀²`, so its per-bin error is `output_roundoff_std` at that
+/// scale; the reference side sums `B` independent per-bin errors with
+/// weights `wᵢ`, contributing the same `√(Σwᵢ²)` factor again (the O(B)
+/// summation round-off is negligible next to the transform noise). The
+/// two are independent, hence the `√2`. Unlike the in-transform checksum
+/// residual this is a *per-element* comparison — no factor-`m` sum
+/// amplification.
+pub fn batch_residual_std(n: usize, weight_norm_sq: f64, sigma0: f64, mantissa_bits: u32) -> f64 {
+    (2.0 * weight_norm_sq).sqrt() * output_roundoff_std(n, sigma0, mantissa_bits)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

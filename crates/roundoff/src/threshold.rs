@@ -65,6 +65,33 @@ pub fn thresholds_for_split(n: usize, k: usize, m: usize, sigma0: f64) -> Thresh
     }
 }
 
+/// Per-side detection thresholds for the batch-linearity check of a
+/// `b`-member batch of `n`-point transforms, given the squared 2-norms of
+/// the two weight vectors (`Σᵢ wᵢ²` per side).
+///
+/// The batch check compares *every* output bin, so the flagging statistic
+/// is the **maximum** of `n` per-bin residuals — a 3σ per-bin bound would
+/// false-positive almost surely at large `n`. The Gaussian extremal bound
+/// `E[max] ≈ √(2·ln n)·σ` replaces the 3 with `3 + √(2·ln n)`, and the
+/// same empirical `HEADROOM` as [`thresholds_for_split`] absorbs the
+/// model's average-case σ_ε. Floored at `f64::EPSILON` so degenerate
+/// sizes never produce a zero threshold.
+pub fn batch_thresholds(
+    n: usize,
+    sigma0: f64,
+    weight_norm_sq_1: f64,
+    weight_norm_sq_2: f64,
+) -> (f64, f64) {
+    const HEADROOM: f64 = 4.0;
+    let t = F64_MANTISSA_BITS;
+    let extremal = 3.0 + (2.0 * (n.max(2) as f64).ln()).sqrt();
+    let eta = |wsq: f64| {
+        (HEADROOM * extremal * crate::model::batch_residual_std(n, wsq, sigma0, t))
+            .max(f64::EPSILON)
+    };
+    (eta(weight_norm_sq_1), eta(weight_norm_sq_2))
+}
+
 /// Scales model thresholds by an empirical safety factor (used after
 /// calibration finds the model tight or loose on a given machine).
 pub fn scaled(t: Thresholds, factor: f64) -> Thresholds {

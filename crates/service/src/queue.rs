@@ -14,9 +14,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ftfft_core::{FtFftPlan, FtReport, PlanSpec, Workspace};
+use ftfft_core::{FtFftPlan, FtReport, PlanSpec, Scheme, Workspace};
 use ftfft_fault::{FaultInjector, NoFaults};
-use ftfft_fft::resolve_threads;
+use ftfft_fft::{batch_break_even, resolve_threads};
 use ftfft_numeric::Complex64;
 use ftfft_obs::{EventKind, FlightRecorder, Timer};
 
@@ -192,6 +192,8 @@ struct ObsHandles {
     execute: Arc<ftfft_obs::Histogram>,
     requests: Arc<ftfft_obs::Counter>,
     failed: Arc<ftfft_obs::Counter>,
+    batch_protected: Arc<ftfft_obs::Counter>,
+    batch_fallback: Arc<ftfft_obs::Counter>,
 }
 
 impl ObsHandles {
@@ -203,6 +205,8 @@ impl ObsHandles {
             execute: reg.histogram("ftfft_service_execute_ns"),
             requests: reg.counter("ftfft_service_requests_total"),
             failed: reg.counter("ftfft_service_failed_total"),
+            batch_protected: reg.counter("ftfft_service_batch_protected_total"),
+            batch_fallback: reg.counter("ftfft_service_batch_fallback_total"),
         }
     }
 }
@@ -218,6 +222,12 @@ struct Inner {
     max_batch_seen: AtomicU64,
     /// Requests whose execution panicked (isolated; see [`run_batch`]).
     failed: AtomicU64,
+    /// Requests served through the joint batch-checksum path.
+    batch_protected: AtomicU64,
+    /// Batch-checksum requests served per-transform instead (batch below
+    /// break-even, or a joint execution that panicked and was retried
+    /// request-by-request).
+    batch_fallback: AtomicU64,
     obs: ObsHandles,
     recorder: FlightRecorder,
 }
@@ -238,6 +248,12 @@ pub struct ServiceStats {
     /// Requests that failed by worker-side panic (each failed only
     /// itself; the queue kept serving).
     pub failed: u64,
+    /// Requests served through the joint batch-checksum path (their
+    /// frames shared one pair of checksum transforms).
+    pub batch_protected: u64,
+    /// Batch-checksum requests that fell back to the per-transform
+    /// repair plan (batch under break-even, or joint-path panic retry).
+    pub batch_fallback: u64,
     /// Plan-cache hits at submit time.
     pub cache_hits: u64,
     /// Plan-cache misses (plan builds).
@@ -262,6 +278,7 @@ impl ServiceStats {
         format!(
             "{{\n  \"requests\": {},\n  \"frames\": {},\n  \"batches\": {},\n  \
              \"mean_batch\": {},\n  \"max_batch\": {},\n  \"failed\": {},\n  \
+             \"batch_protected\": {},\n  \"batch_fallback\": {},\n  \
              \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"hit_rate\": {},\n  \
              \"distinct_plans\": {},\n  \"latency.count\": {},\n  \"latency.p50_ns\": {},\n  \
              \"latency.p99_ns\": {},\n  \"latency.p999_ns\": {},\n  \"latency.max_ns\": {},\n  \
@@ -276,6 +293,8 @@ impl ServiceStats {
             self.mean_batch,
             self.max_batch,
             self.failed,
+            self.batch_protected,
+            self.batch_fallback,
             self.cache_hits,
             self.cache_misses,
             self.hit_rate,
@@ -326,6 +345,8 @@ impl FftService {
             batched_requests: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            batch_protected: AtomicU64::new(0),
+            batch_fallback: AtomicU64::new(0),
             obs: ObsHandles::new(),
             recorder: FlightRecorder::new(128),
         });
@@ -451,6 +472,8 @@ impl FftService {
             mean_batch: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
             max_batch: self.inner.max_batch_seen.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
+            batch_protected: self.inner.batch_protected.load(Ordering::Relaxed),
+            batch_fallback: self.inner.batch_fallback.load(Ordering::Relaxed),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
             hit_rate: self.inner.cache.hit_rate(),
@@ -557,11 +580,14 @@ fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSp
     inner.batches.fetch_add(1, Ordering::Relaxed);
     inner.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
     inner.max_batch_seen.fetch_max(size as u64, Ordering::Relaxed);
+    if plan.cfg().scheme == Scheme::BatchChecksum {
+        run_batch_checksum(inner, plan, n, batch.reqs, size, ws);
+        return;
+    }
     for mut req in batch.reqs {
         if ftfft_obs::enabled() {
             inner.obs.queue_wait.record(req.submitted.elapsed());
         }
-        let frames = (req.input.len() / n) as u64;
         let mut output = vec![Complex64::ZERO; req.input.len()];
         // Panic isolation: a panicking execution (a scripted chaos
         // injector, a latent plan bug) must fail only its own request.
@@ -575,37 +601,156 @@ fn run_batch(inner: &Inner, batch: PendingBatch, workspaces: &mut HashMap<PlanSp
                 None => plan.execute_batch(&mut req.input, &mut output, &NoFaults, ws),
             }));
         exec.stop(&inner.obs.execute);
-        let latency = req.submitted.elapsed();
         match caught {
-            Ok(report) => {
-                inner.obs.requests.inc();
-                if ftfft_obs::enabled() {
-                    // Per-tenant request counter; the scratch keeps this
-                    // allocation-free per record, the registry lookup is
-                    // the price of a dynamic tenant set.
-                    ftfft_obs::with_scratch(|name| {
-                        name.push_str("ftfft_service_tenant_requests_total.");
-                        name.push_str(&req.tenant);
-                        ftfft_obs::global().counter(name).inc();
-                    });
-                }
-                inner.telemetry.record(&req.tenant, latency, frames, req.cache_hit, &report);
-                req.slot.deliver(Ok(ServiceResponse {
-                    output,
-                    report,
-                    latency,
-                    batched_with: size,
-                    cache_hit: req.cache_hit,
-                }));
-            }
-            Err(payload) => {
-                inner.failed.fetch_add(1, Ordering::Relaxed);
-                inner.obs.failed.inc();
-                inner.recorder.record(EventKind::WorkerPanic, frames);
-                req.slot.deliver(Err(RequestError::Panicked(panic_message(&*payload))));
-            }
+            Ok(report) => deliver_ok(inner, req, output, report, size, n),
+            Err(payload) => deliver_err(inner, req, &*payload, n),
         }
     }
+}
+
+/// Completes one request successfully: telemetry, per-tenant counters,
+/// and the ticket.
+fn deliver_ok(
+    inner: &Inner,
+    req: Request,
+    output: Vec<Complex64>,
+    report: FtReport,
+    size: usize,
+    n: usize,
+) {
+    let latency = req.submitted.elapsed();
+    let frames = (req.input.len() / n) as u64;
+    inner.obs.requests.inc();
+    if ftfft_obs::enabled() {
+        // Per-tenant request counter; the scratch keeps this
+        // allocation-free per record, the registry lookup is
+        // the price of a dynamic tenant set.
+        ftfft_obs::with_scratch(|name| {
+            name.push_str("ftfft_service_tenant_requests_total.");
+            name.push_str(&req.tenant);
+            ftfft_obs::global().counter(name).inc();
+        });
+    }
+    inner.telemetry.record(&req.tenant, latency, frames, req.cache_hit, &report);
+    req.slot.deliver(Ok(ServiceResponse {
+        output,
+        report,
+        latency,
+        batched_with: size,
+        cache_hit: req.cache_hit,
+    }));
+}
+
+/// Fails one request with the panic payload of its execution.
+fn deliver_err(inner: &Inner, req: Request, payload: &(dyn std::any::Any + Send), n: usize) {
+    let frames = (req.input.len() / n) as u64;
+    inner.failed.fetch_add(1, Ordering::Relaxed);
+    inner.obs.failed.inc();
+    inner.recorder.record(EventKind::WorkerPanic, frames);
+    req.slot.deliver(Err(RequestError::Panicked(panic_message(payload))));
+}
+
+/// Dispatch for [`Scheme::BatchChecksum`] plans.
+///
+/// When the coalesced batch carries at least
+/// [`batch_break_even`]`(n)` member frames, every frame of every
+/// request runs under ONE pair of checksum transforms
+/// ([`FtFftPlan::execute_batch_members`]) — the whole point of the
+/// scheme: `2/B` protection overhead instead of a per-transform
+/// checksum pipeline. Faults stay billed per request because the joint
+/// executor reports per member and each member carries its own
+/// request's injector.
+///
+/// Under break-even (or when a joint execution panics), requests fall
+/// back to the plan's per-transform Opt-Online repair plan — same
+/// bitwise outputs, per-request panic isolation.
+fn run_batch_checksum(
+    inner: &Inner,
+    plan: &FtFftPlan,
+    n: usize,
+    reqs: Vec<Request>,
+    size: usize,
+    ws: &mut Workspace,
+) {
+    static NO_FAULTS: NoFaults = NoFaults;
+    let members: usize = reqs.iter().map(|r| r.input.len() / n).sum();
+    if ftfft_obs::enabled() {
+        for req in &reqs {
+            inner.obs.queue_wait.record(req.submitted.elapsed());
+        }
+    }
+    if members >= batch_break_even(n) {
+        let mut outputs: Vec<Vec<Complex64>> =
+            reqs.iter().map(|r| vec![Complex64::ZERO; r.input.len()]).collect();
+        let mut reports = vec![FtReport::new(); members];
+        let exec = Timer::start();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let xs: Vec<&[Complex64]> = reqs.iter().flat_map(|r| r.input.chunks_exact(n)).collect();
+            let mut outs: Vec<&mut [Complex64]> =
+                outputs.iter_mut().flat_map(|o| o.chunks_exact_mut(n)).collect();
+            let injectors: Vec<&dyn FaultInjector> = reqs
+                .iter()
+                .flat_map(|r| {
+                    let inj: &dyn FaultInjector = match &r.injector {
+                        Some(i) => i.as_ref(),
+                        None => &NO_FAULTS,
+                    };
+                    std::iter::repeat_n(inj, r.input.len() / n)
+                })
+                .collect();
+            plan.execute_batch_members(&xs, &mut outs, &injectors, &mut reports, ws);
+        }));
+        exec.stop(&inner.obs.execute);
+        if caught.is_ok() {
+            inner.batch_protected.fetch_add(size as u64, Ordering::Relaxed);
+            inner.obs.batch_protected.add(size as u64);
+            let mut member = 0;
+            for (req, output) in reqs.into_iter().zip(outputs) {
+                let frames = req.input.len() / n;
+                let mut report = FtReport::new();
+                for _ in 0..frames {
+                    report.merge(&reports[member]);
+                    member += 1;
+                }
+                if report.total_detected() > 0 {
+                    inner.recorder.record(EventKind::BatchRepair, frames as u64);
+                }
+                deliver_ok(inner, req, output, report, size, n);
+            }
+            return;
+        }
+        // Joint execution panicked (a chaos injector striking during the
+        // shared phase): retry request-by-request below so only the
+        // panicking request fails.
+    }
+    let repair = plan.repair_plan().expect("batch plan carries a repair plan");
+    let mut bw = ws.batch.take().expect("batch plan workspace carries the repair workspace");
+    for mut req in reqs {
+        let mut output = vec![Complex64::ZERO; req.input.len()];
+        let exec = Timer::start();
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &req.injector {
+                Some(inj) => repair.execute_batch(
+                    &mut req.input,
+                    &mut output,
+                    inj.as_ref(),
+                    &mut bw.repair_ws,
+                ),
+                None => {
+                    repair.execute_batch(&mut req.input, &mut output, &NoFaults, &mut bw.repair_ws)
+                }
+            }));
+        exec.stop(&inner.obs.execute);
+        match caught {
+            Ok(report) => {
+                inner.batch_fallback.fetch_add(1, Ordering::Relaxed);
+                inner.obs.batch_fallback.inc();
+                deliver_ok(inner, req, output, report, size, n);
+            }
+            Err(payload) => deliver_err(inner, req, &*payload, n),
+        }
+    }
+    ws.batch = Some(bw);
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
